@@ -1,0 +1,61 @@
+"""Figures 3.3/3.4/3.5 — RTT vs UDP payload size, knee at the MTU.
+
+The thesis sweeps UDP payloads 1→6000 B and finds the RTT slope breaks at
+the interface MTU (1500, then reconfigured to 1000 and 500 B).  Shape
+checks: the sub-MTU slope clearly exceeds the supra-MTU slope and the
+best-split breakpoint lands at ``MTU - 28`` (IP+UDP headers).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import record
+from repro.bench import knee_slopes, rtt_vs_size, series_to_text
+
+
+def locate_knee(series):
+    """Payload size minimising two-piece linear fit error (coarse scan)."""
+    from repro.bench.experiments import _slope
+
+    best, best_err = None, float("inf")
+    candidates = [s for s, _ in series][5:-5]
+    for cut in candidates[:: max(1, len(candidates) // 60)]:
+        lo = [(s, t) for s, t in series if s <= cut]
+        hi = [(s, t) for s, t in series if s > cut]
+        if len(lo) < 3 or len(hi) < 3:
+            continue
+        slo, shi = _slope(lo), _slope(hi)
+        err = sum((t - (lo[0][1] + slo * (s - lo[0][0]))) ** 2 for s, t in lo)
+        err += sum((t - (hi[0][1] + shi * (s - hi[0][0]))) ** 2 for s, t in hi)
+        if err < best_err:
+            best, best_err = cut, err
+    return best
+
+
+@pytest.mark.parametrize("mtu,figure", [(1500, "fig3_3"), (1000, "fig3_4"),
+                                        (500, "fig3_5")])
+def test_rtt_knee_at_mtu(benchmark, mtu, figure):
+    series = benchmark.pedantic(
+        lambda: rtt_vs_size(mtu=mtu, sizes=range(1, 6001, 25)),
+        rounds=1, iterations=1,
+    )
+    below, above = knee_slopes(series, mtu)
+    knee = locate_knee(series)
+    report = series_to_text(
+        [(s, round(t * 1e6, 1)) for s, t in series],
+        "payload_B", "rtt_us",
+        title=(f"Thesis {figure.replace('_', '.')} — RTT vs UDP payload, "
+               f"MTU={mtu}B\n"
+               f"slope below knee: {below*1e9:.1f} ns/B, above: "
+               f"{above*1e9:.1f} ns/B, knee located at ~{knee} B "
+               f"(expected ~{mtu - 28} B)"),
+    )
+    record(figure, report)
+
+    # thesis observation 3: sub-MTU ascent rate is distinctly higher
+    assert below > 1.8 * above
+    # thesis observation 2: the threshold M sits at the MTU
+    assert knee == pytest.approx(mtu - 28, abs=mtu * 0.15)
+    # RTT is (noisily) increasing overall
+    assert series[-1][1] > series[0][1]

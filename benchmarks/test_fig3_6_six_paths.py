@@ -1,0 +1,57 @@
+"""Figure 3.6 / Table 3.2 — RTT curves on six sample network paths.
+
+Thesis observations reproduced as assertions:
+
+1. the knee exists only on physical-interface paths — loopback (f) is flat;
+2. base RTTs match the published ``ping`` values;
+4. on the long, jittery WAN paths (a: 126 ms, b: 238 ms) the knee is
+   *shadowed* — relative RTT growth over the probe-size sweep is tiny.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import record
+from repro.bench import series_to_text, six_paths
+from repro.cluster import WAN_PATHS
+
+
+def test_six_paths(benchmark):
+    results = benchmark.pedantic(
+        lambda: six_paths(sizes=range(100, 6001, 100)), rounds=1, iterations=1
+    )
+    blocks = []
+    for spec in WAN_PATHS:
+        series = results[spec.index]
+        blocks.append(series_to_text(
+            [(s, round(t * 1e3, 3)) for s, t in series],
+            "payload_B", "rtt_ms", max_points=10,
+            title=f"path {spec.index}: {spec.src} -> {spec.dst} "
+                  f"({spec.description}; ping {spec.ping_rtt_ms} ms)",
+        ))
+    record("fig3_6", "Thesis Fig 3.6 — RTT on six paths\n\n" + "\n\n".join(blocks))
+
+    # 1. LAN paths show a real knee...
+    from repro.bench import knee_slopes
+
+    for index in ("c", "d", "e"):
+        below, above = knee_slopes(results[index], 1500)
+        assert below > 1.8 * above, f"path {index} lost its knee"
+    # ...loopback does not (slopes are both ~0 and RTT stays flat)
+    f_series = results["f"]
+    f_spread = max(t for _, t in f_series) - min(t for _, t in f_series)
+    assert f_spread < 100e-6
+
+    # 2. base RTT matches ping (small probes, generous tolerance)
+    for spec in WAN_PATHS:
+        base = min(t for _, t in results[spec.index]) * 1e3
+        assert base == pytest.approx(spec.ping_rtt_ms, rel=0.6), spec.index
+
+    # 4. the knee is shadowed on large-RTT jittery paths: total RTT growth
+    # across the sweep is a tiny fraction of the base RTT
+    for index in ("a", "b"):
+        series = results[index]
+        base = min(t for _, t in series)
+        growth = max(t for _, t in series) - base
+        assert growth < 0.5 * base, f"path {index} should dwarf the size effect"

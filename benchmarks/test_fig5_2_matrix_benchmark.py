@@ -1,0 +1,36 @@
+"""Figure 5.2 — per-host matrix multiplication benchmark (1500², blk 200).
+
+The thesis' calibration finding: "the P3 866MHz and P4 2.4GHz CPUs have
+better performance than the P4 1.6GHz ~ 1.8GHz ones" for its matmul
+program, i.e. benchmark time is *not* monotone in bogomips.
+"""
+
+from __future__ import annotations
+
+from conftest import record
+from repro.bench import format_table, matrix_benchmark
+from repro.cluster import TESTBED_MACHINES
+
+
+def test_matrix_benchmark(benchmark):
+    results = benchmark.pedantic(matrix_benchmark, rounds=1, iterations=1)
+    times = dict(results)
+    spec = {m.name: m for m in TESTBED_MACHINES}
+    table = format_table(
+        ["host", "cpu", "bogomips", "benchmark_s"],
+        [(name, spec[name].cpu, spec[name].bogomips, round(t, 2))
+         for name, t in results],
+        title="Thesis Fig 5.2 — Matrix Benchmarking Results (1500x1500, blk=200)",
+    )
+    record("fig5_2", table)
+
+    p4_24 = {"dalmatian", "dione"}
+    p3 = {"sagit", "lhost"}
+    p4_mid = {"mimas", "telesto", "helene", "phoebe", "calypso",
+              "titan-x", "pandora-x"}
+    # the thesis' ranking: P4-2.4 fastest, P3-866 next, P4-1.6~1.8 slowest
+    assert max(times[n] for n in p4_24) < min(times[n] for n in p3)
+    assert max(times[n] for n in p3) < min(times[n] for n in p4_mid)
+    # and therefore NOT monotone in bogomips: sagit (1730 bogomips) beats
+    # pandora-x (3591 bogomips)
+    assert times["sagit"] < times["pandora-x"]

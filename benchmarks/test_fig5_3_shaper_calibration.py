@@ -1,0 +1,33 @@
+"""Figure 5.3 — rshaper / massd calibration.
+
+Ten sample transfers with the shaper set to 1 % of the data size (in
+KB/s): "the bandwidth values set by rshaper were very close to the actual
+throughput we can get from the massd program", i.e. the tooling itself has
+negligible overhead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import record
+from repro.bench import format_table, shaper_calibration
+
+
+def test_shaper_calibration(benchmark):
+    points = benchmark.pedantic(lambda: shaper_calibration(tests=10),
+                                rounds=1, iterations=1)
+    table = format_table(
+        ["rshaper set (KB/s)", "massd measured (KB/s)", "ratio"],
+        [(set_kbps, round(got, 1), round(got / set_kbps, 3))
+         for set_kbps, got in points],
+        title="Thesis Fig 5.3 — Benchmark for rshaper and massd",
+    )
+    record("fig5_3", table)
+
+    # the shaper controls massd's throughput precisely across the range
+    for set_kbps, got in points:
+        assert got == pytest.approx(set_kbps, rel=0.08)
+    # and monotonically: higher cap, higher throughput
+    measured = [got for _, got in points]
+    assert measured == sorted(measured)

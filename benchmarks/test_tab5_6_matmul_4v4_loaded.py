@@ -1,0 +1,49 @@
+"""Table 5.6 — matmul 4 vs 4 with SuperPI workload on three servers.
+
+Paper: helene, telesto and mimas run SuperPI (≥150 MB, load_1 above 1);
+random (mimas, helene, calypso, telesto) needs 90.93 s, Smart (calypso,
+phoebe, titan-x, pandora-x) needs 66.72 s — 26.6 % better, purely from the
+``host_system_load1 < 0.5`` clause steering around the busy machines.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import matmul_report
+from repro.bench import matmul_experiment
+
+REQUIREMENT = ("(host_cpu_free > 0.9) && (host_memory_free > 5) && "
+               "(host_system_load1 < 0.5)")
+LOADED = ("helene", "telesto", "mimas")
+#: "7 servers with CPU P4 1.6GHz to 1.8 GHz were used to form the server
+#: pool" (thesis §5.3.1, experiment 4)
+POOL = ("mimas", "telesto", "helene", "phoebe", "calypso", "titan-x",
+        "pandora-x")
+
+
+def test_matmul_4v4_loaded(benchmark):
+    arms = benchmark.pedantic(
+        lambda: matmul_experiment(
+            n_servers=4, blk=200, requirement=REQUIREMENT,
+            random_servers=("mimas", "helene", "calypso", "telesto"),
+            loaded_hosts=LOADED,
+            warmup=90.0,  # load_1 needs ~40 s to cross 0.5
+            pool=POOL,
+        ),
+        rounds=1, iterations=1,
+    )
+    matmul_report(
+        "tab5_6", "Thesis Table 5.6 — 4 vs 4 with Workload "
+        "(SuperPI on helene/telesto/mimas; 1500x1500, blk=200)",
+        arms,
+        paper={"random": ("mimas, helene, calypso, telesto", 90.93),
+               "smart": ("calypso, phoebe, titan-x, pandora-x", 66.72)},
+    )
+    by = {a.label: a for a in arms}
+    # the busy machines must not be selected
+    assert set(LOADED).isdisjoint(by["smart"].servers)
+    assert len(by["smart"].servers) == 4
+    # avoiding 2 busy machines in the random set buys a substantial win
+    improvement = 1 - by["smart"].elapsed / by["random"].elapsed
+    assert 0.15 < improvement < 0.60

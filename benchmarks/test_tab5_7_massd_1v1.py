@@ -1,0 +1,44 @@
+"""Table 5.7 / Figure 5.4 — massd with 1 server: random vs Smart.
+
+Paper setup: group-1 shaped to 6.72 Mbps, group-2 to 1.33 Mbps; random drew
+pandora-x (the slow group) for 170 KB/s, the Smart library's
+``monitor_network_bw > 6`` found lhost for 860 KB/s — a 5x throughput win.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import record
+from repro.bench import MASSD_GROUP1, format_table, massd_experiment
+
+PAPER = {"random1": 170.0, "smart": 860.0}
+
+
+def test_massd_1v1(benchmark):
+    arms = benchmark.pedantic(
+        lambda: massd_experiment(
+            group1_mbps=6.72, group2_mbps=1.33,
+            requirement="monitor_network_bw > 6",
+            n_servers=1,
+            random_sets=[("pandora-x",)],
+        ),
+        rounds=1, iterations=1,
+    )
+    table = format_table(
+        ["arm", "servers", "throughput KB/s", "paper KB/s"],
+        [(a.label, ", ".join(a.servers), round(a.throughput_kbps, 1),
+          PAPER[a.label]) for a in arms],
+        title="Thesis Table 5.7 / Fig 5.4 — massd 1 vs 1 "
+              "(group-1 6.72 Mbps, group-2 1.33 Mbps, 50000 KB by 100 KB)",
+    )
+    record("tab5_7_fig5_4", table)
+
+    by = {a.label: a for a in arms}
+    # the Smart pick comes from the fast group
+    assert by["smart"].servers[0] in MASSD_GROUP1
+    # throughputs sit at the shaped rates (KB/s = Mbps * 1e6/8/1024)
+    assert by["smart"].throughput_kbps == pytest.approx(6.72e6 / 8 / 1024, rel=0.1)
+    assert by["random1"].throughput_kbps == pytest.approx(1.33e6 / 8 / 1024, rel=0.1)
+    # the paper's headline: ~5x better
+    assert by["smart"].throughput_kbps > 4 * by["random1"].throughput_kbps

@@ -1,0 +1,47 @@
+"""Table 5.8 / Figure 5.5 — massd with 2 servers.
+
+Paper setup: group-1 5.01 Mbps, group-2 7.67 Mbps (group-2 is the fast one
+this round).  Random set 1 (mimas, telesto) has zero fast servers
+(660 KB/s), random set 2 (telesto, titan-x) has one (795 KB/s); Smart with
+``monitor_network_bw > 7`` picks two from group-2 (994 KB/s).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import record
+from repro.bench import MASSD_GROUP2, format_table, massd_experiment
+
+PAPER = {"random1": 660.0, "random2": 795.0, "smart": 994.0}
+
+
+def test_massd_2v2(benchmark):
+    arms = benchmark.pedantic(
+        lambda: massd_experiment(
+            group1_mbps=5.01, group2_mbps=7.67,
+            requirement="monitor_network_bw > 7",
+            n_servers=2,
+            random_sets=[("mimas", "telesto"), ("telesto", "titan-x")],
+        ),
+        rounds=1, iterations=1,
+    )
+    table = format_table(
+        ["arm", "servers", "throughput KB/s", "paper KB/s"],
+        [(a.label, ", ".join(a.servers), round(a.throughput_kbps, 1),
+          PAPER[a.label]) for a in arms],
+        title="Thesis Table 5.8 / Fig 5.5 — massd 2 vs 2 "
+              "(group-1 5.01 Mbps, group-2 7.67 Mbps, 50000 KB by 100 KB)",
+    )
+    record("tab5_8_fig5_5", table)
+
+    by = {a.label: a for a in arms}
+    # both smart picks come from the fast group
+    assert all(s in MASSD_GROUP2 for s in by["smart"].servers)
+    # ordering by number of fast servers: 0 < 1 < 2
+    assert (by["random1"].throughput_kbps
+            < by["random2"].throughput_kbps
+            < by["smart"].throughput_kbps)
+    # aggregate throughput tracks the sum of the chosen shapers
+    assert by["smart"].throughput_kbps == pytest.approx(
+        2 * 7.67e6 / 8 / 1024, rel=0.15)

@@ -1,0 +1,49 @@
+"""Table 5.9 / Figure 5.6 — massd with 3 servers, all four mixes.
+
+Paper setup: group-1 5.99 Mbps (fast), group-2 2.92 Mbps.  Throughput
+rises with the number of fast servers in the set: 387 (0 fast), 520 (1),
+634 (2), 796 KB/s (Smart, 3 fast via ``monitor_network_bw > 5``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import record
+from repro.bench import MASSD_GROUP1, format_table, massd_experiment
+
+PAPER = {"random1": 387.0, "random2": 520.0, "random3": 634.0, "smart": 796.0}
+
+
+def test_massd_3v3(benchmark):
+    arms = benchmark.pedantic(
+        lambda: massd_experiment(
+            group1_mbps=5.99, group2_mbps=2.92,
+            requirement="monitor_network_bw > 5",
+            n_servers=3,
+            random_sets=[
+                ("dione", "titan-x", "pandora-x"),   # 0 fast
+                ("mimas", "titan-x", "dione"),        # 1 fast
+                ("telesto", "mimas", "dione"),        # 2 fast
+            ],
+        ),
+        rounds=1, iterations=1,
+    )
+    table = format_table(
+        ["arm", "servers", "throughput KB/s", "paper KB/s"],
+        [(a.label, ", ".join(a.servers), round(a.throughput_kbps, 1),
+          PAPER[a.label]) for a in arms],
+        title="Thesis Table 5.9 / Fig 5.6 — massd 3 vs 3 "
+              "(group-1 5.99 Mbps, group-2 2.92 Mbps, 50000 KB by 100 KB)",
+    )
+    record("tab5_9_fig5_6", table)
+
+    by = {a.label: a for a in arms}
+    # the Smart set is all three group-1 machines
+    assert sorted(by["smart"].servers) == sorted(MASSD_GROUP1)
+    # monotone in the number of fast servers — the thesis' staircase
+    t = [by["random1"].throughput_kbps, by["random2"].throughput_kbps,
+         by["random3"].throughput_kbps, by["smart"].throughput_kbps]
+    assert t == sorted(t)
+    # smart/worst factor near the paper's ~2.05x
+    assert t[3] / t[0] == pytest.approx(796 / 387, rel=0.25)

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Quickstart: ask the Smart socket library for servers instead of naming them.
+
+Builds a small simulated cluster (one wizard/monitor machine, one client,
+five servers of varying speed and load), deploys the full monitoring plane
+— probes, monitors, transmitter/receiver, wizard — and then lets a client
+application request "two fast, idle servers with enough memory" in the
+requirement meta-language.  The library answers with *connected sockets*.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.cluster import Cluster, Deployment
+from repro.core import Config
+from repro.host import SuperPiWorkload
+
+REQUIREMENT = """
+# two fast, idle servers with some headroom, please
+host_cpu_bogomips > 3000
+host_cpu_free >= 0.9
+host_memory_free > 64        # MB
+host_system_load1 < 0.5
+"""
+
+
+def main() -> None:
+    # --- build the world -------------------------------------------------
+    cluster = Cluster(seed=42)
+    wizard_host = cluster.add_host("wizard-box", bogomips=4000)
+    client_host = cluster.add_host("client-box")
+    core = cluster.add_switch("core")
+    cluster.link(wizard_host, core)
+    cluster.link(client_host, core)
+
+    servers = []
+    for name, bogomips, mem in [
+        ("ares", 4771.0, 512), ("boreas", 4771.0, 512), ("chaos", 3394.0, 256),
+        ("dione", 1730.0, 128), ("eos", 3591.0, 256),
+    ]:
+        host = cluster.add_host(name, bogomips=bogomips, mem_mb=mem)
+        cluster.link(host, core)
+        servers.append(host)
+    cluster.finalize()
+
+    # --- deploy the Smart library -----------------------------------------
+    config = Config(probe_interval=1.0, transmit_interval=1.0)
+    deployment = Deployment(cluster, wizard_host=wizard_host, config=config)
+    deployment.add_group("pool", monitor_host=wizard_host, servers=servers)
+    deployment.start()
+
+    # keep one fast machine busy so the wizard has something to avoid
+    SuperPiWorkload(cluster.sim, cluster.host("boreas").machine).start()
+
+    # a trivial echo service on every server's service port
+    def echo_service(host):
+        listener = host.stack.tcp.listen(config.ports.service)
+        while True:
+            conn = yield listener.accept()
+            cluster.sim.process(echo_session(conn))
+
+    def echo_session(conn):
+        while True:
+            msg, nbytes = yield conn.recv()
+            conn.send(("echo", msg), nbytes)
+
+    for server in servers:
+        cluster.sim.process(echo_service(server))
+
+    # --- the client application -------------------------------------------
+    client = deployment.client_for(client_host)
+    report: dict = {}
+
+    def app():
+        # let the monitoring plane warm up (probes -> monitor -> wizard),
+        # and give boreas' load average time to climb past 0.5
+        yield cluster.sim.timeout(60.0)
+        conns = yield from client.smart_sockets(REQUIREMENT, n=2)
+        names = [cluster.network.hostname_of(c.remote_addr) for c in conns]
+        report["servers"] = names
+        # use the sockets: ping each selected server
+        for conn in conns:
+            conn.send(("ping", b"x" * 16), 1024)
+        for conn in conns:
+            msg, _ = yield conn.recv()
+            assert msg[0] == "echo"
+        report["rtt_done_at"] = cluster.sim.now
+
+    cluster.sim.process(app())
+    cluster.run(until=120.0)
+
+    print("requirement:")
+    print(REQUIREMENT)
+    print(f"wizard returned + connected: {report['servers']}")
+    print("(boreas was skipped: SuperPI pushed its load_1 above 0.5;")
+    print(" dione was skipped: bogomips 1730 < 3000)")
+    picked = set(report["servers"])
+    assert len(picked) == 2, report
+    assert picked <= {"ares", "chaos", "eos"}, report
+    assert picked.isdisjoint({"boreas", "dione"}), report
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""A tour of the server-requirement meta-language (thesis Ch. 4, App. B).
+
+Shows, without any networking, what the wizard's matching core does with a
+requirement: lexing, parsing, logical/non-logical classification, temp
+variables, math builtins, user-side preference/blacklist slots and the
+error semantics (undefined variables, division by zero).
+
+Run:  python examples/requirement_language.py
+"""
+
+from __future__ import annotations
+
+from repro.lang import (
+    SERVER_SIDE_VARS,
+    USER_SIDE_VARS,
+    evaluate,
+    is_logical,
+    parse,
+    tokenize,
+)
+
+SERVER_FAST_IDLE = {
+    "host_cpu_bogomips": 4771.02,
+    "host_cpu_free": 0.98,
+    "host_memory_free": 420.0,     # MB
+    "host_system_load1": 0.07,
+    "host_network_tbytesps": 1.2e4,
+    "host_security_level": 2.0,
+}
+
+SERVER_BUSY = dict(SERVER_FAST_IDLE,
+                   host_cpu_free=0.04, host_system_load1=1.43)
+
+
+def show(title: str, requirement: str, server: dict) -> None:
+    program = parse(requirement)
+    result = evaluate(program, server)
+    print(f"--- {title}")
+    for line in requirement.strip().splitlines():
+        print(f"    {line}")
+    kinds = [("logical" if is_logical(s) else "side-effect")
+             for s in program.statements]
+    print(f"    -> statements: {kinds}")
+    print(f"    -> qualified: {result.qualified}"
+          + (f", errors: {result.errors}" if result.errors else ""))
+    if result.env.denied_hosts():
+        print(f"    -> denied hosts: {result.env.denied_hosts()}")
+    if result.env.preferred_hosts():
+        print(f"    -> preferred hosts: {result.env.preferred_hosts()}")
+    print()
+
+
+def main() -> None:
+    print(f"{len(SERVER_SIDE_VARS)} server-side variables, "
+          f"{len(USER_SIDE_VARS)} user-side variables\n")
+
+    # 1. the thesis' own sample requirement (§3.6.2)
+    sample = """host_system_load1 < 1
+host_memory_used <= 250*1024*1024
+host_cpu_free >= 0.9
+host_network_tbytesps < 1024*1024  # for network IO
+user_denied_host1 = 137.132.90.182
+user_preferred_host1 = sagit.ddns.comp.nus.edu.sg
+"""
+    show("thesis §3.6.2 sample", sample,
+         dict(SERVER_FAST_IDLE, host_memory_used=100 * 1024 * 1024))
+
+    # 2. temp variables and math builtins
+    show("temp variables + builtins",
+         """headroom = 1 - host_cpu_free
+log10(host_cpu_bogomips) > 3.5
+headroom < 0.1
+""", SERVER_FAST_IDLE)
+
+    # 3. the same requirement rejects a busy server
+    show("busy server fails the same requirement",
+         "host_cpu_free > 0.9 && host_system_load1 < 0.5", SERVER_BUSY)
+
+    # 4. undefined variables make logical statements false (not crashes)
+    show("undefined variable semantics",
+         "host_gpu_teraflops > 1", SERVER_FAST_IDLE)
+
+    # 5. division by zero is recorded, statement counts as unsatisfied
+    show("division by zero",
+         "margin = 0\nhost_cpu_bogomips / margin > 1", SERVER_FAST_IDLE)
+
+    # 6. lexing, for the curious
+    tokens = [f"{t.kind}:{t.text!r}" for t in tokenize("(a+b) <= 2^10 # hi")]
+    print("--- token stream of '(a+b) <= 2^10 # hi'")
+    print("   ", " ".join(tokens))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+from setuptools import setup
+
+# setup.py shim: the offline environment lacks the `wheel` package, so the
+# PEP-517 editable-install path (`pip install -e .` -> bdist_wheel) fails.
+# `python setup.py develop` / `pip install -e . --no-use-pep517` work without
+# wheels; all real metadata lives in pyproject.toml.
+setup()

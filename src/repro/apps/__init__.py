@@ -1,0 +1,28 @@
+"""Applications from the thesis' evaluation: matmul and massd."""
+
+from .massd import FileServer, MassdClient, MassdResult, shape_host_egress
+from .matmul import (
+    DOUBLE_BYTES,
+    MatMulMaster,
+    MatMulResult,
+    MatMulWorker,
+    block_grid,
+    blocked_multiply,
+    flops_for,
+    local_multiply,
+)
+
+__all__ = [
+    "MatMulWorker",
+    "MatMulMaster",
+    "MatMulResult",
+    "local_multiply",
+    "blocked_multiply",
+    "block_grid",
+    "flops_for",
+    "DOUBLE_BYTES",
+    "FileServer",
+    "MassdClient",
+    "MassdResult",
+    "shape_host_egress",
+]

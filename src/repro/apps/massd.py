@@ -1,0 +1,181 @@
+"""``massd`` — the massive-download program (thesis §5.3.2).
+
+Downloads one logical file from several servers at once "by using the same
+algorithm as the matrix multiplication program": the data is cut into
+fixed-size blocks, each connection fetches its next block as soon as the
+previous one lands, so faster servers serve more blocks and aggregate
+throughput is the performance metric.
+
+The thesis drives it as ``massd (data, blk, bw)`` with sizes in KBytes and
+the *rshaper*-imposed bandwidth in KB/s — :class:`MassdClient.run` mirrors
+that parameterisation (we take sizes in KB too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..net.shaper import TokenBucket
+from ..net.tcp import ConnectionClosed
+from ..sim import Interrupt
+from ..cluster.host import SmartHost
+
+__all__ = ["FileServer", "MassdClient", "MassdResult", "shape_host_egress"]
+
+MASSD_PORT = 9000
+KB = 1024
+
+
+def shape_host_egress(host: SmartHost, rate_mbps: float,
+                      burst_bytes: int = 1600) -> TokenBucket:
+    """Attach an rshaper-style token bucket to every egress channel of the
+    host, capping its transmit bandwidth (thesis' *rshaper* role).
+
+    The default burst of ~one MTU frame matters twice: it is small enough
+    that the network monitor's 1600/2900-byte probe pair *sees* the shaped
+    rate (the second fragment has to wait for tokens), and it still lets
+    sustained TCP converge on exactly ``rate_mbps``.
+    """
+    if rate_mbps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_mbps}")
+    bucket = TokenBucket(rate_bps=rate_mbps * 1e6, burst_bytes=burst_bytes)
+    for nic in host.node.nics:
+        nic.channel.shaper = bucket
+    return bucket
+
+
+class FileServer:
+    """Serves ``GET`` block requests on the service port."""
+
+    def __init__(self, host: SmartHost, port: int = MASSD_PORT, mss: int = 8192,
+                 read_from_disk: bool = False):
+        self.host = host
+        self.port = port
+        self.mss = mss
+        self.read_from_disk = read_from_disk
+        self.blocks_served = 0
+        self.bytes_served = 0
+        self._proc = None
+        self._sessions: list = []
+
+    def start(self) -> None:
+        self._proc = self.host.sim.process(
+            self._serve(), name=f"massd-server@{self.host.name}"
+        )
+
+    def stop(self) -> None:
+        for p in [self._proc] + self._sessions:
+            if p is not None and p.is_alive:
+                p.interrupt("stop")
+
+    def _serve(self):
+        listener = self.host.stack.tcp.listen(self.port, mss=self.mss)
+        try:
+            while True:
+                conn = yield listener.accept()
+                self._sessions.append(
+                    self.host.sim.process(
+                        self._session(conn), name=f"massd-sess@{self.host.name}"
+                    )
+                )
+        except Interrupt:
+            listener.close()
+
+    def _session(self, conn):
+        try:
+            while True:
+                try:
+                    msg, _ = yield conn.recv()
+                except ConnectionClosed:
+                    return
+                if msg[0] != "GET":
+                    continue
+                _, block_id, nbytes = msg
+                if self.read_from_disk:
+                    yield self.host.machine.disk.read(nbytes)
+                self.blocks_served += 1
+                self.bytes_served += nbytes
+                conn.send(("BLOCK", block_id), nbytes)
+        except Interrupt:
+            conn.close()
+
+
+@dataclass
+class MassdResult:
+    """Outcome of one download."""
+
+    data_kb: int
+    blk_kb: int
+    servers: list[str]
+    elapsed: float
+    blocks_per_server: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.data_kb * KB
+
+    @property
+    def throughput_kbps(self) -> float:
+        """Average throughput in KB/s — the thesis' reported metric."""
+        return self.total_bytes / KB / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def throughput_mbps(self) -> float:
+        return self.total_bytes * 8 / 1e6 / self.elapsed if self.elapsed > 0 else 0.0
+
+
+class MassdClient:
+    """The downloader (runs on the client host)."""
+
+    def __init__(self, host: SmartHost):
+        self.host = host
+        self.sim = host.sim
+
+    def run(self, conns, data_kb: int, blk_kb: int):
+        """Process generator -> :class:`MassdResult`.
+
+        ``conns`` are established TCP connections to file servers (from
+        :meth:`~repro.core.client.SmartClient.smart_sockets` or manual
+        connects for the random baseline).
+        """
+        if not conns:
+            raise ValueError("no server connections supplied")
+        if data_kb <= 0 or blk_kb <= 0:
+            raise ValueError("data and block sizes must be positive")
+        sim = self.sim
+        n_blocks, rem = divmod(data_kb, blk_kb)
+        sizes = [blk_kb * KB] * n_blocks + ([rem * KB] if rem else [])
+        tasks = list(enumerate(sizes))
+        tasks.reverse()
+        done_counts: dict[str, int] = {c.remote_addr: 0 for c in conns}
+        finished = sim.event()
+        live = {"n": len(conns)}
+        t0 = sim.now
+
+        def fetch(conn):
+            while tasks:
+                block_id, nbytes = tasks.pop()
+                conn.send(("GET", block_id, nbytes), 16)
+                msg, got = yield conn.recv()
+                if msg[0] != "BLOCK" or msg[1] != block_id:
+                    raise RuntimeError(f"protocol violation: {msg[:2]}")
+                if got != nbytes:
+                    raise RuntimeError(
+                        f"short block {block_id}: {got} != {nbytes}"
+                    )
+                done_counts[conn.remote_addr] += 1
+            live["n"] -= 1
+            if live["n"] == 0 and not finished.triggered:
+                finished.succeed()
+
+        for conn in conns:
+            sim.process(fetch(conn), name=f"massd-fetch-{conn.remote_addr}")
+        yield finished
+        return MassdResult(
+            data_kb=data_kb,
+            blk_kb=blk_kb,
+            servers=[c.remote_addr for c in conns],
+            elapsed=sim.now - t0,
+            blocks_per_server=done_counts,
+        )

@@ -1,0 +1,235 @@
+"""Distributed square-matrix multiplication (thesis §5.3.1, Appendix C.1).
+
+The program has the thesis' two modes:
+
+* **local** — multiply two matrices on one machine (also usable with real
+  NumPy data via :func:`local_multiply`, which tests use as ground truth);
+* **distributed** — a master splits the result matrix into ``blk``-sized
+  blocks; for each block it ships the corresponding row-stripe of A and
+  column-stripe of B to a worker, which multiplies and returns the result
+  block (Fig C.2's master/worker cooperation).  Dispatch is dynamic — a
+  worker gets its next block when the previous result returns — so faster
+  servers naturally take more blocks, exactly the property that makes
+  server *selection* matter.
+
+Cost model: multiplying an ``r×n`` stripe by an ``n×c`` stripe is
+``2·r·c·n`` flops, executed on the worker's processor-sharing CPU at its
+machine's ``matmul`` speed.  Transfers are real simulated TCP messages of
+``8`` bytes per matrix entry, so communication overhead (which the thesis
+blames for the shrinking 6v6 gain) emerges from the network model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..net.tcp import ConnectionClosed
+from ..sim import Interrupt, Simulator
+from ..cluster.host import SmartHost
+
+__all__ = [
+    "MatMulWorker",
+    "MatMulMaster",
+    "MatMulResult",
+    "local_multiply",
+    "blocked_multiply",
+    "block_grid",
+    "flops_for",
+    "DOUBLE_BYTES",
+]
+
+DOUBLE_BYTES = 8
+MATMUL_PORT = 9000
+
+
+def flops_for(rows: int, cols: int, inner: int) -> float:
+    """Multiply-add count of an ``rows×inner @ inner×cols`` product."""
+    return 2.0 * rows * cols * inner
+
+
+def block_grid(n: int, blk: int) -> list[tuple[int, int, int, int]]:
+    """Result-matrix tiling: list of (row0, rows, col0, cols)."""
+    if n <= 0 or blk <= 0:
+        raise ValueError(f"need positive n and blk, got {n}, {blk}")
+    edges = list(range(0, n, blk))
+    out = []
+    for r0 in edges:
+        rows = min(blk, n - r0)
+        for c0 in edges:
+            cols = min(blk, n - c0)
+            out.append((r0, rows, c0, cols))
+    return out
+
+
+def local_multiply(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Plain local mode (vector multiplication row-by-column)."""
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ValueError(f"incompatible shapes {a.shape} x {b.shape}")
+    return a @ b
+
+
+def blocked_multiply(a: np.ndarray, b: np.ndarray, blk: int) -> np.ndarray:
+    """Blocked local multiply — the same tiling the distributed mode uses;
+    tests assert it matches :func:`local_multiply` exactly."""
+    n, m = a.shape[0], b.shape[1]
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"incompatible shapes {a.shape} x {b.shape}")
+    if n != m or n != a.shape[1]:
+        # thesis uses square matrices; keep general anyway
+        pass
+    out = np.zeros((n, m), dtype=np.result_type(a, b))
+    for r0, rows, c0, cols in block_grid(max(n, m), blk):
+        if r0 >= n or c0 >= m:
+            continue
+        rows = min(rows, n - r0)
+        cols = min(cols, m - c0)
+        out[r0:r0 + rows, c0:c0 + cols] = a[r0:r0 + rows, :] @ b[:, c0:c0 + cols]
+    return out
+
+
+class MatMulWorker:
+    """The worker service: listens on the service port, multiplies stripes."""
+
+    def __init__(self, host: SmartHost, port: int = MATMUL_PORT, mss: int = 8192):
+        self.host = host
+        self.port = port
+        self.mss = mss
+        self.blocks_done = 0
+        self._proc = None
+        self._sessions: list = []
+
+    def start(self) -> None:
+        self._proc = self.host.sim.process(
+            self._serve(), name=f"matmul-worker@{self.host.name}"
+        )
+
+    def stop(self) -> None:
+        for p in [self._proc] + self._sessions:
+            if p is not None and p.is_alive:
+                p.interrupt("stop")
+
+    def _serve(self):
+        listener = self.host.stack.tcp.listen(self.port, mss=self.mss)
+        try:
+            while True:
+                conn = yield listener.accept()
+                self._sessions.append(
+                    self.host.sim.process(
+                        self._session(conn), name=f"matmul-sess@{self.host.name}"
+                    )
+                )
+        except Interrupt:
+            listener.close()
+
+    def _session(self, conn):
+        machine = self.host.machine
+        try:
+            while True:
+                try:
+                    msg, _ = yield conn.recv()
+                except ConnectionClosed:
+                    return
+                if msg[0] != "TASK":
+                    continue
+                _, block_id, rows, cols, inner, a_stripe, b_stripe = msg
+                yield machine.compute(
+                    flops_for(rows, cols, inner), kind="matmul",
+                    name=f"matmul-blk{block_id}",
+                )
+                if a_stripe is not None and b_stripe is not None:
+                    block = a_stripe @ b_stripe
+                else:
+                    block = None
+                self.blocks_done += 1
+                conn.send(
+                    ("RESULT", block_id, block),
+                    max(1, rows * cols * DOUBLE_BYTES),
+                )
+        except Interrupt:
+            conn.close()
+
+
+@dataclass
+class MatMulResult:
+    """Outcome of one distributed run."""
+
+    n: int
+    blk: int
+    servers: list[str]
+    elapsed: float
+    blocks_per_server: dict[str, int] = field(default_factory=dict)
+    product: Optional[np.ndarray] = None
+
+    @property
+    def total_flops(self) -> float:
+        return flops_for(self.n, self.n, self.n)
+
+
+class MatMulMaster:
+    """The master program (runs on the client host).
+
+    ``run(conns, n, blk)`` is a process generator: it drives the given
+    worker connections to completion and returns a :class:`MatMulResult`.
+    Pass real matrices via ``a``/``b`` to verify numerics; omit them for a
+    timing-only run (zero-copy symbolic payloads, same wire/CPU costs).
+    """
+
+    def __init__(self, host: SmartHost):
+        self.host = host
+        self.sim: Simulator = host.sim
+
+    def run(self, conns, n: int, blk: int,
+            a: Optional[np.ndarray] = None, b: Optional[np.ndarray] = None):
+        if not conns:
+            raise ValueError("no worker connections supplied")
+        if (a is None) != (b is None):
+            raise ValueError("supply both matrices or neither")
+        if a is not None and (a.shape != (n, n) or b.shape != (n, n)):
+            raise ValueError(f"matrices must be {n}x{n}")
+        sim = self.sim
+        tasks = list(enumerate(block_grid(n, blk)))
+        tasks.reverse()  # pop() takes them in natural order
+        product = np.zeros((n, n), dtype=float) if a is not None else None
+        done_counts: dict[str, int] = {c.remote_addr: 0 for c in conns}
+        t0 = sim.now
+        finished = sim.event()
+        outstanding = {"n": 0}
+
+        def feed(conn):
+            """One per-worker driver: send task, await result, repeat."""
+            while tasks:
+                block_id, (r0, rows, c0, cols) = tasks.pop()
+                if a is not None:
+                    a_stripe = a[r0:r0 + rows, :]
+                    b_stripe = b[:, c0:c0 + cols]
+                else:
+                    a_stripe = b_stripe = None
+                nbytes = (rows * n + n * cols) * DOUBLE_BYTES
+                conn.send(
+                    ("TASK", block_id, rows, cols, n, a_stripe, b_stripe), nbytes
+                )
+                msg, _ = yield conn.recv()
+                if msg[0] != "RESULT" or msg[1] != block_id:
+                    raise RuntimeError(f"protocol violation: {msg[:2]}")
+                if product is not None:
+                    product[r0:r0 + rows, c0:c0 + cols] = msg[2]
+                done_counts[conn.remote_addr] += 1
+            outstanding["n"] -= 1
+            if outstanding["n"] == 0 and not finished.triggered:
+                finished.succeed()
+
+        outstanding["n"] = len(conns)
+        for conn in conns:
+            sim.process(feed(conn), name=f"matmul-feed-{conn.remote_addr}")
+        yield finished
+        return MatMulResult(
+            n=n,
+            blk=blk,
+            servers=[c.remote_addr for c in conns],
+            elapsed=sim.now - t0,
+            blocks_per_server=done_counts,
+            product=product,
+        )

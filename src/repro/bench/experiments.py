@@ -1,0 +1,596 @@
+"""Experiment runners — one per table/figure of the thesis' evaluation.
+
+Each function builds a fresh deterministic world (testbed or purpose-built
+topology), runs the measurement, and returns plain data that the
+``benchmarks/`` files print in the thesis' row/series format.  Arms that
+the thesis compares (random vs Smart) run in *separate* simulations so one
+arm's traffic and load never contaminate the other.
+
+Index (see DESIGN.md §4):
+
+=========================  =====================================
+thesis artefact            runner
+=========================  =====================================
+Fig 3.3–3.5                :func:`rtt_vs_size`
+Fig 3.6 / Table 3.2        :func:`six_paths`
+Table 3.3 / Fig 3.7        :func:`bandwidth_probe_table`
+Table 5.2                  :func:`resource_usage`
+Fig 5.2                    :func:`matrix_benchmark`
+Tables 5.3–5.6             :func:`matmul_experiment`
+Fig 5.3                    :func:`shaper_calibration`
+Tables 5.7–5.9 / 5.4–5.6   :func:`massd_experiment`
+=========================  =====================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from ..apps import (
+    FileServer,
+    MassdClient,
+    MatMulMaster,
+    MatMulWorker,
+    flops_for,
+    shape_host_egress,
+)
+from ..cluster import Cluster, Deployment, build_testbed, build_wan_paths
+from ..core import Config, estimate_bandwidth, pipechar_estimate, pathload_estimate, rtt_curve
+from ..host import SuperPiWorkload
+from ..net import ETHERNET_100
+
+__all__ = [
+    "rtt_vs_size",
+    "knee_slopes",
+    "six_paths",
+    "bandwidth_probe_table",
+    "PAPER_SIZE_GROUPS",
+    "resource_usage",
+    "matrix_benchmark",
+    "matmul_experiment",
+    "MatmulArm",
+    "shaper_calibration",
+    "massd_experiment",
+    "MassdArm",
+    "TESTBED_SERVER_NAMES",
+]
+
+TESTBED_SERVER_NAMES = (
+    "sagit", "dalmatian", "mimas", "telesto", "lhost", "helene",
+    "phoebe", "calypso", "dione", "titan-x", "pandora-x",
+)
+
+MATMUL_N = 1500
+SERVICE_PORT = 9000
+BULK_MSS = 8192
+
+
+def _drive(cluster: Cluster, proc, horizon: float = 36000.0) -> None:
+    """Step the simulation until ``proc`` finishes.
+
+    Experiment worlds contain immortal daemons (probes, monitors, cross
+    traffic), so draining the event queue would never terminate — instead
+    we stop the moment the experiment driver completes.
+    """
+    sim = cluster.sim
+    while not proc.processed:
+        if sim.peek() > horizon:
+            raise RuntimeError(
+                f"experiment still running at t={sim.now:.1f}s (horizon {horizon}s)"
+            )
+        sim.step()
+
+
+# ---------------------------------------------------------------------------
+# §3.3.2 — RTT vs packet size (Figs 3.3–3.5)
+# ---------------------------------------------------------------------------
+
+def _lan_pair(mtu: int = 1500, rate_bps: float = ETHERNET_100,
+              cross_utilisation: float = 0.0, seed: int = 0):
+    """sagit — switch — suna, like the thesis' campus measurement pair."""
+    cluster = Cluster(seed=seed)
+    a = cluster.add_host("sagit")
+    b = cluster.add_host("suna")
+    sw = cluster.add_switch("sw")
+    l1 = cluster.link(a, sw, rate_bps=rate_bps, delay=60e-6, mtu=mtu)
+    l2 = cluster.link(sw, b, rate_bps=rate_bps, delay=60e-6, mtu=mtu)
+    cluster.finalize()
+    if cross_utilisation > 0:
+        _cross_traffic(cluster, [l1.ab, l1.ba, l2.ab, l2.ba],
+                       utilisation=cross_utilisation)
+    return cluster, a, b
+
+
+def _cross_traffic(cluster: Cluster, channels, utilisation: float,
+                   frame_bytes: int = 1500) -> None:
+    """Poisson cross traffic occupying each channel at the given fraction."""
+    sim = cluster.sim
+    for i, channel in enumerate(channels):
+        rng = cluster.streams.stream(f"cross-{i}")
+        rate_fps = utilisation * channel.rate_bps / (frame_bytes * 8.0)
+
+        def chatter(ch=channel, r=rng, fps=rate_fps):
+            while True:
+                yield sim.timeout(r.expovariate(fps))
+                ch.occupy(frame_bytes)
+
+        sim.process(chatter(), name=f"cross-{i}")
+
+
+def rtt_vs_size(mtu: int = 1500, sizes: Optional[Iterable[int]] = None,
+                cross_utilisation: float = 0.02, seed: int = 0):
+    """UDP-probe RTT over payload size (thesis Figs 3.3/3.4/3.5).
+
+    Returns ``[(payload_bytes, rtt_seconds)]``.
+    """
+    if sizes is None:
+        sizes = range(1, 6001, 10)
+    cluster, a, b = _lan_pair(mtu=mtu, cross_utilisation=cross_utilisation, seed=seed)
+    out: dict = {}
+
+    def prober():
+        series = yield from rtt_curve(a.stack, b.name, list(sizes), gap=0.002)
+        out["series"] = series
+
+    proc = cluster.sim.process(prober())
+    _drive(cluster, proc)
+    return out["series"]
+
+
+def knee_slopes(series: Sequence[tuple[int, float]], mtu: int):
+    """Least-squares RTT slopes (s/byte) below and above the MTU knee.
+
+    The sub-MTU region excludes a guard band near the knee; the thesis'
+    observation is ``slope_below > slope_above`` with the break at
+    ``payload ≈ MTU - 28``.
+    """
+    knee = mtu - 28
+    below = [(s, t) for s, t in series if s <= knee * 0.9]
+    above = [(s, t) for s, t in series if s >= knee * 1.2]
+    return _slope(below), _slope(above)
+
+
+def _slope(points: Sequence[tuple[int, float]]) -> float:
+    n = len(points)
+    if n < 2:
+        raise ValueError("need at least two points for a slope")
+    sx = sum(p[0] for p in points)
+    sy = sum(p[1] for p in points)
+    sxx = sum(p[0] * p[0] for p in points)
+    sxy = sum(p[0] * p[1] for p in points)
+    denom = n * sxx - sx * sx
+    if denom == 0:
+        raise ValueError("degenerate x values")
+    return (n * sxy - sx * sy) / denom
+
+
+# ---------------------------------------------------------------------------
+# §3.3.2 — six sample paths (Fig 3.6 / Table 3.2)
+# ---------------------------------------------------------------------------
+
+def six_paths(sizes: Optional[Iterable[int]] = None, seed: int = 0):
+    """RTT curves on the six Table 3.2 paths.
+
+    Returns ``{path_index: [(size, rtt_s)]}`` for indices a–f.
+    """
+    if sizes is None:
+        sizes = range(100, 6001, 100)
+    cluster, endpoints = build_wan_paths(seed=seed)
+    results: dict[str, list] = {}
+
+    def prober(index, src, dst_name):
+        series = yield from rtt_curve(src.stack, dst_name, list(sizes), gap=0.002)
+        results[index] = series
+
+    # probe the paths concurrently — they are disjoint topologies
+    procs = [
+        cluster.sim.process(prober(index, src, dst_name))
+        for index, (src, dst_name) in endpoints.items()
+    ]
+    for proc in procs:
+        _drive(cluster, proc)
+    return results
+
+
+# ---------------------------------------------------------------------------
+# §3.3.2 — bandwidth vs probe sizes (Table 3.3 / Fig 3.7)
+# ---------------------------------------------------------------------------
+
+#: thesis Table 3.3's seven probe-size groups
+PAPER_SIZE_GROUPS: tuple[tuple[int, int], ...] = (
+    (100, 500),
+    (500, 1000),
+    (100, 1000),
+    (2000, 4000),
+    (4000, 6000),
+    (2000, 6000),
+    (1600, 2900),
+)
+
+
+@dataclass
+class BandwidthRow:
+    label: str
+    min_mbps: float
+    max_mbps: float
+    avg_mbps: float
+
+
+def bandwidth_probe_table(groups: Sequence[tuple[int, int]] = PAPER_SIZE_GROUPS,
+                          runs: int = 5, samples: int = 4,
+                          cross_utilisation: float = 0.05, seed: int = 0):
+    """Bandwidth estimates per probe-size group + pipechar/pathload rows.
+
+    The path is a 100 Mbps pair under ~5 % cross traffic, i.e. ~95 Mbps
+    available — the thesis' measured ground truth.
+    """
+    cluster, a, b = _lan_pair(cross_utilisation=cross_utilisation, seed=seed)
+    rows: list[BandwidthRow] = []
+    extra: dict[str, object] = {}
+
+    def measure():
+        for s1, s2 in groups:
+            per_run = []
+            for _ in range(runs):
+                est = yield from estimate_bandwidth(
+                    a.stack, b.name, s1=s1, s2=s2, samples=samples, gap=0.02
+                )
+                if est.ok:
+                    per_run.append(est.avg_bps / 1e6)
+                yield cluster.sim.timeout(0.1)
+            if per_run:
+                rows.append(BandwidthRow(
+                    label=f"{s1}~{s2}",
+                    min_mbps=min(per_run),
+                    max_mbps=max(per_run),
+                    avg_mbps=sum(per_run) / len(per_run),
+                ))
+        pc = yield from pipechar_estimate(a.stack, b.name, pairs=6)
+        extra["pipechar_mbps"] = pc / 1e6 if pc else None
+        pl = yield from pathload_estimate(a.stack, b.name)
+        extra["pathload_mbps"] = (pl[0] / 1e6, pl[1] / 1e6) if pl else None
+
+    proc = cluster.sim.process(measure())
+    _drive(cluster, proc)
+    return rows, extra
+
+
+# ---------------------------------------------------------------------------
+# shared world builder for the Chapter 5 experiments
+# ---------------------------------------------------------------------------
+
+def _testbed_world(config: Optional[Config] = None, seed: int = 0,
+                   mode: Optional[str] = None,
+                   pool: Sequence[str] = TESTBED_SERVER_NAMES):
+    """Testbed + one 'lab' group over ``pool``, matmul workers everywhere."""
+    cluster = build_testbed(seed=seed)
+    cfg = config or Config()
+    dep = Deployment(cluster, wizard_host=cluster.host("dalmatian"),
+                     config=cfg, mode=mode)
+    servers = [cluster.host(n) for n in pool]
+    dep.add_group("lab", monitor_host=cluster.host("dalmatian"), servers=servers)
+    workers = {}
+    for name in TESTBED_SERVER_NAMES:
+        worker = MatMulWorker(cluster.host(name), port=SERVICE_PORT, mss=BULK_MSS)
+        worker.start()
+        workers[name] = worker
+    dep.start()
+    return cluster, dep, workers
+
+
+# ---------------------------------------------------------------------------
+# Table 5.2 — per-component resource usage
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ResourceRow:
+    component: str
+    cpu_pct: float
+    mem_kb: float
+    net_kbps: float
+    transport: str
+
+
+def resource_usage(duration: float = 60.0, seed: int = 0) -> list[ResourceRow]:
+    """Measured per-component footprint with 11 probes running (Table 5.2).
+
+    Network figures come from live counters; CPU and memory combine the
+    documented per-operation model constants with measured operation counts.
+    Two groups are deployed so the network monitors have peers to probe,
+    and a client issues a request every 2 s so the wizard sees load — the
+    same conditions the thesis measured under.
+    """
+    from ..core.probe import ServerProbe
+
+    cluster = build_testbed(seed=seed)
+    dep = Deployment(cluster, wizard_host=cluster.host("dalmatian"))
+    lab_servers = [cluster.host(n) for n in TESTBED_SERVER_NAMES if n != "sagit"]
+    dep.add_group("lab", monitor_host=cluster.host("dalmatian"), servers=lab_servers)
+    dep.add_group("campus", monitor_host=cluster.host("sagit"),
+                  servers=[cluster.host("sagit")])
+    dep.start()
+
+    def requester():
+        client = dep.client_for(cluster.host("sagit"))
+        yield cluster.sim.timeout(dep.warm_up_seconds())
+        while True:
+            yield from client.request_servers("host_cpu_free > 0.1", 11)
+            yield cluster.sim.timeout(2.0)
+
+    cluster.sim.process(requester(), name="resource-requester")
+    horizon = cluster.sim.event()
+    horizon.succeed(delay=duration)
+    _drive(cluster, horizon, horizon=duration + 60)
+    group = dep.groups["lab"]
+
+    probe = group.probes[0]
+    report_bytes = (
+        probe.last_report.wire_bytes + 28 if probe.last_report is not None else 190
+    )
+    probe_kbps = probe.reports_sent * report_bytes / duration / 1024
+    probe_cpu = 100 * ServerProbe.SCAN_CPU_SECONDS / dep.config.probe_interval
+
+    n_probes = len(group.probes)
+    sysmon_kbps = probe_kbps * n_probes
+    # the monitor parses each report: model 0.1 ms of CPU per report
+    sysmon_cpu = 100 * group.sysmon.reports_received * 1e-4 / duration
+
+    netmon_kbps = group.netmon.probe_bytes / duration / 1024
+
+    tx_kbps = group.transmitter.bytes_sent / duration / 1024
+
+    wiz = dep.wizard
+    wizard_kbps = (wiz.bytes_in + wiz.bytes_out) / duration / 1024
+    wizard_cpu = 100 * wiz.requests_handled * 5e-4 / duration
+
+    return [
+        ResourceRow("System Probe", probe_cpu, ServerProbe.RESIDENT_BYTES / 1024,
+                    probe_kbps, "UDP"),
+        ResourceRow("System Monitor", sysmon_cpu, 8.0 + 0.2 * n_probes,
+                    sysmon_kbps, "UDP"),
+        ResourceRow("Network Monitor", 0.05, 8.0, netmon_kbps, "UDP"),
+        ResourceRow("Security Monitor", 0.02, 8.0, 0.0, "(not used)"),
+        ResourceRow("Transmitter", 0.05, 8.0, tx_kbps, "TCP"),
+        ResourceRow("Receiver", 0.05, 92.0, tx_kbps, "TCP"),
+        ResourceRow("Wizard", wizard_cpu, 96.0, wizard_kbps, "UDP"),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Fig 5.2 — per-host matmul benchmark
+# ---------------------------------------------------------------------------
+
+def matrix_benchmark(n: int = MATMUL_N, blk: int = 200, seed: int = 0):
+    """Local-mode benchmark time per testbed host (Fig 5.2).
+
+    Returns ``[(host, seconds)]`` in testbed order.
+    """
+    cluster = build_testbed(seed=seed)
+    times: dict[str, float] = {}
+
+    def bench(host):
+        t0 = cluster.sim.now
+        # local mode runs block by block, same tiling as distributed
+        from ..apps.matmul import block_grid
+        for _, rows, _, cols in [(r0, r, c0, c) for r0, r, c0, c in block_grid(n, blk)]:
+            yield host.machine.compute(flops_for(rows, cols, n), kind="matmul")
+        times[host.name] = cluster.sim.now - t0
+
+    for name in TESTBED_SERVER_NAMES:
+        cluster.sim.process(bench(cluster.host(name)))
+    cluster.run()
+    return [(name, times[name]) for name in TESTBED_SERVER_NAMES]
+
+
+# ---------------------------------------------------------------------------
+# Tables 5.3–5.6 — matmul: random vs Smart
+# ---------------------------------------------------------------------------
+
+@dataclass
+class MatmulArm:
+    label: str
+    servers: list[str]
+    elapsed: float
+    blocks_per_server: dict[str, int] = field(default_factory=dict)
+
+
+def matmul_experiment(
+    n_servers: int,
+    blk: int,
+    requirement: str,
+    random_servers: Sequence[str],
+    loaded_hosts: Sequence[str] = (),
+    n: int = MATMUL_N,
+    master: str = "dalmatian",
+    warmup: float = 60.0,
+    seed: int = 0,
+    pool: Sequence[str] = TESTBED_SERVER_NAMES,
+) -> list[MatmulArm]:
+    """One thesis matmul comparison (Tables 5.3–5.6).
+
+    ``random_servers`` is the baseline pick (the thesis reports the actual
+    random draws, so experiments can reproduce its exact arms); the smart
+    arm asks the wizard with ``requirement``.  ``loaded_hosts`` get a
+    SuperPI workload from t=0 (Table 5.6's non-zero-workload setup).
+    ``pool`` restricts the monitored server group (Table 5.6 uses only the
+    seven P4-1.6–1.8 machines).
+    """
+    arms: list[MatmulArm] = []
+
+    def run_arm(label: str, use_smart: bool):
+        cluster, dep, _ = _testbed_world(seed=seed, pool=pool)
+        net = cluster.network
+        for hname in loaded_hosts:
+            SuperPiWorkload(cluster.sim, cluster.host(hname).machine).start()
+        out: dict = {}
+
+        def driver():
+            yield cluster.sim.timeout(max(warmup, dep.warm_up_seconds()))
+            client = dep.client_for(cluster.host(master))
+            if use_smart:
+                conns = yield from client.smart_sockets(
+                    requirement, n_servers, service_port=SERVICE_PORT, mss=BULK_MSS
+                )
+            else:
+                conns = []
+                for sname in random_servers:
+                    conn = yield from cluster.host(master).stack.tcp.connect(
+                        net.resolve(sname), SERVICE_PORT, mss=BULK_MSS
+                    )
+                    conns.append(conn)
+            master_prog = MatMulMaster(cluster.host(master))
+            result = yield from master_prog.run(conns, n=n, blk=blk)
+            out["result"] = result
+
+        proc = cluster.sim.process(driver())
+        _drive(cluster, proc)
+        result = out["result"]
+        arms.append(MatmulArm(
+            label=label,
+            servers=[net.hostname_of(a) for a in result.servers],
+            elapsed=result.elapsed,
+            blocks_per_server={
+                net.hostname_of(a): c for a, c in result.blocks_per_server.items()
+            },
+        ))
+
+    run_arm("random", use_smart=False)
+    run_arm("smart", use_smart=True)
+    return arms
+
+
+# ---------------------------------------------------------------------------
+# Fig 5.3 — rshaper / massd calibration
+# ---------------------------------------------------------------------------
+
+def shaper_calibration(tests: int = 10, seed: int = 0):
+    """rshaper-set bandwidth vs measured massd throughput (Fig 5.3).
+
+    Test *i* transfers ``data = 10000·(i+1)`` KB with the server shaped to
+    ``bw = 1 %`` of that figure in KB/s — the thesis' parameterisation
+    ``(data, blk, bw)`` with ``bw = data/100``.  Returns
+    ``[(bw_set_kbps, measured_kbps)]``.
+    """
+    points = []
+    for i in range(tests):
+        data_kb = 10000 * (i + 1)
+        bw_kbps = data_kb / 100.0
+        cluster = Cluster(seed=seed + i)
+        server = cluster.add_host("server")
+        client = cluster.add_host("client")
+        sw = cluster.add_switch("sw")
+        cluster.link(server, sw)
+        cluster.link(sw, client)
+        cluster.finalize()
+        shape_host_egress(server, rate_mbps=bw_kbps * 1024 * 8 / 1e6)
+        FileServer(server, port=SERVICE_PORT, mss=BULK_MSS).start()
+        out: dict = {}
+
+        def download():
+            conn = yield from client.stack.tcp.connect(
+                server.addr, SERVICE_PORT, mss=BULK_MSS
+            )
+            massd = MassdClient(client)
+            result = yield from massd.run([conn], data_kb=data_kb, blk_kb=100)
+            out["kbps"] = result.throughput_kbps
+
+        proc = cluster.sim.process(download())
+        _drive(cluster, proc, horizon=360000.0)
+        points.append((bw_kbps, out["kbps"]))
+    return points
+
+
+# ---------------------------------------------------------------------------
+# Tables 5.7–5.9 / Figs 5.4–5.6 — massd: random sets vs Smart
+# ---------------------------------------------------------------------------
+
+#: the thesis' file-server split (§5.3.2)
+MASSD_GROUP1 = ("mimas", "telesto", "lhost")
+MASSD_GROUP2 = ("dione", "titan-x", "pandora-x")
+
+
+@dataclass
+class MassdArm:
+    label: str
+    servers: list[str]
+    throughput_kbps: float
+    elapsed: float
+
+
+def massd_experiment(
+    group1_mbps: float,
+    group2_mbps: float,
+    requirement: str,
+    n_servers: int,
+    random_sets: Sequence[Sequence[str]],
+    data_kb: int = 50000,
+    blk_kb: int = 100,
+    client_host: str = "sagit",
+    seed: int = 0,
+) -> list[MassdArm]:
+    """One thesis massd comparison (Tables 5.7/5.8/5.9).
+
+    Six file servers in two rshaper-limited groups; each random arm uses a
+    fixed server set from the thesis, the smart arm queries the wizard with
+    a ``monitor_network_bw`` requirement.
+    """
+    arms: list[MassdArm] = []
+    all_arms: list[tuple[str, Optional[Sequence[str]]]] = [
+        (f"random{i + 1}", tuple(s)) for i, s in enumerate(random_sets)
+    ]
+    all_arms.append(("smart", None))
+
+    for label, fixed_servers in all_arms:
+        cluster = build_testbed(seed=seed)
+        net = cluster.network
+        dep = Deployment(cluster, wizard_host=cluster.host("dalmatian"))
+        # three groups: the client's own, and the two file-server groups,
+        # each monitored by one of its members so the group's shaper is
+        # visible to that monitor's outbound probes
+        # monitor-only group for the client's network: the client machine is
+        # not a candidate server, but its group needs a network monitor so
+        # path metrics to the file-server groups exist
+        dep.add_group("campus", monitor_host=cluster.host(client_host), servers=[])
+        dep.add_group("group-1", monitor_host=cluster.host(MASSD_GROUP1[0]),
+                      servers=[cluster.host(n) for n in MASSD_GROUP1])
+        dep.add_group("group-2", monitor_host=cluster.host(MASSD_GROUP2[0]),
+                      servers=[cluster.host(n) for n in MASSD_GROUP2])
+        for name in MASSD_GROUP1:
+            shape_host_egress(cluster.host(name), group1_mbps)
+        for name in MASSD_GROUP2:
+            shape_host_egress(cluster.host(name), group2_mbps)
+        for name in MASSD_GROUP1 + MASSD_GROUP2:
+            FileServer(cluster.host(name), port=SERVICE_PORT, mss=BULK_MSS).start()
+        dep.start()
+        out: dict = {}
+
+        def driver():
+            yield cluster.sim.timeout(dep.warm_up_seconds() + 4.0)
+            client_h = cluster.host(client_host)
+            client = dep.client_for(client_h)
+            if fixed_servers is None:
+                conns = yield from client.smart_sockets(
+                    requirement, n_servers, service_port=SERVICE_PORT, mss=BULK_MSS
+                )
+            else:
+                conns = []
+                for sname in fixed_servers:
+                    conn = yield from client_h.stack.tcp.connect(
+                        net.resolve(sname), SERVICE_PORT, mss=BULK_MSS
+                    )
+                    conns.append(conn)
+            massd = MassdClient(client_h)
+            result = yield from massd.run(conns, data_kb=data_kb, blk_kb=blk_kb)
+            out["result"] = result
+
+        proc = cluster.sim.process(driver())
+        _drive(cluster, proc, horizon=360000.0)
+        result = out["result"]
+        arms.append(MassdArm(
+            label=label,
+            servers=[net.hostname_of(a) for a in result.servers],
+            throughput_kbps=result.throughput_kbps,
+            elapsed=result.elapsed,
+        ))
+    return arms

@@ -1,0 +1,197 @@
+"""Deployment: wiring the Smart library's daemons onto a cluster.
+
+Mirrors thesis Fig 3.1: each server group has a *monitor machine* running
+the system/network/security monitors plus a transmitter; the *wizard
+machine* runs the receiver and the wizard; probes run on every server.
+Both operating modes are supported — centralized (transmitters push) and
+distributed (wizard pulls per request).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core import (
+    Config,
+    DEFAULT_CONFIG,
+    DummySecurityLog,
+    Mode,
+    NetworkMonitor,
+    Receiver,
+    SecurityMonitor,
+    ServerProbe,
+    SmartClient,
+    SystemMonitor,
+    Transmitter,
+    Wizard,
+)
+from .builder import Cluster
+from .host import SmartHost
+
+__all__ = ["Deployment", "GroupDeployment"]
+
+
+@dataclass
+class GroupDeployment:
+    """Daemons of one server group."""
+
+    name: str
+    monitor_host: SmartHost
+    servers: list[SmartHost]
+    sysmon: SystemMonitor
+    netmon: NetworkMonitor
+    secmon: SecurityMonitor
+    transmitter: Transmitter
+    probes: list[ServerProbe] = field(default_factory=list)
+
+
+class Deployment:
+    """A full Smart-library installation on a cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        wizard_host: SmartHost,
+        config: Config = DEFAULT_CONFIG,
+        mode: Optional[str] = None,
+    ):
+        self.cluster = cluster
+        self.config = config
+        self.mode = mode or config.mode
+        self.wizard_host = wizard_host
+        self.groups: dict[str, GroupDeployment] = {}
+        self.receiver = Receiver(cluster.sim, wizard_host.stack, wizard_host.shm, config)
+        self.wizard = Wizard(
+            cluster.sim,
+            wizard_host.stack,
+            wizard_host.shm,
+            config,
+            mode=self.mode,
+            receiver=self.receiver,
+        )
+        self._started = False
+
+    # -- construction ---------------------------------------------------------
+    def add_group(
+        self,
+        name: str,
+        monitor_host: SmartHost,
+        servers: list[SmartHost],
+        security_levels: Optional[dict[str, int]] = None,
+    ) -> GroupDeployment:
+        if name in self.groups:
+            raise ValueError(f"group {name!r} already deployed")
+        sim = self.cluster.sim
+        cfg = self.config
+        sysmon = SystemMonitor(sim, monitor_host.stack, monitor_host.shm, cfg)
+        netmon = NetworkMonitor(sim, monitor_host.stack, monitor_host.shm, name, cfg)
+        levels = security_levels or {s.name: 1 for s in servers}
+        log = DummySecurityLog(
+            "\n".join(f"{host} {level}" for host, level in levels.items())
+        )
+        secmon = SecurityMonitor(sim, monitor_host.shm, log, cfg)
+        transmitter = Transmitter(
+            sim,
+            monitor_host.stack,
+            monitor_host.shm,
+            receiver_addr=self.wizard_host.addr,
+            config=cfg,
+            mode=self.mode,
+        )
+        group = GroupDeployment(
+            name=name,
+            monitor_host=monitor_host,
+            servers=list(servers),
+            sysmon=sysmon,
+            netmon=netmon,
+            secmon=secmon,
+            transmitter=transmitter,
+        )
+        for server in servers:
+            server.group = name
+            probe = ServerProbe(
+                sim,
+                server.procfs,
+                server.stack,
+                monitor_addr=monitor_host.addr,
+                group=name,
+                config=cfg,
+                security_level=levels.get(server.name, 1),
+            )
+            group.probes.append(probe)
+            # register the server's /24 with the wizard
+            prefix = server.addr.rsplit(".", 1)[0]
+            self.wizard.register_group(prefix, name)
+        # the monitor sits inside its group's network: clients on that
+        # subnet belong to this group even when the group serves nothing
+        # (a monitor-only group, e.g. the client side of the massd runs);
+        # never override a prefix some group's *servers* already claimed
+        self.wizard.group_prefixes.setdefault(
+            monitor_host.addr.rsplit(".", 1)[0], name
+        )
+        # peer the network monitors all-to-all
+        for other in self.groups.values():
+            other.netmon.add_peer(name, monitor_host.addr)
+            netmon.add_peer(other.name, other.monitor_host.addr)
+        if self.mode == Mode.DISTRIBUTED:
+            self.receiver.add_transmitter(monitor_host.addr)
+        self.groups[name] = group
+        return group
+
+    # -- lifecycle ----------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError("deployment already started")
+        if not self.groups:
+            raise RuntimeError("deploy at least one group before start()")
+        if self.mode == Mode.CENTRALIZED:
+            self.receiver.start()
+        self.wizard.start()
+        for group in self.groups.values():
+            group.sysmon.start()
+            group.secmon.start()
+            if group.netmon.peers:
+                group.netmon.start()
+            group.transmitter.start()
+            for probe in group.probes:
+                probe.start()
+        self._started = True
+
+    def stop(self) -> None:
+        for group in self.groups.values():
+            for probe in group.probes:
+                probe.stop()
+            group.sysmon.stop()
+            group.netmon.stop()
+            group.secmon.stop()
+            group.transmitter.stop()
+        self.receiver.stop()
+        self.wizard.stop()
+        self._started = False
+
+    # -- client access -----------------------------------------------------------
+    def client_for(self, host: SmartHost, seed: int = 1) -> SmartClient:
+        rng = self.cluster.streams.stream(f"client-{host.name}-{seed}")
+        return SmartClient(
+            self.cluster.sim,
+            host.stack,
+            wizard_addr=self.wizard_host.addr,
+            config=self.config,
+            rng=rng,
+        )
+
+    def all_servers(self) -> list[SmartHost]:
+        out = []
+        for group in self.groups.values():
+            out.extend(group.servers)
+        return out
+
+    def warm_up_seconds(self) -> float:
+        """Sim time after which the wizard's DBs are fully populated."""
+        return (
+            self.config.probe_interval
+            + self.config.transmit_interval
+            + max(1.0, self.config.netmon_interval)
+            + 1.0
+        )

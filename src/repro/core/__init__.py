@@ -1,0 +1,91 @@
+"""The Smart TCP socket library — the paper's primary contribution.
+
+Components (thesis Fig 3.1): server probes, the three monitors (system /
+network / security), the transmitter/receiver pair, the wizard, and the
+client library; plus the selection baselines used by the evaluation.
+"""
+
+from .client import InsufficientServers, SmartClient, SmartReply
+from .config import Config, DEFAULT_CONFIG, Mode, Ports, ShmKeys
+from .netmon import (
+    BandwidthEstimate,
+    NetworkMonitor,
+    estimate_bandwidth,
+    measure_rtt,
+    pathload_estimate,
+    pipechar_estimate,
+    rtt_curve,
+)
+from .probe import ServerProbe
+from .receiver import Receiver
+from .rsocket import ReliableServer, ReliableSession, ReliableSocket, SessionError
+from .records import (
+    MSG_NETDB,
+    MSG_PULL,
+    MSG_SECDB,
+    MSG_SYSDB,
+    NetMetric,
+    NetStatusRecord,
+    SecurityRecord,
+    ServerStatusRecord,
+    ServerStatusReport,
+    WireMessage,
+)
+from .secmon import (
+    DummySecurityLog,
+    FingerprintScanner,
+    SecurityMonitor,
+    SecuritySource,
+)
+from .selection import RandomSelector, RoundRobinSelector, Selector, StaticSelector
+from .sysmon import SystemMonitor
+from .transmitter import Transmitter
+from .wizard import Candidate, Wizard, WizardReply, WizardRequest
+
+__all__ = [
+    "Config",
+    "DEFAULT_CONFIG",
+    "Mode",
+    "Ports",
+    "ShmKeys",
+    "ServerProbe",
+    "SystemMonitor",
+    "NetworkMonitor",
+    "SecurityMonitor",
+    "SecuritySource",
+    "DummySecurityLog",
+    "FingerprintScanner",
+    "Transmitter",
+    "Receiver",
+    "Wizard",
+    "WizardRequest",
+    "WizardReply",
+    "Candidate",
+    "SmartClient",
+    "SmartReply",
+    "InsufficientServers",
+    "ReliableSocket",
+    "ReliableServer",
+    "ReliableSession",
+    "SessionError",
+    "ServerStatusReport",
+    "ServerStatusRecord",
+    "NetMetric",
+    "NetStatusRecord",
+    "SecurityRecord",
+    "WireMessage",
+    "MSG_SYSDB",
+    "MSG_NETDB",
+    "MSG_SECDB",
+    "MSG_PULL",
+    "measure_rtt",
+    "rtt_curve",
+    "estimate_bandwidth",
+    "BandwidthEstimate",
+    "pipechar_estimate",
+    "pathload_estimate",
+    "RandomSelector",
+    "RoundRobinSelector",
+    "StaticSelector",
+    "Selector",
+]

@@ -1,0 +1,142 @@
+"""The client library (thesis §3.6.2) — what user programs link against.
+
+Workflow of :meth:`SmartClient.smart_sockets`:
+
+1. read the requirement (text or file contents);
+2. attach a random sequence number, the requested server count and the
+   option string, and send the request to the wizard over UDP;
+3. wait for the matching reply (sequence numbers pair requests with
+   replies; late/foreign replies are discarded), retrying on timeout;
+4. TCP-connect to the service port of every returned server and hand the
+   caller the list of connected sockets — "the user's program and the
+   actual service program ... should be aware of how to interact through
+   the list of connected sockets".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..net.tcp import ConnectError, TcpConnection
+from ..sim import Simulator
+from .config import Config, DEFAULT_CONFIG
+from .wizard import WizardReply, WizardRequest
+
+__all__ = ["SmartClient", "SmartReply", "InsufficientServers"]
+
+
+class InsufficientServers(Exception):
+    """Raised in strict mode when fewer servers qualified than requested."""
+
+    def __init__(self, wanted: int, got: list[str]):
+        super().__init__(f"wanted {wanted} servers, wizard returned {len(got)}")
+        self.wanted = wanted
+        self.got = got
+
+
+@dataclass
+class SmartReply:
+    """Outcome of one wizard round-trip."""
+
+    seq: int
+    servers: list[str] = field(default_factory=list)
+    attempts: int = 1
+
+
+class SmartClient:
+    """Client-side API of the Smart TCP socket library."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stack,
+        wizard_addr: str,
+        config: Config = DEFAULT_CONFIG,
+        rng: Optional[random.Random] = None,
+    ):
+        self.sim = sim
+        self.stack = stack
+        self.wizard_addr = wizard_addr
+        self.config = config
+        self.rng = rng or random.Random(0x5EED)
+        self.requests_sent = 0
+        self.timeouts = 0
+
+    # -- wizard round trip ---------------------------------------------------
+    def request_servers(self, requirement: str, n: int, option: str = ""):
+        """Process generator -> :class:`SmartReply`.
+
+        Retries ``config.client_retries`` times on timeout; a reply whose
+        sequence number does not match is ignored (§3.6.2 step 3).
+        """
+        if n <= 0:
+            raise ValueError(f"server count must be positive, got {n}")
+        sock = self.stack.udp_socket()
+        try:
+            for attempt in range(1 + self.config.client_retries):
+                seq = self.rng.randrange(1, 2**31)
+                request = WizardRequest(
+                    seq=seq, server_num=n, option=option, detail=requirement
+                )
+                sock.sendto(
+                    self.wizard_addr,
+                    self.config.ports.wizard,
+                    size=request.wire_bytes,
+                    payload=request,
+                )
+                self.requests_sent += 1
+                deadline = self.sim.timeout(self.config.client_timeout)
+                while True:
+                    get = sock.recv()
+                    fired = yield self.sim.any_of([get, deadline])
+                    if get not in fired:
+                        self.timeouts += 1
+                        break  # retry with a fresh sequence number
+                    dgram = fired[get]
+                    reply = dgram.payload
+                    if isinstance(reply, WizardReply) and reply.seq == seq:
+                        return SmartReply(
+                            seq=seq, servers=list(reply.servers), attempts=attempt + 1
+                        )
+                    # stale or foreign reply: keep waiting on the deadline
+            return SmartReply(seq=-1, servers=[], attempts=1 + self.config.client_retries)
+        finally:
+            sock.close()
+
+    # -- the headline API ---------------------------------------------------------
+    def smart_sockets(
+        self,
+        requirement: str,
+        n: int,
+        option: str = "",
+        service_port: Optional[int] = None,
+        mss: Optional[int] = None,
+        strict: bool = False,
+    ):
+        """Process generator -> list of connected :class:`TcpConnection`.
+
+        The Smart analogue of calling ``socket(); connect()`` once per
+        server (thesis Fig 1.2): one call returns the whole socket group.
+        With ``strict=True`` an :class:`InsufficientServers` error is raised
+        when the wizard cannot satisfy the count (otherwise the caller gets
+        however many qualified — the "Option field" behaviours of §3.6.1).
+        """
+        reply = yield from self.request_servers(requirement, n, option=option)
+        if strict and len(reply.servers) < n:
+            raise InsufficientServers(n, reply.servers)
+        port = service_port if service_port is not None else self.config.ports.service
+        conns: list[TcpConnection] = []
+        for addr in reply.servers:
+            kwargs = {} if mss is None else {"mss": mss}
+            try:
+                conn = yield from self.stack.tcp.connect(addr, port, **kwargs)
+            except ConnectError:
+                continue  # dead server: skip (monitor will expire it soon)
+            conns.append(conn)
+        if strict and len(conns) < n:
+            for conn in conns:
+                conn.close()
+            raise InsufficientServers(n, [c.remote_addr for c in conns])
+        return conns

@@ -1,0 +1,81 @@
+"""Deployment constants of the Smart TCP socket library.
+
+Ports follow thesis Table 4.2, shared-memory/semaphore keys Table 4.3, and
+the operational parameters (probe interval, staleness policy, reply cap)
+come from §§3.2, 3.6 and 4.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Ports", "ShmKeys", "Config", "Mode", "DEFAULT_CONFIG"]
+
+
+class Mode:
+    """Operating modes of the transmitter/receiver pair (thesis §3.5)."""
+
+    CENTRALIZED = "centralized"
+    DISTRIBUTED = "distributed"
+
+
+@dataclass(frozen=True)
+class Ports:
+    """UDP/TCP service ports (thesis Table 4.2)."""
+
+    system_monitor: int = 1111
+    network_monitor: int = 1112
+    security_monitor: int = 1113
+    transmitter: int = 1110
+    receiver: int = 1121
+    wizard: int = 1120
+    #: application service port on every worker/file server (not in the
+    #: thesis tables; the client library connects here, §3.6.2 step 4)
+    service: int = 9000
+    #: closed port targeted by the one-way UDP probes so the peer answers
+    #: with ICMP port-unreachable
+    probe_target: int = 33434
+
+
+@dataclass(frozen=True)
+class ShmKeys:
+    """System V shm/semaphore keys (thesis Table 4.3)."""
+
+    monitor_system: int = 1234
+    monitor_network: int = 1235
+    monitor_security: int = 1236
+    wizard_system: int = 4321
+    wizard_network: int = 5321
+    wizard_security: int = 6321
+
+
+@dataclass(frozen=True)
+class Config:
+    """Tunable operational parameters."""
+
+    ports: Ports = Ports()
+    shm: ShmKeys = ShmKeys()
+    #: probe reporting interval, seconds (thesis: 2 s in the resource
+    #: measurements, 5–10 s suggested in §3.2.2)
+    probe_interval: float = 2.0
+    #: a server is dead after this many missed reports (thesis §4.1)
+    probe_miss_limit: int = 3
+    #: transmitter push interval in centralized mode
+    transmit_interval: float = 2.0
+    #: network-monitor probing interval (thesis §5.2: every 2 s)
+    netmon_interval: float = 2.0
+    #: probe packet sizes (thesis Table 3.3: optimal pair 1600/2900)
+    netmon_sizes: tuple[int, int] = (1600, 2900)
+    #: ICMP echo wait before declaring a probe lost
+    netmon_timeout: float = 1.0
+    #: samples per bandwidth estimate
+    netmon_samples: int = 4
+    #: hard cap on servers in one UDP reply (thesis §3.6.1: 60)
+    max_reply_servers: int = 60
+    #: client request timeout and retries
+    client_timeout: float = 2.0
+    client_retries: int = 2
+    mode: str = Mode.CENTRALIZED
+
+
+DEFAULT_CONFIG = Config()

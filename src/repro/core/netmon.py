@@ -1,0 +1,338 @@
+"""Network monitor: one-way UDP stream measurements (thesis §3.3).
+
+The measurement primitive sends a UDP datagram of chosen size to a *closed*
+port on the target and times the ICMP port-unreachable echo.  Available
+bandwidth follows Eq. 3.5:
+
+    B = (S2 - S1) / (T2 - T1)
+
+with the probe sizes chosen **above the MTU** (thesis rule) so the
+initialisation term of Eq. 3.6 is constant and cancels; the thesis'
+sweet-spot pair is 1600/2900 bytes (Table 3.3).
+
+Also provided, as the thesis' comparison baselines for Table 3.3:
+
+* :func:`pipechar_estimate` — packet-pair dispersion (single-ended, echo
+  gap of two back-to-back large probes),
+* :func:`pathload_estimate` — a SLoPS-style rate search watching for an
+  increasing one-way-delay trend within a constant-rate stream.
+
+:class:`NetworkMonitor` is the daemon: it probes each peer group
+sequentially (the thesis warns concurrent probes interfere), maintains the
+``(delay, bw)`` table of Table 3.4 and publishes it to shared memory.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..sim import Interrupt, SharedMemory, Simulator
+from .config import Config, DEFAULT_CONFIG
+from .records import NetMetric, NetStatusRecord
+
+__all__ = [
+    "measure_rtt",
+    "rtt_curve",
+    "BandwidthEstimate",
+    "estimate_bandwidth",
+    "pipechar_estimate",
+    "pathload_estimate",
+    "NetworkMonitor",
+]
+
+
+# ---------------------------------------------------------------------------
+# measurement primitives (process generators: use with ``yield from``)
+# ---------------------------------------------------------------------------
+
+def measure_rtt(stack, dst: str, size: int, port: int = 33434,
+                timeout: float = 2.0):
+    """Send one UDP probe of ``size`` payload bytes; return the RTT to the
+    ICMP port-unreachable echo, or ``None`` on timeout."""
+    sim = stack.sim
+    sock = stack.udp_socket()
+    tap = stack.icmp_tap()
+    try:
+        t0 = sim.now
+        probe = sock.sendto(dst, port, size=size)
+        deadline = sim.timeout(timeout)
+        while True:
+            get = tap.get()
+            fired = yield sim.any_of([get, deadline])
+            if get not in fired:
+                return None
+            err = fired[get]
+            if err.ref == probe.id:
+                return sim.now - t0
+            # stale echo from an earlier probe: keep waiting
+    finally:
+        sock.close()
+        stack.icmp_taps.remove(tap)
+
+
+def rtt_curve(stack, dst: str, sizes, port: int = 33434, gap: float = 0.01,
+              timeout: float = 2.0):
+    """RTT for each payload size in ``sizes``; returns ``[(size, rtt)]``
+    with lost probes omitted.  This regenerates thesis Figs 3.3–3.6."""
+    results = []
+    for size in sizes:
+        rtt = yield from measure_rtt(stack, dst, size, port=port, timeout=timeout)
+        if rtt is not None:
+            results.append((size, rtt))
+        yield stack.sim.timeout(gap)
+    return results
+
+
+@dataclass
+class BandwidthEstimate:
+    """Outcome of a multi-sample one-way-UDP-stream estimate."""
+
+    samples_bps: list[float] = field(default_factory=list)
+    delay_s: Optional[float] = None  # min RTT of the small probe
+    lost: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.samples_bps)
+
+    @property
+    def min_bps(self) -> float:
+        return min(self.samples_bps)
+
+    @property
+    def max_bps(self) -> float:
+        return max(self.samples_bps)
+
+    @property
+    def avg_bps(self) -> float:
+        return sum(self.samples_bps) / len(self.samples_bps)
+
+
+def estimate_bandwidth(stack, dst: str, s1: int = 1600, s2: int = 2900,
+                       samples: int = 4, reps: int = 3, port: int = 33434,
+                       gap: float = 0.05, timeout: float = 2.0):
+    """One-way UDP *stream* estimate of available bandwidth (Eq. 3.5).
+
+    Per sample, a short stream of ``reps`` probes is sent at each size and
+    the **minimum** delay per size is kept — min-filtering rejects transient
+    cross-traffic queueing, which is what makes the method a *stream*
+    method rather than a fragile single-packet-pair (the thesis' critique
+    of pipechar, §3.3.1).  Then ``B = 8(S2-S1)/(T2-T1)``.  Samples whose
+    delay difference is non-positive are discarded.
+    """
+    if s2 <= s1:
+        raise ValueError(f"need s2 > s1, got {s1} >= {s2}")
+    if reps <= 0:
+        raise ValueError(f"reps must be positive, got {reps}")
+    est = BandwidthEstimate()
+    sim = stack.sim
+
+    def min_rtt(size):
+        best = None
+        for _ in range(reps):
+            rtt = yield from measure_rtt(stack, dst, size, port=port, timeout=timeout)
+            if rtt is not None and (best is None or rtt < best):
+                best = rtt
+            yield sim.timeout(gap / reps)
+        return best
+
+    for _ in range(samples):
+        t1 = yield from min_rtt(s1)
+        t2 = yield from min_rtt(s2)
+        if t1 is None or t2 is None:
+            est.lost += 1
+            continue
+        if est.delay_s is None or t1 < est.delay_s:
+            est.delay_s = t1
+        dt = t2 - t1
+        if dt <= 0:
+            est.lost += 1
+            continue
+        est.samples_bps.append((s2 - s1) * 8.0 / dt)
+    return est
+
+
+def pipechar_estimate(stack, dst: str, size: int = 1500, pairs: int = 4,
+                      port: int = 33434, timeout: float = 2.0):
+    """Packet-pair dispersion (pipechar's core idea, §2.1).
+
+    Two equal, back-to-back probes; the echo-time gap estimates the
+    bottleneck serialisation of one probe: ``C = 8*size/gap``.  Highly
+    sensitive to delay fluctuation — exactly the weakness the thesis
+    observed on loaded paths.
+    """
+    sim = stack.sim
+    sock = stack.udp_socket()
+    tap = stack.icmp_tap()
+    estimates = []
+    try:
+        for _ in range(pairs):
+            p1 = sock.sendto(dst, port, size=size)
+            p2 = sock.sendto(dst, port, size=size)
+            echoes: dict[int, float] = {}
+            deadline = sim.timeout(timeout)
+            while len(echoes) < 2:
+                get = tap.get()
+                fired = yield sim.any_of([get, deadline])
+                if get not in fired:
+                    break
+                err = fired[get]
+                if err.ref in (p1.id, p2.id):
+                    echoes[err.ref] = sim.now
+            if len(echoes) == 2:
+                gap = echoes[p2.id] - echoes[p1.id]
+                if gap > 0:
+                    estimates.append((size + 28) * 8.0 / gap)
+            yield sim.timeout(0.05)
+    finally:
+        sock.close()
+        stack.icmp_taps.remove(tap)
+    if not estimates:
+        return None
+    estimates.sort()
+    return estimates[len(estimates) // 2]  # median
+
+
+def pathload_estimate(stack, dst: str, lo_bps: float = 1e6, hi_bps: float = 200e6,
+                      stream_len: int = 12, size: int = 1200,
+                      iterations: int = 8, port: int = 33434):
+    """SLoPS-style search (pathload's idea, §2.1 / §3.3.1).
+
+    For a candidate rate R, send a constant-rate stream and test whether
+    the one-way delays (approximated by ICMP RTTs) trend upward — if so the
+    path queue is building and R exceeds the available bandwidth.  Binary
+    search converges on the crossing point.
+    """
+    sim = stack.sim
+    sock = stack.udp_socket()
+    tap = stack.icmp_tap()
+
+    def stream_trend(rate_bps):
+        spacing = size * 8.0 / rate_bps
+        sent = {}
+        rtts = []
+        for _ in range(stream_len):
+            probe = sock.sendto(dst, port, size=size)
+            sent[probe.id] = sim.now
+            yield sim.timeout(spacing)
+        deadline = sim.timeout(2.0)
+        got = 0
+        while got < stream_len:
+            get = tap.get()
+            fired = yield sim.any_of([get, deadline])
+            if get not in fired:
+                break
+            err = fired[get]
+            if err.ref in sent:
+                rtts.append(sim.now - sent.pop(err.ref))
+                got += 1
+        if len(rtts) < stream_len // 2:
+            return True  # heavy loss: treat as over-rate
+        half = len(rtts) // 2
+        early = sum(rtts[:half]) / half
+        late = sum(rtts[half:]) / (len(rtts) - half)
+        return late > early * 1.05  # >5 % delay growth = queue building
+
+    try:
+        lo, hi = lo_bps, hi_bps
+        for _ in range(iterations):
+            mid = math.sqrt(lo * hi)  # geometric: rates span decades
+            rising = yield from stream_trend(mid)
+            if rising:
+                hi = mid
+            else:
+                lo = mid
+            yield sim.timeout(0.1)
+        return (lo, hi)
+    finally:
+        sock.close()
+        stack.icmp_taps.remove(tap)
+
+
+# ---------------------------------------------------------------------------
+# the daemon
+# ---------------------------------------------------------------------------
+
+class NetworkMonitor:
+    """Per-group daemon probing peer monitors (thesis §3.3.3, Fig 3.8)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stack,
+        shm: SharedMemory,
+        group: str,
+        config: Config = DEFAULT_CONFIG,
+    ):
+        self.sim = sim
+        self.stack = stack
+        self.shm = shm
+        self.group = group
+        self.config = config
+        self.segment_key = config.shm.monitor_network
+        #: peer group name -> monitor address
+        self.peers: dict[str, str] = {}
+        self._proc = None
+        self.probes_done = 0
+        self.probe_bytes = 0
+        self.shm.segment(self.segment_key).write(
+            {group: NetStatusRecord(group=group)}
+        )
+
+    def add_peer(self, group: str, addr: str) -> None:
+        if group == self.group:
+            raise ValueError("a monitor does not probe its own group")
+        self.peers[group] = addr
+
+    def start(self) -> None:
+        self._proc = self.sim.process(self._run(), name=f"netmon-{self.group}")
+
+    def stop(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("stop")
+
+    def table(self) -> NetStatusRecord:
+        db = self.shm.segment(self.segment_key).read() or {}
+        return db.get(self.group, NetStatusRecord(group=self.group))
+
+    def _run(self):
+        cfg = self.config
+        s1, s2 = cfg.netmon_sizes
+        try:
+            while True:
+                # sequential probing, one peer after another (thesis §3.3.3)
+                for group, addr in list(self.peers.items()):
+                    est = yield from estimate_bandwidth(
+                        self.stack, addr, s1=s1, s2=s2,
+                        samples=cfg.netmon_samples,
+                        port=cfg.ports.probe_target,
+                        timeout=cfg.netmon_timeout,
+                    )
+                    if est.ok and est.delay_s is not None:
+                        metric = NetMetric(
+                            delay_ms=est.delay_s * 1e3 / 2,  # one-way ≈ RTT/2
+                            bw_mbps=est.avg_bps / 1e6,
+                        )
+                        yield from self._publish(group, metric)
+                    self.probes_done += 1
+                    # per sample: 3 reps of each size + the ICMP echoes
+                    self.probe_bytes += cfg.netmon_samples * 3 * (s1 + s2 + 2 * 84)
+                yield self.sim.timeout(cfg.netmon_interval)
+        except Interrupt:
+            pass
+
+    def _publish(self, peer_group: str, metric: NetMetric):
+        seg = self.shm.segment(self.segment_key)
+        yield seg.lock.acquire()
+        try:
+            db = dict(seg.read() or {})
+            rec = db.get(self.group) or NetStatusRecord(group=self.group)
+            rec.metrics = dict(rec.metrics)
+            rec.metrics[peer_group] = metric
+            rec.updated_at = self.sim.now
+            db[self.group] = rec
+            seg.write(db)
+        finally:
+            seg.lock.release()

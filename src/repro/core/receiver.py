@@ -1,0 +1,163 @@
+"""Receiver: reconstructs the status databases on the wizard machine
+(thesis §3.5.2).
+
+Incoming ``[type, size, data]`` messages are written into the wizard-side
+shared-memory segments (keys 4321/5321/6321, Table 4.3) so the wizard "can
+directly use the contents as if they were generated locally".  Because one
+wizard may serve several server groups, each with its own transmitter, the
+receiver merges per-source snapshots: a new sysdb from group A replaces
+only A's previous contribution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..net.tcp import ConnectError, ConnectionClosed
+from ..sim import Interrupt, SharedMemory, Simulator
+from .config import Config, DEFAULT_CONFIG
+from .records import MSG_NETDB, MSG_SECDB, MSG_SYSDB, WireMessage
+
+__all__ = ["Receiver"]
+
+#: resident size, thesis Table 5.2: the receiver "requires much more memory
+#: space, because it maintains the status reports" — 92 KB
+RESIDENT_BYTES = 92 * 1024
+
+
+class Receiver:
+    """Daemon on the wizard machine."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stack,
+        shm: SharedMemory,
+        config: Config = DEFAULT_CONFIG,
+    ):
+        self.sim = sim
+        self.stack = stack
+        self.shm = shm
+        self.config = config
+        #: distributed mode: transmitter addresses to pull from
+        self.transmitters: list[str] = []
+        self._pull_conns: dict[str, object] = {}
+        self._listener_proc = None
+        self._sessions = []
+        #: per-source contributions: src addr -> {msg_type: data}
+        self._sources: dict[str, dict[int, dict]] = {}
+        self.messages_received = 0
+        for key in (config.shm.wizard_system, config.shm.wizard_network,
+                    config.shm.wizard_security):
+            self.shm.segment(key).write({})
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> None:
+        """Centralized mode: accept transmitter connections and apply pushes."""
+        self._listener_proc = self.sim.process(self._listen(), name="receiver-listen")
+
+    def stop(self) -> None:
+        if self._listener_proc is not None and self._listener_proc.is_alive:
+            self._listener_proc.interrupt("stop")
+        for proc in self._sessions:
+            if proc.is_alive:
+                proc.interrupt("stop")
+
+    def add_transmitter(self, addr: str) -> None:
+        """Distributed mode: register a transmitter to pull from."""
+        if addr not in self.transmitters:
+            self.transmitters.append(addr)
+
+    # -- data access -------------------------------------------------------------
+    def _segment_key(self, msg_type: int) -> int:
+        return {
+            MSG_SYSDB: self.config.shm.wizard_system,
+            MSG_NETDB: self.config.shm.wizard_network,
+            MSG_SECDB: self.config.shm.wizard_security,
+        }[msg_type]
+
+    def database(self, msg_type: int) -> dict:
+        return dict(self.shm.segment(self._segment_key(msg_type)).read() or {})
+
+    # -- merging ---------------------------------------------------------------
+    def _apply(self, src: str, msg_type: int, data: dict):
+        """Process generator: merge one snapshot into shared memory."""
+        per_src = self._sources.setdefault(src, {})
+        per_src[msg_type] = dict(data)
+        merged: dict = {}
+        for contrib in self._sources.values():
+            merged.update(contrib.get(msg_type, {}))
+        seg = self.shm.segment(self._segment_key(msg_type))
+        yield seg.lock.acquire()
+        try:
+            seg.write(merged)
+        finally:
+            seg.lock.release()
+        self.messages_received += 1
+
+    # -- centralized: accept pushes --------------------------------------------------
+    def _listen(self):
+        listener = self.stack.tcp.listen(self.config.ports.receiver)
+        try:
+            while True:
+                conn = yield listener.accept()
+                proc = self.sim.process(self._session(conn), name="receiver-session")
+                self._sessions.append(proc)
+        except Interrupt:
+            listener.close()
+
+    def _session(self, conn):
+        expected_type: Optional[int] = None
+        try:
+            while True:
+                try:
+                    payload, _ = yield conn.recv()
+                except ConnectionClosed:
+                    return
+                kind = payload[0]
+                if kind == "hdr":
+                    # [type, size] header: the receiver would allocate the
+                    # buffer here; we remember what body to expect
+                    expected_type = payload[1]
+                elif kind == "body":
+                    _, msg_type, data = payload
+                    if expected_type is not None and msg_type != expected_type:
+                        continue  # out-of-protocol; skip
+                    expected_type = None
+                    if msg_type in (MSG_SYSDB, MSG_NETDB, MSG_SECDB):
+                        yield from self._apply(conn.remote_addr, msg_type, data)
+        except Interrupt:
+            conn.close()
+
+    # -- distributed: pull on demand ---------------------------------------------------
+    def pull_all(self):
+        """Process generator: request fresh snapshots from every registered
+        transmitter (invoked by the wizard per user request, §3.5.2)."""
+        for addr in self.transmitters:
+            conn = self._pull_conns.get(addr)
+            if conn is None or conn.peer_closed:
+                try:
+                    conn = yield from self.stack.tcp.connect(
+                        addr, self.config.ports.transmitter
+                    )
+                except ConnectError:
+                    continue
+                self._pull_conns[addr] = conn
+            conn.send(WireMessage.pull(), 8)
+            pending = 3  # sysdb, netdb, secdb
+            expected_type: Optional[int] = None
+            while pending > 0:
+                try:
+                    payload, _ = yield conn.recv()
+                except ConnectionClosed:
+                    self._pull_conns.pop(addr, None)
+                    break
+                kind = payload[0]
+                if kind == "hdr":
+                    expected_type = payload[1]
+                elif kind == "body":
+                    _, msg_type, data = payload
+                    expected_type = None
+                    if msg_type in (MSG_SYSDB, MSG_NETDB, MSG_SECDB):
+                        yield from self._apply(addr, msg_type, data)
+                    pending -= 1

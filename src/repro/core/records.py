@@ -1,0 +1,201 @@
+"""Status records and their wire encodings.
+
+Two deliberately different encodings, as in the thesis:
+
+* **probe → system monitor** (§3.2.1): the report travels as an ASCII
+  ``key=value`` string (~200 bytes).  "Transmitting numbers as strings will
+  require larger memory than ... binary format.  However, the advantage is
+  that the probes can run on both ... Big Endian ... and Little Endian"
+  machines.
+* **transmitter → receiver** (§3.5.1): records cross in *binary*
+  ``[type, size, data]`` messages because a monitor may handle many servers
+  and "binary to ASCII conversion is resource consuming".  The simulator
+  carries the Python objects but accounts the documented 204 bytes per
+  server record for sizing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..lang.variables import MONITOR_VARS, SERVER_SIDE_VARS
+
+__all__ = [
+    "ServerStatusReport",
+    "ServerStatusRecord",
+    "NetMetric",
+    "NetStatusRecord",
+    "SecurityRecord",
+    "WireMessage",
+    "MSG_SYSDB",
+    "MSG_NETDB",
+    "MSG_SECDB",
+    "MSG_PULL",
+    "SERVER_RECORD_BYTES",
+]
+
+#: thesis §5.2: "Each probe message will be parsed into a server status
+#: structure, which is 204 bytes long."
+SERVER_RECORD_BYTES = 204
+
+MSG_SYSDB = 1
+MSG_NETDB = 2
+MSG_SECDB = 3
+MSG_PULL = 4  # distributed-mode snapshot request
+
+
+@dataclass
+class ServerStatusReport:
+    """One probe scan, as sent over UDP by the server probe.
+
+    ``values`` holds the 22 server-side variables keyed by their
+    requirement-language names (units documented in
+    :mod:`repro.lang.variables`).
+    """
+
+    host: str           # hostname
+    addr: str           # primary address
+    group: str          # server-group / network-monitor domain
+    values: dict[str, float] = field(default_factory=dict)
+    #: §6 extension: string-valued attributes ("machine_type=i386")
+    extras: dict[str, str] = field(default_factory=dict)
+
+    def to_wire(self) -> str:
+        """ASCII encoding: ``host|addr|group|k=v ...[|k=s ...]``."""
+        pairs = " ".join(
+            f"{k}={_fmt_number(self.values[k])}" for k in sorted(self.values)
+        )
+        wire = f"{self.host}|{self.addr}|{self.group}|{pairs}"
+        if self.extras:
+            spairs = " ".join(f"{k}={self.extras[k]}" for k in sorted(self.extras))
+            wire += f"|{spairs}"
+        return wire
+
+    @classmethod
+    def from_wire(cls, text: str) -> "ServerStatusReport":
+        parts = text.split("|")
+        if len(parts) not in (4, 5):
+            raise ValueError(f"malformed probe report: {text[:80]!r}")
+        host, addr, group, rest = parts[:4]
+        values: dict[str, float] = {}
+        for pair in rest.split():
+            key, sep, raw = pair.partition("=")
+            if not sep or not key:
+                raise ValueError(f"malformed pair {pair!r} in probe report")
+            values[key] = float(raw)
+        extras: dict[str, str] = {}
+        if len(parts) == 5:
+            for pair in parts[4].split():
+                key, sep, raw = pair.partition("=")
+                if not sep or not key:
+                    raise ValueError(f"malformed string pair {pair!r}")
+                extras[key] = raw
+        return cls(host=host, addr=addr, group=group, values=values,
+                   extras=extras)
+
+    @property
+    def wire_bytes(self) -> int:
+        return len(self.to_wire())
+
+
+def _fmt_number(x: float) -> str:
+    """Compact numeric formatting (integers stay integral)."""
+    if x == int(x) and abs(x) < 1e15:
+        return str(int(x))
+    return f"{x:.6g}"
+
+
+@dataclass
+class ServerStatusRecord:
+    """Monitor-side record: a report plus its arrival timestamp (Fig 3.10)."""
+
+    report: ServerStatusReport
+    updated_at: float
+
+    @property
+    def addr(self) -> str:
+        return self.report.addr
+
+    @property
+    def host(self) -> str:
+        return self.report.host
+
+    def age(self, now: float) -> float:
+        return now - self.updated_at
+
+
+@dataclass(frozen=True)
+class NetMetric:
+    """One (delay, bandwidth) measurement between two server groups."""
+
+    delay_ms: float
+    bw_mbps: float
+
+
+@dataclass
+class NetStatusRecord:
+    """Network monitor table: metrics from ``group`` to each peer group
+    (thesis Table 3.4)."""
+
+    group: str
+    metrics: dict[str, NetMetric] = field(default_factory=dict)
+    updated_at: float = 0.0
+
+
+@dataclass
+class SecurityRecord:
+    """Security monitor entry: clearance level of one host (§3.4.1)."""
+
+    host: str
+    level: int
+    updated_at: float = 0.0
+
+
+@dataclass
+class WireMessage:
+    """Binary ``[type, size, data]`` frame between transmitter and receiver.
+
+    ``size`` is the *accounted* byte size used for network timing; ``data``
+    is the live Python object (the simulator's stand-in for the memcpy'd
+    struct array — legitimate because both ends are declared to share
+    architecture, §3.5.1).
+    """
+
+    type: int
+    size: int
+    data: Any
+
+    def __post_init__(self) -> None:
+        if self.type not in (MSG_SYSDB, MSG_NETDB, MSG_SECDB, MSG_PULL):
+            raise ValueError(f"unknown message type {self.type}")
+        if self.size < 0:
+            raise ValueError(f"negative size {self.size}")
+
+    @staticmethod
+    def sysdb(records: dict[str, ServerStatusRecord]) -> "WireMessage":
+        return WireMessage(MSG_SYSDB, SERVER_RECORD_BYTES * len(records), records)
+
+    @staticmethod
+    def netdb(records: dict[str, NetStatusRecord]) -> "WireMessage":
+        n_pairs = sum(len(r.metrics) for r in records.values())
+        return WireMessage(MSG_NETDB, 32 * max(1, n_pairs), records)
+
+    @staticmethod
+    def secdb(records: dict[str, SecurityRecord]) -> "WireMessage":
+        return WireMessage(MSG_SECDB, 24 * max(1, len(records)), records)
+
+    @staticmethod
+    def pull() -> "WireMessage":
+        return WireMessage(MSG_PULL, 8, None)
+
+
+# sanity: the requirement language and the reports must agree on names
+_KNOWN = set(SERVER_SIDE_VARS) | set(MONITOR_VARS)
+
+
+def validate_report_keys(report: ServerStatusReport) -> None:
+    """Raise if a report carries keys the language does not define."""
+    unknown = set(report.values) - _KNOWN
+    if unknown:
+        raise ValueError(f"report from {report.host} has unknown keys: {sorted(unknown)}")

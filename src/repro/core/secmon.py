@@ -1,0 +1,148 @@
+"""Security monitor (thesis §3.4).
+
+"In the current implementation ... the security monitor reads the security
+records from a dummy security log.  The log file contains the server names
+and the correspondingly security levels."  The framework is deliberately
+open: any *source* implementing :class:`SecuritySource` can be plugged in —
+the thesis imagines Cisco-NAC-style trust agents feeding it.
+
+Two sources ship here:
+
+* :class:`DummySecurityLog` — the thesis' literal design: a text log of
+  ``host level`` lines re-read every interval;
+* :class:`FingerprintScanner` — an nmap-flavoured extension that "scans"
+  simulated hosts and derives a level from the advertised OS string,
+  standing in for the fingerprint-database probing of §3.4.2.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol
+
+from ..sim import Interrupt, SharedMemory, Simulator
+from .config import Config, DEFAULT_CONFIG
+from .records import SecurityRecord
+
+__all__ = [
+    "SecuritySource",
+    "DummySecurityLog",
+    "FingerprintScanner",
+    "SecurityMonitor",
+]
+
+
+class SecuritySource(Protocol):
+    """Anything that can produce (host, level) pairs."""
+
+    def collect(self) -> Iterable[tuple[str, int]]: ...
+
+
+class DummySecurityLog:
+    """The thesis' dummy log: ``hostname level`` per line, '#' comments."""
+
+    def __init__(self, text: str = ""):
+        self.text = text
+
+    def set_text(self, text: str) -> None:
+        self.text = text
+
+    def collect(self) -> list[tuple[str, int]]:
+        entries = []
+        for lineno, line in enumerate(self.text.splitlines(), 1):
+            line = line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise ValueError(f"malformed security log line {lineno}: {line!r}")
+            entries.append((parts[0], int(parts[1])))
+        return entries
+
+
+class FingerprintScanner:
+    """nmap-style OS fingerprinting over the simulated cluster (extension).
+
+    Maps advertised OS strings to clearance levels through a fingerprint
+    table, defaulting unknown systems to level 0 (untrusted).
+    """
+
+    #: substring of the advertised OS string -> clearance level
+    DEFAULT_FINGERPRINTS = {
+        "2.4": 2,     # patched 2.4-series kernels (the testbed's fleet)
+        "2.6": 3,     # newer kernel, assumed better hardened
+        "Windows": 1,
+    }
+
+    def __init__(self, machines, fingerprints=None):
+        self.machines = list(machines)
+        self.fingerprints = dict(fingerprints or self.DEFAULT_FINGERPRINTS)
+
+    def collect(self) -> list[tuple[str, int]]:
+        out = []
+        for machine in self.machines:
+            level = 0
+            for needle, lvl in self.fingerprints.items():
+                if needle in machine.os_name:
+                    level = max(level, lvl)
+            out.append((machine.name, level))
+        return out
+
+
+class SecurityMonitor:
+    """Daemon publishing host security levels to shared memory (key 1236)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        shm: SharedMemory,
+        source: SecuritySource,
+        config: Config = DEFAULT_CONFIG,
+        interval: float = 10.0,
+    ):
+        self.sim = sim
+        self.shm = shm
+        self.source = source
+        self.config = config
+        self.interval = interval
+        self.segment_key = config.shm.monitor_security
+        self._proc = None
+        self.scans = 0
+        self.errors = 0
+        self.shm.segment(self.segment_key).write({})
+
+    def start(self) -> None:
+        self._proc = self.sim.process(self._run(), name="secmon")
+
+    def stop(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("stop")
+
+    def database(self) -> dict[str, SecurityRecord]:
+        return dict(self.shm.segment(self.segment_key).read() or {})
+
+    def refresh(self):
+        """One collection pass (process generator)."""
+        try:
+            entries = list(self.source.collect())
+        except (ValueError, TypeError):
+            self.errors += 1
+            return
+        seg = self.shm.segment(self.segment_key)
+        yield seg.lock.acquire()
+        try:
+            db = {
+                host: SecurityRecord(host=host, level=level, updated_at=self.sim.now)
+                for host, level in entries
+            }
+            seg.write(db)
+            self.scans += 1
+        finally:
+            seg.lock.release()
+
+    def _run(self):
+        try:
+            while True:
+                yield from self.refresh()
+                yield self.sim.timeout(self.interval)
+        except Interrupt:
+            pass

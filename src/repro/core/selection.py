@@ -1,0 +1,68 @@
+"""Server-selection strategies: the smart path and the paper's baselines.
+
+The evaluation chapters compare the Smart library against *random* server
+selection ("In the conventional socket library, users have to randomly
+select servers", §5.3.2); §3.3.3 also names blind *round-robin* as the
+classic technique.  All three share one interface so experiments can swap
+them freely.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Protocol, Sequence
+
+__all__ = ["Selector", "RandomSelector", "RoundRobinSelector", "StaticSelector"]
+
+
+class Selector(Protocol):
+    """Pick ``n`` servers from a pool."""
+
+    def select(self, n: int) -> list[str]: ...
+
+
+class RandomSelector:
+    """Uniform random choice without replacement (the paper's comparator)."""
+
+    def __init__(self, pool: Sequence[str], rng: Optional[random.Random] = None):
+        if not pool:
+            raise ValueError("empty server pool")
+        self.pool = list(pool)
+        self.rng = rng or random.Random(42)
+
+    def select(self, n: int) -> list[str]:
+        if n > len(self.pool):
+            raise ValueError(f"asked for {n} servers from a pool of {len(self.pool)}")
+        return self.rng.sample(self.pool, n)
+
+
+class RoundRobinSelector:
+    """Cycle through the pool — the classic dispatcher baseline (§3.3.3)."""
+
+    def __init__(self, pool: Sequence[str]):
+        if not pool:
+            raise ValueError("empty server pool")
+        self.pool = list(pool)
+        self._cursor = 0
+
+    def select(self, n: int) -> list[str]:
+        if n > len(self.pool):
+            raise ValueError(f"asked for {n} servers from a pool of {len(self.pool)}")
+        picked = []
+        for _ in range(n):
+            picked.append(self.pool[self._cursor % len(self.pool)])
+            self._cursor += 1
+        return picked
+
+
+class StaticSelector:
+    """A fixed, hand-written server list — the "static configuration
+    statements manually prepared" the thesis' summary criticises."""
+
+    def __init__(self, servers: Sequence[str]):
+        self.servers = list(servers)
+
+    def select(self, n: int) -> list[str]:
+        if n > len(self.servers):
+            raise ValueError(f"static list has only {len(self.servers)} servers")
+        return self.servers[:n]

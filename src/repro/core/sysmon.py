@@ -1,0 +1,148 @@
+"""System status monitor (thesis §3.2.2).
+
+Receives ASCII probe reports over UDP, parses them into
+:class:`~repro.core.records.ServerStatusRecord`\\ s and maintains the server
+status database in a keyed shared-memory segment (key 1234) under a
+semaphore, exactly like the paper's monitor machine.  A reaper process
+expires records whose probe has missed ``probe_miss_limit`` consecutive
+intervals — this is how servers leave (and later rejoin) the pool.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim import Interrupt, SharedMemory, Simulator
+from .config import Config, DEFAULT_CONFIG
+from .records import ServerStatusRecord, ServerStatusReport
+
+__all__ = ["SystemMonitor"]
+
+
+class SystemMonitor:
+    """Daemon on the monitor machine collecting probe reports."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stack,
+        shm: SharedMemory,
+        config: Config = DEFAULT_CONFIG,
+    ):
+        self.sim = sim
+        self.stack = stack
+        self.shm = shm
+        self.config = config
+        self.segment_key = config.shm.monitor_system
+        self._listener = None
+        self._tcp_listener = None
+        self._tcp_sessions: list = []
+        self._reaper = None
+        self.reports_received = 0
+        self.tcp_reports_received = 0
+        self.parse_errors = 0
+        self.expired = 0
+        # initialise the segment with an empty database
+        self.shm.segment(self.segment_key).write({})
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> None:
+        sock = self.stack.udp_socket(self.config.ports.system_monitor)
+        self._listener = self.sim.process(self._listen(sock), name="sysmon-listen")
+        # thesis §6 "UDP vs TCP": long reports on congested networks should
+        # switch to TCP — the monitor accepts both on the same port number
+        self._tcp_listener = self.sim.process(
+            self._listen_tcp(), name="sysmon-listen-tcp"
+        )
+        self._reaper = self.sim.process(self._reap(), name="sysmon-reap")
+
+    def stop(self) -> None:
+        for proc in (self._listener, self._tcp_listener, self._reaper,
+                     *self._tcp_sessions):
+            if proc is not None and proc.is_alive:
+                proc.interrupt("stop")
+
+    # -- data access -------------------------------------------------------------
+    def database(self) -> dict[str, ServerStatusRecord]:
+        """Snapshot of the server status DB (addr -> record)."""
+        return dict(self.shm.segment(self.segment_key).read() or {})
+
+    # -- daemons ---------------------------------------------------------------
+    def _listen(self, sock):
+        try:
+            while True:
+                dgram = yield sock.recv()
+                try:
+                    report = ServerStatusReport.from_wire(dgram.payload)
+                except (ValueError, TypeError):
+                    self.parse_errors += 1
+                    continue
+                self.reports_received += 1
+                yield from self._upsert(report)
+        except Interrupt:
+            pass
+
+    def _listen_tcp(self):
+        from ..net.tcp import ConnectionClosed
+
+        listener = self.stack.tcp.listen(self.config.ports.system_monitor)
+        try:
+            while True:
+                conn = yield listener.accept()
+                proc = self.sim.process(
+                    self._tcp_session(conn), name="sysmon-tcp-session"
+                )
+                self._tcp_sessions.append(proc)
+        except Interrupt:
+            listener.close()
+
+    def _tcp_session(self, conn):
+        from ..net.tcp import ConnectionClosed
+
+        try:
+            while True:
+                try:
+                    payload, _ = yield conn.recv()
+                except ConnectionClosed:
+                    return
+                try:
+                    report = ServerStatusReport.from_wire(payload)
+                except (ValueError, TypeError):
+                    self.parse_errors += 1
+                    continue
+                self.reports_received += 1
+                self.tcp_reports_received += 1
+                yield from self._upsert(report)
+        except Interrupt:
+            conn.close()
+
+    def _upsert(self, report: ServerStatusReport):
+        seg = self.shm.segment(self.segment_key)
+        yield seg.lock.acquire()
+        try:
+            db = dict(seg.read() or {})
+            db[report.addr] = ServerStatusRecord(report=report, updated_at=self.sim.now)
+            seg.write(db)
+        finally:
+            seg.lock.release()
+
+    def _reap(self):
+        interval = self.config.probe_interval
+        limit = self.config.probe_miss_limit * interval
+        seg = self.shm.segment(self.segment_key)
+        try:
+            while True:
+                yield self.sim.timeout(interval)
+                yield seg.lock.acquire()
+                try:
+                    db = dict(seg.read() or {})
+                    stale = [a for a, rec in db.items() if rec.age(self.sim.now) > limit]
+                    for addr in stale:
+                        del db[addr]
+                        self.expired += 1
+                    if stale:
+                        seg.write(db)
+                finally:
+                    seg.lock.release()
+        except Interrupt:
+            pass

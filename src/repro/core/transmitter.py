@@ -1,0 +1,138 @@
+"""Transmitter: ships the three status databases to the wizard machine
+(thesis §3.5.1).
+
+Records cross in binary ``[type, size, data]`` messages over TCP.  Two
+behaviours:
+
+* **centralized** — actively pushes a snapshot of the three shared-memory
+  segments to the receiver every interval over a persistent connection;
+* **distributed** — passive: listens on its own port and answers each
+  ``MSG_PULL`` with a fresh snapshot, so status only crosses the (wide
+  area) network when a wizard actually needs it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..net.tcp import ConnectError, ConnectionClosed
+from ..sim import Interrupt, SharedMemory, Simulator
+from .config import Config, DEFAULT_CONFIG, Mode
+from .records import MSG_PULL, WireMessage
+
+__all__ = ["Transmitter"]
+
+
+class Transmitter:
+    """Daemon on the monitor machine."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stack,
+        shm: SharedMemory,
+        receiver_addr: Optional[str] = None,
+        config: Config = DEFAULT_CONFIG,
+        mode: Optional[str] = None,
+    ):
+        self.sim = sim
+        self.stack = stack
+        self.shm = shm
+        self.receiver_addr = receiver_addr
+        self.config = config
+        self.mode = mode or config.mode
+        if self.mode == Mode.CENTRALIZED and receiver_addr is None:
+            raise ValueError("centralized transmitter needs a receiver address")
+        self._proc = None
+        self.snapshots_sent = 0
+        self.bytes_sent = 0
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> None:
+        if self.mode == Mode.CENTRALIZED:
+            self._proc = self.sim.process(self._push_loop(), name="transmitter-push")
+        else:
+            self._proc = self.sim.process(self._serve_pulls(), name="transmitter-serve")
+
+    def stop(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("stop")
+
+    # -- snapshotting ------------------------------------------------------------
+    def snapshot(self):
+        """Process generator: read the 3 segments under their semaphores and
+        return the corresponding wire messages."""
+        keys = self.config.shm
+        messages = []
+        for key, builder in (
+            (keys.monitor_system, WireMessage.sysdb),
+            (keys.monitor_network, WireMessage.netdb),
+            (keys.monitor_security, WireMessage.secdb),
+        ):
+            seg = self.shm.segment(key)
+            yield seg.lock.acquire()
+            try:
+                data = seg.read() or {}
+            finally:
+                seg.lock.release()
+            messages.append(builder(dict(data)))
+        return messages
+
+    def _send_messages(self, conn, messages) -> None:
+        for msg in messages:
+            # [type, size] header first, then the binary body — the header
+            # is what lets the receiver size its buffer (thesis §3.5.1)
+            conn.send(("hdr", msg.type, msg.size), 8)
+            conn.send(("body", msg.type, msg.data), max(1, msg.size))
+            self.bytes_sent += 8 + max(1, msg.size)
+
+    # -- centralized push ----------------------------------------------------------
+    def _push_loop(self):
+        conn = None
+        try:
+            while True:
+                if conn is None or conn.peer_closed:
+                    try:
+                        conn = yield from self.stack.tcp.connect(
+                            self.receiver_addr, self.config.ports.receiver
+                        )
+                    except ConnectError:
+                        yield self.sim.timeout(self.config.transmit_interval)
+                        continue
+                messages = yield from self.snapshot()
+                self._send_messages(conn, messages)
+                self.snapshots_sent += 1
+                yield self.sim.timeout(self.config.transmit_interval)
+        except Interrupt:
+            if conn is not None:
+                conn.close()
+
+    # -- distributed serve -----------------------------------------------------------
+    def _serve_pulls(self):
+        listener = self.stack.tcp.listen(self.config.ports.transmitter)
+        sessions = []
+        try:
+            while True:
+                conn = yield listener.accept()
+                sessions.append(
+                    self.sim.process(self._session(conn), name="transmitter-session")
+                )
+        except Interrupt:
+            listener.close()
+            for proc in sessions:
+                if proc.is_alive:
+                    proc.interrupt("stop")
+
+    def _session(self, conn):
+        try:
+            while True:
+                try:
+                    payload, _ = yield conn.recv()
+                except ConnectionClosed:
+                    return
+                if isinstance(payload, WireMessage) and payload.type == MSG_PULL:
+                    messages = yield from self.snapshot()
+                    self._send_messages(conn, messages)
+                    self.snapshots_sent += 1
+        except Interrupt:
+            conn.close()

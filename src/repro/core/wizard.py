@@ -1,0 +1,283 @@
+"""The wizard: the user-request handler (thesis §3.6.1).
+
+A UDP daemon on port 1120 processing requests sequentially:
+
+1. receive ``[seq, server_num, option, request_detail]`` (Table 3.5);
+2. refresh the status structures — in *centralized* mode they are already
+   hot in shared memory; in *distributed* mode trigger the receiver to
+   pull fresh snapshots from every transmitter;
+3. lex + parse the requirement (with line-level error recovery), then
+   evaluate it against each server's status record; a server qualifies iff
+   every logical statement holds;
+4. apply the user-side slots: denied hosts are removed, preferred hosts
+   are moved to the front of the candidate list;
+5. reply ``[seq, server_num, server...]`` (Table 3.6) capped at 60 hosts.
+
+Options (the Table 3.5 ``Option`` field):
+
+* ``""``           — default;
+* ``"rank:<var>"`` or ``"rank:<var>:asc"`` — order candidates by a status
+  variable (thesis §6 wants "3 servers with largest memory": use
+  ``rank:host_memory_free``); descending unless ``:asc``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..lang import evaluate, parse
+from ..lang.errors import LangError
+from ..sim import Interrupt, SharedMemory, Simulator
+from .config import Config, DEFAULT_CONFIG, Mode
+from .records import (
+    MSG_NETDB,
+    MSG_SECDB,
+    MSG_SYSDB,
+    NetStatusRecord,
+    SecurityRecord,
+    ServerStatusRecord,
+)
+from .receiver import Receiver
+
+__all__ = ["Wizard", "WizardRequest", "WizardReply", "Candidate"]
+
+#: assumed metrics inside one group: "in the local area network, the
+#: bandwidth and delay is sufficient for most applications" (§3.3.3)
+LOCAL_DELAY_MS = 0.2
+LOCAL_BW_MBPS = 100.0
+
+
+@dataclass(frozen=True)
+class WizardRequest:
+    """Wire format of Table 3.5."""
+
+    seq: int
+    server_num: int
+    option: str
+    detail: str
+
+    @property
+    def wire_bytes(self) -> int:
+        return 12 + len(self.option) + len(self.detail)
+
+
+@dataclass(frozen=True)
+class WizardReply:
+    """Wire format of Table 3.6."""
+
+    seq: int
+    servers: tuple[str, ...]
+
+    @property
+    def server_num(self) -> int:
+        return len(self.servers)
+
+    @property
+    def wire_bytes(self) -> int:
+        return 8 + sum(len(s) + 1 for s in self.servers)
+
+
+@dataclass
+class Candidate:
+    """One qualified server with everything the ranking step needs."""
+
+    addr: str
+    host: str
+    params: dict[str, float] = field(default_factory=dict)
+    preferred: bool = False
+
+
+class Wizard:
+    """The request-handling daemon."""
+
+    #: resident size, thesis Table 5.2 (96 KB)
+    RESIDENT_BYTES = 96 * 1024
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stack,
+        shm: SharedMemory,
+        config: Config = DEFAULT_CONFIG,
+        mode: Optional[str] = None,
+        receiver: Optional[Receiver] = None,
+    ):
+        self.sim = sim
+        self.stack = stack
+        self.shm = shm
+        self.config = config
+        self.mode = mode or config.mode
+        self.receiver = receiver
+        if self.mode == Mode.DISTRIBUTED and receiver is None:
+            raise ValueError("distributed wizard needs its receiver to trigger pulls")
+        #: /24 prefix -> group name, for mapping request sources and servers
+        self.group_prefixes: dict[str, str] = {}
+        self.default_group = "default"
+        self._proc = None
+        self.requests_handled = 0
+        self.parse_failures = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+
+    # -- configuration ------------------------------------------------------
+    def register_group(self, prefix: str, group: str) -> None:
+        """Map a /24 prefix (e.g. ``192.168.3``) to a server-group name."""
+        self.group_prefixes[prefix] = group
+
+    def group_of(self, addr: str) -> str:
+        prefix = addr.rsplit(".", 1)[0]
+        return self.group_prefixes.get(prefix, self.default_group)
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> None:
+        sock = self.stack.udp_socket(self.config.ports.wizard)
+        self._proc = self.sim.process(self._serve(sock), name="wizard")
+
+    def stop(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("stop")
+
+    def _serve(self, sock):
+        try:
+            while True:
+                dgram = yield sock.recv()
+                if not isinstance(dgram.payload, WizardRequest):
+                    continue
+                request: WizardRequest = dgram.payload
+                self.bytes_in += request.wire_bytes
+                if self.mode == Mode.DISTRIBUTED:
+                    yield from self.receiver.pull_all()
+                reply = yield from self._process(request, client_addr=dgram.src)
+                sock.sendto(dgram.src, dgram.sport, size=reply.wire_bytes, payload=reply)
+                self.bytes_out += reply.wire_bytes
+                self.requests_handled += 1
+        except Interrupt:
+            pass
+
+    # -- databases ---------------------------------------------------------------
+    def _read_segment(self, key: int):
+        seg = self.shm.segment(key)
+        yield seg.lock.acquire()
+        try:
+            return dict(seg.read() or {})
+        finally:
+            seg.lock.release()
+
+    def databases(self):
+        """Process generator -> (sysdb, netdb, secdb) snapshots."""
+        shm_keys = self.config.shm
+        sysdb: dict[str, ServerStatusRecord] = yield from self._read_segment(
+            shm_keys.wizard_system
+        )
+        netdb: dict[str, NetStatusRecord] = yield from self._read_segment(
+            shm_keys.wizard_network
+        )
+        secdb: dict[str, SecurityRecord] = yield from self._read_segment(
+            shm_keys.wizard_security
+        )
+        return sysdb, netdb, secdb
+
+    # -- matching ------------------------------------------------------------------
+    def _process(self, request: WizardRequest, client_addr: str):
+        sysdb, netdb, secdb = yield from self.databases()
+        servers = self.match(request, client_addr, sysdb, netdb, secdb)
+        return WizardReply(seq=request.seq, servers=tuple(servers))
+
+    def match(
+        self,
+        request: WizardRequest,
+        client_addr: str,
+        sysdb: dict[str, ServerStatusRecord],
+        netdb: dict[str, NetStatusRecord],
+        secdb: dict[str, SecurityRecord],
+    ) -> list[str]:
+        """Pure matching logic (also unit-testable without the daemon)."""
+        try:
+            program = parse(request.detail, recover=True)
+        except LangError:
+            self.parse_failures += 1
+            return []
+        client_group = self.group_of(client_addr)
+        candidates: list[Candidate] = []
+        denied: set[str] = set()
+        preferred: list[str] = []
+        for addr in sorted(sysdb):  # scan networks sequentially (Fig 1.4)
+            record = sysdb[addr]
+            params = self._params_for(record, client_group, netdb, secdb)
+            result = evaluate(program, params)
+            if result.env is not None:
+                denied.update(result.env.denied_hosts())
+                for p in result.env.preferred_hosts():
+                    if p not in preferred:
+                        preferred.append(p)
+            if result.qualified:
+                candidates.append(
+                    Candidate(addr=addr, host=record.host, params=params)
+                )
+        # blacklist: match on hostname or address
+        candidates = [
+            c for c in candidates if c.host not in denied and c.addr not in denied
+        ]
+        # preference: stable partition, preferred first
+        for c in candidates:
+            c.preferred = c.host in preferred or c.addr in preferred
+        candidates.sort(key=lambda c: (not c.preferred,))
+        candidates = self._apply_option(request.option, candidates)
+        limit = min(request.server_num, self.config.max_reply_servers)
+        return [c.addr for c in candidates[:limit]]
+
+    def _params_for(
+        self,
+        record: ServerStatusRecord,
+        client_group: str,
+        netdb: dict[str, NetStatusRecord],
+        secdb: dict[str, SecurityRecord],
+    ) -> dict[str, float]:
+        params = dict(record.report.values)
+        params.update(record.report.extras)  # §6 string attributes
+        sec = secdb.get(record.host)
+        if sec is not None:
+            params["host_security_level"] = float(sec.level)
+        server_group = record.report.group
+        if server_group == client_group:
+            params["monitor_network_delay"] = LOCAL_DELAY_MS
+            params["monitor_network_bw"] = LOCAL_BW_MBPS
+        else:
+            # combine both probing directions conservatively: the usable
+            # bandwidth of the path is the minimum of what either group's
+            # monitor saw (an egress shaper on the server side is only
+            # visible to the server group's own outbound probes)
+            metrics = []
+            fwd_table = netdb.get(client_group)
+            if fwd_table is not None:
+                m = fwd_table.metrics.get(server_group)
+                if m is not None:
+                    metrics.append(m)
+            rev_table = netdb.get(server_group)
+            if rev_table is not None:
+                m = rev_table.metrics.get(client_group)
+                if m is not None:
+                    metrics.append(m)
+            if metrics:
+                params["monitor_network_delay"] = min(m.delay_ms for m in metrics)
+                params["monitor_network_bw"] = min(m.bw_mbps for m in metrics)
+            # else: leave undefined -> requirements on them evaluate false
+        return params
+
+    @staticmethod
+    def _apply_option(option: str, candidates: list[Candidate]) -> list[Candidate]:
+        option = (option or "").strip()
+        if option.startswith("rank:"):
+            parts = option.split(":")
+            var = parts[1] if len(parts) > 1 else ""
+            ascending = len(parts) > 2 and parts[2] == "asc"
+            if var:
+                missing = float("inf") if ascending else float("-inf")
+
+                def keyfn(c: Candidate):
+                    val = c.params.get(var, missing)
+                    return (not c.preferred, val if ascending else -val)
+
+                candidates = sorted(candidates, key=keyfn)
+        return candidates

@@ -1,0 +1,23 @@
+"""Host substrate: machines with CPUs, memory, disks and a synthetic /proc."""
+
+from .cpu import CPU, LoadAverage, USER_HZ
+from .disk import BLOCK_BYTES, Disk
+from .machine import Machine
+from .memory import Allocation, Memory, OutOfMemory
+from .procfs import ProcFS
+from .workload import PeriodicDiskLoad, SuperPiWorkload
+
+__all__ = [
+    "CPU",
+    "LoadAverage",
+    "USER_HZ",
+    "Disk",
+    "BLOCK_BYTES",
+    "Machine",
+    "Memory",
+    "Allocation",
+    "OutOfMemory",
+    "ProcFS",
+    "SuperPiWorkload",
+    "PeriodicDiskLoad",
+]

@@ -1,0 +1,109 @@
+"""Background workload generators — the simulator's ``SuperPI``.
+
+The thesis loads machines with *SuperPI* (parameter 25 → ~150 MB resident,
+CPU pinned, ``load_1`` ≥ 1; Table 4.1 / §5.3.1 experiment 4).  The
+:class:`SuperPiWorkload` reproduces those observables: it allocates the
+memory up front and keeps exactly one runnable CPU task until stopped.
+
+:class:`PeriodicDiskLoad` and :class:`NetworkChatter` exist for the
+IO-bound selection scenarios and for cross-traffic in the bandwidth
+experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim import Interrupt, Simulator
+from .machine import Machine
+
+__all__ = ["SuperPiWorkload", "PeriodicDiskLoad"]
+
+
+class SuperPiWorkload:
+    """CPU+memory hog with a SuperPI-flavoured parameterisation.
+
+    ``digits_param`` mirrors SuperPI's power-of-two parameter; the thesis
+    uses 25, which occupies ~150 MB.
+    """
+
+    #: bytes per unit of the SuperPI parameter (25 -> ~150 MB, per thesis)
+    BYTES_PER_PARAM = 6 << 20
+
+    def __init__(self, sim: Simulator, machine: Machine, digits_param: int = 25,
+                 burst_cpu_seconds: float = 0.5):
+        if digits_param <= 0:
+            raise ValueError(f"digits_param must be positive, got {digits_param}")
+        self.sim = sim
+        self.machine = machine
+        self.digits_param = digits_param
+        self.burst = burst_cpu_seconds
+        self.mem_bytes = digits_param * self.BYTES_PER_PARAM
+        self._alloc = None
+        self._proc = None
+        self.bursts_done = 0
+
+    @property
+    def running(self) -> bool:
+        return self._proc is not None and self._proc.is_alive
+
+    def start(self) -> None:
+        if self.running:
+            raise RuntimeError("workload already running")
+        # On machines with less RAM than the working set the real SuperPI
+        # pushes pages to swap; the memory model has no swap, so clamp the
+        # resident size to what physically fits (the observables that matter
+        # — load_1 >= 1, CPU pinned, memory pressure — are preserved).
+        mem = self.machine.memory
+        snap = mem.snapshot()
+        available = snap["free"] + snap["buffers"] + snap["cached"] - (8 << 20)
+        resident = max(1 << 20, min(self.mem_bytes, available))
+        self._alloc = mem.alloc(resident, owner="super_pi")
+        self._proc = self.sim.process(self._spin(), name=f"superpi@{self.machine.name}")
+
+    def stop(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("stop")
+
+    def _spin(self):
+        try:
+            while True:
+                yield self.machine.cpu.run(self.burst, name="super_pi")
+                self.bursts_done += 1
+        except Interrupt:
+            pass
+        finally:
+            if self._alloc is not None and self._alloc.live:
+                self.machine.memory.free(self._alloc)
+                self._alloc = None
+
+
+class PeriodicDiskLoad:
+    """Issues a disk write of ``nbytes`` every ``interval`` seconds."""
+
+    def __init__(self, sim: Simulator, machine: Machine, nbytes: int = 1 << 20,
+                 interval: float = 0.5, write: bool = True):
+        self.sim = sim
+        self.machine = machine
+        self.nbytes = nbytes
+        self.interval = interval
+        self.write = write
+        self._proc: Optional[object] = None
+
+    def start(self) -> None:
+        self._proc = self.sim.process(self._loop(), name=f"diskload@{self.machine.name}")
+
+    def stop(self) -> None:
+        if self._proc is not None and self._proc.is_alive:  # type: ignore[attr-defined]
+            self._proc.interrupt("stop")  # type: ignore[attr-defined]
+
+    def _loop(self):
+        try:
+            while True:
+                if self.write:
+                    yield self.machine.disk.write(self.nbytes)
+                else:
+                    yield self.machine.disk.read(self.nbytes)
+                yield self.sim.timeout(self.interval)
+        except Interrupt:
+            pass

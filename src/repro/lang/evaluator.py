@@ -1,0 +1,290 @@
+"""Evaluator for requirement programs — the wizard's matching core.
+
+Semantics follow thesis §3.6.1/Fig 4.2:
+
+* every line is a statement; a server **qualifies iff every logical
+  statement evaluates true**;
+* non-logical statements (assignments, arithmetic) run for their side
+  effects — defining temp variables and filling the user-side parameters
+  (``user_preferred_host*`` / ``user_denied_host*``);
+* an *undefined* variable inside a logical statement makes that statement
+  false (not an error);
+* runtime faults (division by zero, string arithmetic, unknown function)
+  mirror hoc's ``execerror``: the statement is recorded as an error and,
+  if it was logical, counts as unsatisfied.
+
+Values are floats or strings (NETADDR literals and hostnames).  A bare
+identifier assigned to a user-side slot is taken as a *hostname* — the
+thesis' own experiments write ``user_denied_host1 = telesto``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from .builtins import CONSTANTS, call_builtin
+from .errors import EvalError
+from .nodes import (
+    Addr,
+    Assign,
+    BinOp,
+    Call,
+    Compare,
+    Logic,
+    Neg,
+    Node,
+    Paren,
+    Program,
+    Num,
+    Var,
+    is_logical,
+)
+from .variables import DENIED_VARS, PREFERRED_VARS, USER_SIDE_VARS
+
+__all__ = ["Environment", "Evaluation", "evaluate", "Undefined"]
+
+Value = Union[float, str]
+
+
+class Undefined(Exception):
+    """Internal signal: a variable had no value (thesis: logical -> false)."""
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.name = name
+
+
+@dataclass
+class Environment:
+    """Name bindings for one evaluation pass (one server)."""
+
+    #: server-side + monitor values for the server under consideration
+    server: dict[str, float] = field(default_factory=dict)
+    #: temp variables defined by the requirement itself
+    temps: dict[str, Value] = field(default_factory=dict)
+    #: user-side slots filled by assignments during evaluation
+    user: dict[str, Value] = field(default_factory=dict)
+
+    def lookup(self, name: str) -> Value:
+        if name in self.temps:
+            return self.temps[name]
+        if name in self.server:
+            return self.server[name]
+        if name in self.user:
+            return self.user[name]
+        if name in CONSTANTS:
+            return CONSTANTS[name]
+        raise Undefined(name)
+
+    def assign(self, name: str, value: Value) -> None:
+        if name in USER_SIDE_VARS:
+            self.user[name] = value
+        else:
+            self.temps[name] = value
+
+    # -- convenience for the wizard ------------------------------------------
+    def denied_hosts(self) -> list[str]:
+        return [str(self.user[n]) for n in DENIED_VARS if n in self.user]
+
+    def preferred_hosts(self) -> list[str]:
+        return [str(self.user[n]) for n in PREFERRED_VARS if n in self.user]
+
+
+@dataclass
+class Evaluation:
+    """Outcome of running a program against one server's status."""
+
+    qualified: bool
+    #: (source line, truth) for each logical statement
+    logical_results: list[tuple[int, bool]] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+    env: Optional[Environment] = None
+
+
+def _truthy(value: Value) -> bool:
+    if isinstance(value, str):
+        return bool(value)
+    return value != 0.0
+
+
+def _numeric(value: Value, line: int) -> float:
+    if isinstance(value, str):
+        raise EvalError(f"arithmetic on address/hostname {value!r}", line=line)
+    return value
+
+
+def _eval(node: Node, env: Environment) -> Value:
+    if isinstance(node, Num):
+        return node.value
+    if isinstance(node, Addr):
+        return node.value
+    if isinstance(node, Var):
+        return env.lookup(node.name)
+    if isinstance(node, Paren):
+        return _eval(node.inner, env)
+    if isinstance(node, Neg):
+        return -_numeric(_eval(node.operand, env), node.line)
+    if isinstance(node, Assign):
+        value = _eval_assign_rhs(node.value, env)
+        env.assign(node.name, value)
+        return value
+    if isinstance(node, Call):
+        args = [_numeric(_eval(a, env), node.line) for a in node.args]
+        return call_builtin(node.func, args, line=node.line)
+    if isinstance(node, BinOp):
+        left = _numeric(_eval(node.left, env), node.line)
+        right = _numeric(_eval(node.right, env), node.line)
+        if node.op == "+":
+            return left + right
+        if node.op == "-":
+            return left - right
+        if node.op == "*":
+            return left * right
+        if node.op == "/":
+            if right == 0.0:
+                raise EvalError("division by 0", line=node.line)
+            return left / right
+        if node.op == "^":
+            try:
+                return float(left ** right)
+            except (OverflowError, ZeroDivisionError, ValueError) as exc:
+                raise EvalError(f"power: {exc}", line=node.line) from exc
+        raise EvalError(f"unknown operator {node.op!r}", line=node.line)
+    if isinstance(node, Compare):
+        left, left_undef = _eval_compare_side(node.left, env)
+        right, right_undef = _eval_compare_side(node.right, env)
+        # §6 string attributes: in an equality test against a string value,
+        # a bare undefined identifier reads as a literal ("machine_type ==
+        # i386").  Anywhere else, undefined stays undefined (-> false).
+        if left_undef is not None:
+            if node.op in ("==", "!=") and isinstance(right, str):
+                left = left_undef
+            else:
+                raise Undefined(left_undef)
+        if right_undef is not None:
+            if node.op in ("==", "!=") and isinstance(left, str):
+                right = right_undef
+            else:
+                raise Undefined(right_undef)
+        if isinstance(left, str) or isinstance(right, str):
+            if node.op == "==":
+                return 1.0 if str(left) == str(right) else 0.0
+            if node.op == "!=":
+                return 1.0 if str(left) != str(right) else 0.0
+            raise EvalError(
+                f"ordering comparison on address/hostname", line=node.line
+            )
+        table = {
+            ">": left > right,
+            ">=": left >= right,
+            "<": left < right,
+            "<=": left <= right,
+            "==": left == right,
+            "!=": left != right,
+        }
+        return 1.0 if table[node.op] else 0.0
+    if isinstance(node, Logic):
+        left = _truthy(_eval(node.left, env))
+        if node.op == "&&":
+            # no short-circuit: the thesis' yacc evaluates both sides, and
+            # assignments on the right-hand side must still take effect
+            right = _truthy(_eval(node.right, env))
+            return 1.0 if (left and right) else 0.0
+        right = _truthy(_eval(node.right, env))
+        return 1.0 if (left or right) else 0.0
+    raise EvalError(f"cannot evaluate node {node!r}", line=getattr(node, "line", 0))
+
+
+def _eval_compare_side(node: Node, env: Environment):
+    """Evaluate one side of a comparison.
+
+    Returns ``(value, None)`` normally, or ``(None, name)`` when the side
+    was a *bare* undefined identifier — the caller may then treat the name
+    as a string literal in equality tests (the §6 string-attribute form).
+    Undefined identifiers inside larger expressions still propagate.
+    """
+    while isinstance(node, Paren):
+        node = node.inner
+    if isinstance(node, Var):
+        try:
+            return env.lookup(node.name), None
+        except Undefined:
+            return None, node.name
+    return _eval(node, env), None
+
+
+def _eval_assign_rhs(node: Node, env: Environment) -> Value:
+    """RHS of an assignment: undefined identifiers read as hostnames.
+
+    Supports the thesis' ``user_denied_host1 = telesto`` idiom (a hostname
+    without dots lexes as an identifier) and, because hostnames may carry
+    hyphens that lex as subtraction (``user_denied_host5 = titan-x``,
+    Table 5.5), a subtraction chain of undefined identifiers is re-joined
+    into the hyphenated hostname.
+    """
+    try:
+        return _eval(node, env)
+    except (Undefined, EvalError):
+        hostname = _hostname_from(node, env)
+        if hostname is not None:
+            return hostname
+        raise
+
+
+def _hostname_from(node: Node, env: Environment) -> Optional[str]:
+    """Reconstruct ``titan-x``-style names from ``Var - Var`` chains."""
+    if isinstance(node, Paren):
+        return _hostname_from(node.inner, env)
+    if isinstance(node, Var):
+        try:
+            value = env.lookup(node.name)
+        except Undefined:
+            return node.name
+        return value if isinstance(value, str) else None
+    if isinstance(node, Num) and node.value == int(node.value):
+        return str(int(node.value))  # trailing digits, e.g. "node-07"... "7"
+    if isinstance(node, BinOp) and node.op == "-":
+        left = _hostname_from(node.left, env)
+        right = _hostname_from(node.right, env)
+        if left is not None and right is not None:
+            return f"{left}-{right}"
+    return None
+
+
+def evaluate(program: Program, server_params: dict[str, float],
+             user_presets: Optional[dict[str, Value]] = None) -> Evaluation:
+    """Run ``program`` against one server's parameters.
+
+    ``user_presets`` seeds the user-side slots (e.g. options carried in the
+    request separately from the requirement text).
+    """
+    env = Environment(server=dict(server_params))
+    if user_presets:
+        env.user.update(user_presets)
+    logical_results: list[tuple[int, bool]] = []
+    errors: list[str] = []
+    for stmt in program.statements:
+        logical = is_logical(stmt)
+        try:
+            value = _eval(stmt, env)
+            if logical:
+                logical_results.append((stmt.line, _truthy(value)))
+        except Undefined as undef:
+            if logical:
+                # thesis: uninitialised variable in a logical statement
+                # makes the whole statement false
+                logical_results.append((stmt.line, False))
+            else:
+                errors.append(f"undefined variable {undef.name!r}")
+        except EvalError as exc:
+            errors.append(str(exc))
+            if logical:
+                logical_results.append((stmt.line, False))
+    qualified = all(ok for _, ok in logical_results)
+    return Evaluation(
+        qualified=qualified,
+        logical_results=logical_results,
+        errors=errors,
+        env=env,
+    )

@@ -1,0 +1,95 @@
+"""Lexer for the server-requirement meta-language.
+
+Implements the flex rules of thesis Fig 4.1:
+
+* ``#.*`` comments and ``[ \\t]`` white space are discarded,
+* dotted quads and dotted domain names lex as ``NETADDR``,
+* integers and decimals lex as ``NUMBER``,
+* ``[a-zA-Z]+[a-zA-Z_0-9]*`` lexes as an identifier (``VAR``/``UNDEF``
+  resolution happens at evaluation time),
+* the C logical operators ``&& || > >= == != < <=`` plus the arithmetic
+  ``+ - * / ^ ( ) =`` pass through,
+* ``\\n`` ends a statement.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from .errors import LexError
+
+__all__ = ["Token", "tokenize", "TokenKind"]
+
+
+class TokenKind:
+    NUMBER = "NUMBER"
+    NETADDR = "NETADDR"
+    IDENT = "IDENT"
+    OP = "OP"          # one of the operator lexemes below
+    NEWLINE = "NEWLINE"
+    EOF = "EOF"
+
+
+#: operator lexemes, longest first so ``>=`` wins over ``>``
+_OPERATORS = ["&&", "||", ">=", "<=", "==", "!=", ">", "<",
+              "+", "-", "*", "/", "^", "(", ")", "=", ","]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<COMMENT>\#[^\n]*)
+  | (?P<WS>[ \t\r]+)
+  | (?P<NETADDR>
+        [0-9]+\.[0-9]+\.[0-9]+\.[0-9]+            # dotted quad
+      | [a-zA-Z][a-zA-Z_0-9-]*(\.[a-zA-Z_0-9-]+)+ # dotted domain name
+    )
+  | (?P<NUMBER>[0-9]+\.[0-9]+|[0-9]+)
+  | (?P<IDENT>[a-zA-Z][a-zA-Z_0-9]*)
+  | (?P<OP>&&|\|\||>=|<=|==|!=|[><+\-*/^()=,])
+  | (?P<NEWLINE>\n)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.col})"
+
+
+def tokenize(source: str) -> Iterator[Token]:
+    """Yield tokens; terminates with a single EOF token.
+
+    Raises :class:`LexError` on the first unrecognised character.
+    """
+    pos = 0
+    line = 1
+    line_start = 0
+    n = len(source)
+    while pos < n:
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise LexError(
+                f"unexpected character {source[pos]!r}",
+                line=line, col=pos - line_start + 1,
+            )
+        kind = m.lastgroup
+        text = m.group()
+        col = pos - line_start + 1
+        pos = m.end()
+        if kind in ("COMMENT", "WS"):
+            continue
+        if kind == "NEWLINE":
+            yield Token(TokenKind.NEWLINE, text, line, col)
+            line += 1
+            line_start = pos
+            continue
+        yield Token(kind, text, line, col)
+    yield Token(TokenKind.EOF, "", line, pos - line_start + 1)

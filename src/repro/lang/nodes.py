@@ -1,0 +1,137 @@
+"""AST nodes for the requirement meta-language.
+
+The grammar (thesis Fig 4.2) distinguishes *logical* and *non-logical*
+statements by whether the **main operator** of the statement is a logical
+operator; parentheses are transparent (``'(' expr ')'`` "will not change
+logic value").  :func:`is_logical` reproduces that rule structurally
+instead of via yacc's global ``logic`` flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+__all__ = [
+    "Node",
+    "Num",
+    "Addr",
+    "Var",
+    "Neg",
+    "BinOp",
+    "Compare",
+    "Logic",
+    "Assign",
+    "Call",
+    "Paren",
+    "Program",
+    "Statement",
+    "is_logical",
+    "LOGICAL_OPS",
+    "ARITH_OPS",
+]
+
+LOGICAL_OPS = {"&&", "||", ">", ">=", "<", "<=", "==", "!="}
+ARITH_OPS = {"+", "-", "*", "/", "^"}
+
+
+class Node:
+    """Base class; all nodes carry a source line for diagnostics."""
+
+    line: int = 0
+
+
+@dataclass
+class Num(Node):
+    value: float
+    line: int = 0
+
+
+@dataclass
+class Addr(Node):
+    """A NETADDR literal — dotted quad or dotted hostname."""
+
+    value: str
+    line: int = 0
+
+
+@dataclass
+class Var(Node):
+    name: str
+    line: int = 0
+
+
+@dataclass
+class Neg(Node):
+    operand: Node
+    line: int = 0
+
+
+@dataclass
+class BinOp(Node):
+    """Arithmetic: + - * / ^"""
+
+    op: str
+    left: Node
+    right: Node
+    line: int = 0
+
+
+@dataclass
+class Compare(Node):
+    """Relational/equality: > >= < <= == !="""
+
+    op: str
+    left: Node
+    right: Node
+    line: int = 0
+
+
+@dataclass
+class Logic(Node):
+    """Boolean combination: && ||"""
+
+    op: str
+    left: Node
+    right: Node
+    line: int = 0
+
+
+@dataclass
+class Assign(Node):
+    name: str
+    value: Node
+    line: int = 0
+
+
+@dataclass
+class Call(Node):
+    func: str
+    args: list[Node]
+    line: int = 0
+
+
+@dataclass
+class Paren(Node):
+    inner: Node
+    line: int = 0
+
+
+Statement = Node  # a statement is just a top-level expression/assignment
+
+
+@dataclass
+class Program(Node):
+    statements: list[Statement] = field(default_factory=list)
+    #: parse errors collected in recovery mode (yacc's ``error '\n'`` rule)
+    errors: list = field(default_factory=list)
+
+    def logical_statements(self) -> list[Statement]:
+        return [s for s in self.statements if is_logical(s)]
+
+
+def is_logical(node: Node) -> bool:
+    """True when the statement's main operator is logical (Fig 4.2 rule)."""
+    while isinstance(node, Paren):
+        node = node.inner
+    return isinstance(node, (Compare, Logic))

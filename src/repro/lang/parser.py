@@ -1,0 +1,205 @@
+"""Recursive-descent parser for the requirement meta-language.
+
+Equivalent to the yacc grammar of thesis Fig 4.2 with conventional C
+precedence (the thesis inherits hoc's):
+
+    assignment            right-assoc, lowest
+    ||
+    &&
+    == !=
+    > >= < <=
+    + -
+    * /
+    ^                     right-assoc
+    unary -               (%prec UNARYMINUS)
+    literals, vars, calls, ( )
+
+One statement per line; blank lines are allowed.  Like yacc's
+``list error '\\n'`` rule, :func:`parse` can optionally *recover* by
+skipping a malformed line and recording the error instead of aborting.
+"""
+
+from __future__ import annotations
+
+from .errors import ParseError
+from .lexer import Token, TokenKind, tokenize
+from .nodes import (
+    Addr,
+    Assign,
+    BinOp,
+    Call,
+    Compare,
+    Logic,
+    Neg,
+    Node,
+    Paren,
+    Program,
+    Num,
+    Var,
+)
+
+__all__ = ["parse", "Parser"]
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens = list(tokenize(source))
+        self.pos = 0
+        self.errors: list[ParseError] = []
+
+    # -- token plumbing ----------------------------------------------------
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.cur
+        if tok.kind != TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def at_op(self, *lexemes: str) -> bool:
+        return self.cur.kind == TokenKind.OP and self.cur.text in lexemes
+
+    def expect_op(self, lexeme: str) -> Token:
+        if not self.at_op(lexeme):
+            raise ParseError(
+                f"expected {lexeme!r}, found {self.cur.text or 'end of input'!r}",
+                line=self.cur.line, col=self.cur.col,
+            )
+        return self.advance()
+
+    # -- grammar -------------------------------------------------------------
+    def parse_program(self, recover: bool = False) -> Program:
+        prog = Program()
+        while self.cur.kind != TokenKind.EOF:
+            if self.cur.kind == TokenKind.NEWLINE:
+                self.advance()
+                continue
+            try:
+                stmt = self.parse_statement()
+                prog.statements.append(stmt)
+            except ParseError as exc:
+                if not recover:
+                    raise
+                self.errors.append(exc)
+                self._skip_line()
+        return prog
+
+    def _skip_line(self) -> None:
+        while self.cur.kind not in (TokenKind.NEWLINE, TokenKind.EOF):
+            self.advance()
+        if self.cur.kind == TokenKind.NEWLINE:
+            self.advance()
+
+    def parse_statement(self) -> Node:
+        expr = self.parse_expr()
+        if self.cur.kind == TokenKind.NEWLINE:
+            self.advance()
+        elif self.cur.kind != TokenKind.EOF:
+            raise ParseError(
+                f"unexpected {self.cur.text!r} after statement",
+                line=self.cur.line, col=self.cur.col,
+            )
+        return expr
+
+    def parse_expr(self) -> Node:
+        return self.parse_assign()
+
+    def parse_assign(self) -> Node:
+        left = self.parse_or()
+        if self.at_op("="):
+            tok = self.advance()
+            if not isinstance(left, Var):
+                raise ParseError(
+                    "left side of '=' must be a variable",
+                    line=tok.line, col=tok.col,
+                )
+            value = self.parse_assign()  # right associative: a = b = 3
+            return Assign(left.name, value, line=tok.line)
+        return left
+
+    def _binary_level(self, sub, ops, node_cls):
+        left = sub()
+        while self.at_op(*ops):
+            tok = self.advance()
+            right = sub()
+            left = node_cls(tok.text, left, right, line=tok.line)
+        return left
+
+    def parse_or(self) -> Node:
+        return self._binary_level(self.parse_and, ("||",), Logic)
+
+    def parse_and(self) -> Node:
+        return self._binary_level(self.parse_equality, ("&&",), Logic)
+
+    def parse_equality(self) -> Node:
+        return self._binary_level(self.parse_relational, ("==", "!="), Compare)
+
+    def parse_relational(self) -> Node:
+        return self._binary_level(self.parse_additive, (">", ">=", "<", "<="), Compare)
+
+    def parse_additive(self) -> Node:
+        return self._binary_level(self.parse_multiplicative, ("+", "-"), BinOp)
+
+    def parse_multiplicative(self) -> Node:
+        return self._binary_level(self.parse_power, ("*", "/"), BinOp)
+
+    def parse_power(self) -> Node:
+        left = self.parse_unary()
+        if self.at_op("^"):
+            tok = self.advance()
+            right = self.parse_power()  # right associative
+            return BinOp("^", left, right, line=tok.line)
+        return left
+
+    def parse_unary(self) -> Node:
+        if self.at_op("-"):
+            tok = self.advance()
+            return Neg(self.parse_unary(), line=tok.line)
+        if self.at_op("+"):
+            self.advance()
+            return self.parse_unary()
+        return self.parse_primary()
+
+    def parse_primary(self) -> Node:
+        tok = self.cur
+        if tok.kind == TokenKind.NUMBER:
+            self.advance()
+            return Num(float(tok.text), line=tok.line)
+        if tok.kind == TokenKind.NETADDR:
+            self.advance()
+            return Addr(tok.text, line=tok.line)
+        if tok.kind == TokenKind.IDENT:
+            self.advance()
+            if self.at_op("("):
+                self.advance()
+                args = [self.parse_expr()]
+                while self.at_op(","):
+                    self.advance()
+                    args.append(self.parse_expr())
+                self.expect_op(")")
+                return Call(tok.text, args, line=tok.line)
+            return Var(tok.text, line=tok.line)
+        if self.at_op("("):
+            open_tok = self.advance()
+            inner = self.parse_expr()
+            self.expect_op(")")
+            return Paren(inner, line=open_tok.line)
+        raise ParseError(
+            f"unexpected {tok.text or 'end of input'!r}",
+            line=tok.line, col=tok.col,
+        )
+
+
+def parse(source: str, recover: bool = False) -> Program:
+    """Parse requirement text into a :class:`Program`.
+
+    With ``recover=True`` malformed lines are skipped (yacc's
+    ``error '\\n'`` recovery) and collected on ``Program.errors`` — used by
+    the wizard so one bad line does not void a whole requirement file.
+    """
+    parser = Parser(source)
+    prog = parser.parse_program(recover=recover)
+    prog.errors = parser.errors
+    return prog

@@ -1,0 +1,77 @@
+"""Variable registry: the 22 server-side and 10 user-side parameters.
+
+Thesis §3.6.2: "There are in total 22 server-side variables and 10
+user-side variables available."  Appendix B names them; their units come
+from the worked examples:
+
+* ``host_memory_free`` is in **MB** ("host_memory_free > 5 (MB)",
+  Table 5.3) while ``host_memory_used``/``host_memory_total`` are in
+  **bytes** ("host_memory_used <= 250*1024*1024", §3.6.2) — a thesis quirk
+  reproduced faithfully;
+* ``host_cpu_free`` is a 0–1 fraction (">= 0.9");
+* ``monitor_network_bw`` is in Mbps ("monitor_network_bw > 6") and
+  ``monitor_network_delay`` in ms ("delay < 20ms", Fig 1.4) — these two are
+  *group* metrics coming from the network monitor rather than the probe;
+* the IO rates ``host_network_*ps`` are per-second deltas in bytes/packets.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SERVER_SIDE_VARS",
+    "MONITOR_VARS",
+    "USER_SIDE_VARS",
+    "PREFERRED_VARS",
+    "DENIED_VARS",
+    "ALL_PREDEFINED",
+]
+
+#: the 22 server-side variables (thesis Appendix B.1)
+SERVER_SIDE_VARS: tuple[str, ...] = (
+    # /proc/loadavg
+    "host_system_load1",
+    "host_system_load5",
+    "host_system_load15",
+    # /proc/stat cpu + /proc/cpuinfo
+    "host_cpu_user",
+    "host_cpu_nice",
+    "host_cpu_system",
+    "host_cpu_idle",
+    "host_cpu_free",
+    "host_cpu_bogomips",
+    # /proc/meminfo
+    "host_memory_total",
+    "host_memory_used",
+    "host_memory_free",
+    # /proc/stat disk_io
+    "host_disk_allreq",
+    "host_disk_rreq",
+    "host_disk_rblocks",
+    "host_disk_wreq",
+    "host_disk_wblocks",
+    # /proc/net/dev rates
+    "host_network_rbytesps",
+    "host_network_rpacketsps",
+    "host_network_tbytesps",
+    "host_network_tpacketsps",
+    # security monitor
+    "host_security_level",
+)
+
+#: network-monitor (group) metrics
+MONITOR_VARS: tuple[str, ...] = (
+    "monitor_network_delay",  # ms
+    "monitor_network_bw",     # Mbps
+)
+
+#: the 10 user-side variables: preference / blacklist slots
+PREFERRED_VARS: tuple[str, ...] = tuple(f"user_preferred_host{i}" for i in range(1, 6))
+DENIED_VARS: tuple[str, ...] = tuple(f"user_denied_host{i}" for i in range(1, 6))
+USER_SIDE_VARS: tuple[str, ...] = PREFERRED_VARS + DENIED_VARS
+
+ALL_PREDEFINED: frozenset[str] = frozenset(
+    SERVER_SIDE_VARS + MONITOR_VARS + USER_SIDE_VARS
+)
+
+assert len(SERVER_SIDE_VARS) == 22, "thesis specifies exactly 22 server-side vars"
+assert len(USER_SIDE_VARS) == 10, "thesis specifies exactly 10 user-side vars"

@@ -1,0 +1,166 @@
+"""Point-to-point links: FIFO serialisation, propagation delay, loss.
+
+A :class:`Link` is duplex — two independent :class:`Channel`\\ s.  A channel
+performs *analytic* FIFO queueing: instead of pumping per-frame events it
+tracks ``next_free`` (when the transmitter drains) and computes each
+frame's start/finish time at enqueue.  Because the queue is FIFO this is
+exactly equivalent to event-by-event transmission while costing one
+simulator event per frame per hop.
+
+Queueing delay, the ``d_queue`` term of the thesis' Eq. 3.3, emerges as
+``start - now``; transmission delay ``d_trans`` as the serialisation time;
+propagation delay ``d_prop`` is the configured constant.  Random loss (for
+the TCP recovery tests) and tail-drop (bounded buffers) are both available.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional, TYPE_CHECKING
+
+from ..sim import Simulator
+from .packet import Frame
+from .shaper import TokenBucket
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .node import Node
+
+__all__ = ["Channel", "Link"]
+
+
+class Channel:
+    """One direction of a link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bps: float,
+        delay: float,
+        mtu: int = 1500,
+        buffer_bytes: Optional[int] = None,
+        name: str = "",
+    ):
+        if rate_bps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_bps}")
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self.sim = sim
+        self.rate_bps = float(rate_bps)
+        self.delay = float(delay)
+        self.mtu = int(mtu)
+        #: None = unbounded; otherwise tail-drop once the backlog exceeds it
+        self.buffer_bytes = buffer_bytes
+        self.name = name
+        self.shaper: Optional[TokenBucket] = None
+        #: random frame loss probability (0 disables); seeded via loss_rng
+        self.loss_rate = 0.0
+        self.loss_rng: Optional[random.Random] = None
+        self.next_free = 0.0
+        #: callback installed by the receiving endpoint: fn(frame)
+        self.on_deliver: Optional[Callable[[Frame], None]] = None
+        # statistics
+        self.tx_frames = 0
+        self.tx_bytes = 0
+        self.drops = 0
+        self.busy_time = 0.0
+
+    # -- instrumentation ----------------------------------------------------
+    def backlog_bytes(self) -> float:
+        """Bytes currently queued/serialising (0 when idle)."""
+        pending_s = max(0.0, self.next_free - self.sim.now)
+        return pending_s * self.rate_bps / 8.0
+
+    def utilisation(self, horizon: float) -> float:
+        """Fraction of ``horizon`` seconds the transmitter was busy."""
+        return self.busy_time / horizon if horizon > 0 else 0.0
+
+    # -- data path ----------------------------------------------------------
+    def tx_seconds(self, wire_bytes: int) -> float:
+        return wire_bytes * 8.0 / self.rate_bps
+
+    def transmit(self, frame: Frame, extra_start_delay: float = 0.0) -> bool:
+        """Enqueue ``frame``; returns ``False`` on drop.
+
+        ``extra_start_delay`` delays the earliest start (used by host NICs
+        for the initialisation term of Eq. 3.6 without blocking the caller).
+        """
+        now = self.sim.now
+        if self.buffer_bytes is not None and self.backlog_bytes() > self.buffer_bytes:
+            self.drops += 1
+            return False
+        if self.loss_rate > 0.0 and self.loss_rng is not None:
+            if self.loss_rng.random() < self.loss_rate:
+                self.drops += 1
+                return False
+        wire = frame.wire_at(self.mtu)
+        start = max(now + extra_start_delay, self.next_free)
+        if self.shaper is not None:
+            start = self.shaper.reserve(wire, start)
+        finish = start + self.tx_seconds(wire)
+        self.next_free = finish
+        self.busy_time += finish - start
+        self.tx_frames += 1
+        self.tx_bytes += wire
+        deliver_at = finish + self.delay
+        ev = self.sim.event()
+        ev.add_callback(lambda _ev: self._deliver(frame))
+        ev.succeed(delay=deliver_at - now)
+        return True
+
+    def occupy(self, wire_bytes: int) -> None:
+        """Inject cross traffic: occupy the transmitter without delivering
+        anything (the far end would just discard it)."""
+        now = self.sim.now
+        start = max(now, self.next_free)
+        finish = start + self.tx_seconds(wire_bytes)
+        self.next_free = finish
+        self.busy_time += finish - start
+        self.tx_bytes += wire_bytes
+
+    def _deliver(self, frame: Frame) -> None:
+        if self.on_deliver is None:
+            raise RuntimeError(f"channel {self.name!r} has no receiver attached")
+        self.on_deliver(frame)
+
+
+class Link:
+    """Duplex link between two nodes, built from two channels."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        a: "Node",
+        b: "Node",
+        rate_bps: float,
+        delay: float,
+        mtu: int = 1500,
+        buffer_bytes: Optional[int] = None,
+        name: str = "",
+    ):
+        self.sim = sim
+        self.a = a
+        self.b = b
+        self.name = name or f"{a.name}<->{b.name}"
+        self.ab = Channel(sim, rate_bps, delay, mtu, buffer_bytes, f"{a.name}->{b.name}")
+        self.ba = Channel(sim, rate_bps, delay, mtu, buffer_bytes, f"{b.name}->{a.name}")
+
+    def channel_from(self, node: "Node") -> Channel:
+        if node is self.a:
+            return self.ab
+        if node is self.b:
+            return self.ba
+        raise ValueError(f"{node.name} is not an endpoint of {self.name}")
+
+    def peer_of(self, node: "Node") -> "Node":
+        if node is self.a:
+            return self.b
+        if node is self.b:
+            return self.a
+        raise ValueError(f"{node.name} is not an endpoint of {self.name}")
+
+    def set_mtu(self, mtu: int) -> None:
+        """Reconfigure both directions (``ifconfig eth0 mtu N``)."""
+        if mtu <= 28:
+            raise ValueError(f"MTU {mtu} too small for IP+UDP headers")
+        self.ab.mtu = mtu
+        self.ba.mtu = mtu

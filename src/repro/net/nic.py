@@ -1,0 +1,130 @@
+"""Network interfaces, including the thesis' *initialisation speed* effect.
+
+The thesis (§3.3.2) observes that the RTT-vs-packet-size curve has a knee at
+the MTU and conjectures an initialisation cost when the kernel hands the
+first frame of a datagram to the physical interface:
+
+    T = S/B + min(S, MTU)/Speed_init + Overhead_sys + Overhead_net   (Eq 3.6)
+
+:class:`NIC` implements exactly that: on egress of a datagram the earliest
+transmission start of its *first* frame is pushed back by
+``first_fragment/init_speed``.  Host NICs carry the effect (physical
+interface); router NICs and loopback do not — the thesis found no knee on
+loopback/virtual interfaces (Fig 3.6f).
+
+On egress, UDP/ICMP datagrams are cut into real IP fragments that travel
+(and pipeline across hops) independently; TCP segments travel as single
+*burst* frames (see :class:`~repro.net.packet.Frame`).  NICs keep the rx/tx
+byte and packet counters that the server probe later reads back out of the
+synthesized ``/proc/net/dev``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from .link import Link
+from .packet import Datagram, Frame, IP_HEADER, PROTO_TCP
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .node import Node
+
+__all__ = ["NIC", "DEFAULT_INIT_SPEED_BPS"]
+
+#: the thesis estimates Speed_init ≈ 25 Mbps on its 100 Mbps testbed
+DEFAULT_INIT_SPEED_BPS = 25e6
+
+
+class NIC:
+    """One interface of a node, attached to one end of a link."""
+
+    def __init__(
+        self,
+        node: "Node",
+        link: Link,
+        addr: str,
+        name: str = "eth0",
+        init_speed_bps: Optional[float] = DEFAULT_INIT_SPEED_BPS,
+    ):
+        self.node = node
+        self.link = link
+        self.addr = addr
+        self.name = name
+        #: None disables the Eq. 3.6 initialisation term (routers, loopback)
+        self.init_speed_bps = init_speed_bps
+        self.channel = link.channel_from(node)
+        self.peer = link.peer_of(node)
+        # /proc/net/dev counters
+        self.tx_bytes = 0
+        self.tx_packets = 0
+        self.rx_bytes = 0
+        self.rx_packets = 0
+        self.tx_drops = 0
+        # register as the receiver of the inbound channel
+        link.channel_from(self.peer).on_deliver = self._on_deliver
+
+    @property
+    def mtu(self) -> int:
+        return self.channel.mtu
+
+    def set_mtu(self, mtu: int) -> None:
+        """Reconfigure the MTU on both directions of the attached link."""
+        self.link.set_mtu(mtu)
+
+    def _init_delay(self, first_frame_wire: int) -> float:
+        if self.init_speed_bps is None:
+            return 0.0
+        return first_frame_wire * 8.0 / self.init_speed_bps
+
+    # -- egress ---------------------------------------------------------------
+    def send_datagram(self, dgram: Datagram) -> bool:
+        """Originate a datagram here: fragment (UDP/ICMP) or burst (TCP).
+
+        Returns ``False`` if every frame was dropped at the channel.
+        """
+        frames = self._frames_for(dgram)
+        first_wire = frames[0].wire_at(self.mtu)
+        delivered_any = False
+        for i, frame in enumerate(frames):
+            extra = self._init_delay(first_wire) if i == 0 else 0.0
+            delivered_any |= self._transmit(frame, extra)
+        return delivered_any
+
+    def forward_frame(self, frame: Frame) -> bool:
+        """Forward a transit frame (router path: no init term)."""
+        delivered_any = False
+        for piece in frame.split(self.mtu):
+            delivered_any |= self._transmit(piece, 0.0)
+        return delivered_any
+
+    def _frames_for(self, dgram: Datagram) -> list[Frame]:
+        transport = dgram.transport_bytes
+        if dgram.proto == PROTO_TCP:
+            return [Frame(dgram, transport, first=True, burst=True)]
+        per_frag = self.mtu - IP_HEADER
+        frames = []
+        remaining = transport
+        first = True
+        while True:
+            chunk = min(per_frag, remaining)
+            frames.append(Frame(dgram, chunk, first=first, burst=False))
+            first = False
+            remaining -= chunk
+            if remaining <= 0:
+                break
+        return frames
+
+    def _transmit(self, frame: Frame, extra: float) -> bool:
+        ok = self.channel.transmit(frame, extra_start_delay=extra)
+        if ok:
+            self.tx_packets += 1
+            self.tx_bytes += frame.wire_at(self.mtu)
+        else:
+            self.tx_drops += 1
+        return ok
+
+    # -- ingress ----------------------------------------------------------------
+    def _on_deliver(self, frame: Frame) -> None:
+        self.rx_packets += 1
+        self.rx_bytes += frame.wire_at(self.mtu)
+        self.node.receive(frame, self)

@@ -1,0 +1,141 @@
+"""Nodes: hosts and routers with static forwarding tables.
+
+Routers forward :class:`~repro.net.packet.Frame`\\ s independently — IP
+fragments are only reassembled at the destination host, like real IP.  Each
+hop adds a small processing delay (``d_proc`` in the thesis' Eq. 3.3)
+before the frame joins the egress queue.  Hosts additionally own a
+transport :class:`~repro.net.sockets.NetworkStack`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, TYPE_CHECKING
+
+from ..sim import Simulator
+from .nic import NIC
+from .packet import Datagram, Frame
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .sockets import NetworkStack
+
+__all__ = ["Node", "DEFAULT_PROC_DELAY"]
+
+#: per-hop processing delay; "usually negligible" per the thesis
+DEFAULT_PROC_DELAY = 20e-6
+
+#: reassembly buffers older than this are purged (fragment lost)
+REASSEMBLY_TIMEOUT = 30.0
+
+
+class Node:
+    """A network element with NICs and a forwarding table."""
+
+    def __init__(self, sim: Simulator, name: str, is_router: bool = False,
+                 proc_delay: float = DEFAULT_PROC_DELAY):
+        self.sim = sim
+        self.name = name
+        self.is_router = is_router
+        self.proc_delay = proc_delay
+        self.nics: list[NIC] = []
+        #: dst address -> NIC to use
+        self.routes: dict[str, NIC] = {}
+        self.stack: Optional["NetworkStack"] = None
+        #: hook for tests/sniffers: fn(datagram, node) on local delivery
+        self.tap: Optional[Callable[[Datagram, "Node"], None]] = None
+        self.forwarded = 0
+        self.no_route = 0
+        self.reassembly_failures = 0
+        # datagram id -> [bytes_received, first_frame_seen_at]
+        self._reassembly: dict[int, list] = {}
+
+    # -- configuration ------------------------------------------------------
+    def add_nic(self, nic: NIC) -> None:
+        self.nics.append(nic)
+
+    @property
+    def addresses(self) -> list[str]:
+        return [nic.addr for nic in self.nics]
+
+    @property
+    def addr(self) -> str:
+        """Primary address (first NIC)."""
+        if not self.nics:
+            raise RuntimeError(f"node {self.name} has no NIC")
+        return self.nics[0].addr
+
+    def is_local(self, addr: str) -> bool:
+        return any(nic.addr == addr for nic in self.nics)
+
+    # -- data path ----------------------------------------------------------
+    def receive(self, frame: Frame, nic: NIC) -> None:
+        if self.is_local(frame.dgram.dst):
+            self._reassemble(frame)
+        else:
+            self.forward(frame)
+
+    def _reassemble(self, frame: Frame) -> None:
+        dgram = frame.dgram
+        if frame.payload_bytes >= dgram.transport_bytes:
+            self.deliver_local(dgram)
+            return
+        entry = self._reassembly.get(dgram.id)
+        if entry is None:
+            entry = self._reassembly[dgram.id] = [0, self.sim.now]
+        entry[0] += frame.payload_bytes
+        if entry[0] >= dgram.transport_bytes:
+            del self._reassembly[dgram.id]
+            self.deliver_local(dgram)
+        elif len(self._reassembly) > 256:
+            self._purge_reassembly()
+
+    def _purge_reassembly(self) -> None:
+        cutoff = self.sim.now - REASSEMBLY_TIMEOUT
+        stale = [k for k, (_, t0) in self._reassembly.items() if t0 < cutoff]
+        for k in stale:
+            del self._reassembly[k]
+            self.reassembly_failures += 1
+
+    def deliver_local(self, dgram: Datagram) -> None:
+        if self.tap is not None:
+            self.tap(dgram, self)
+        if self.stack is None:
+            # A router addressed directly with no stack: drop silently.
+            return
+        self.stack.deliver(dgram)
+
+    def forward(self, frame: Frame) -> None:
+        dgram = frame.dgram
+        if frame.first:
+            dgram.ttl -= 1
+            dgram.trace.append(self.name)
+        if dgram.ttl <= 0:
+            return  # TTL exceeded; nothing in the library relies on this
+        nic = self.routes.get(dgram.dst)
+        if nic is None:
+            self.no_route += 1
+            return
+        self.forwarded += 1
+        # d_proc: the lookup/forwarding cost before hitting the egress queue
+        ev = self.sim.event()
+        ev.add_callback(lambda _ev: nic.forward_frame(frame))
+        ev.succeed(delay=self.proc_delay)
+
+    def send(self, dgram: Datagram) -> bool:
+        """Originate a datagram from this node (kernel -> NIC)."""
+        if self.is_local(dgram.dst):
+            # Loopback: no physical interface, no init term, tiny constant
+            # delay — reproduces the thesis' flat localhost curve (Fig 3.6f,
+            # base RTT 41 µs: ~one kernel traversal each way).
+            ev = self.sim.event()
+            ev.add_callback(lambda _ev: self.deliver_local(dgram))
+            ev.succeed(delay=self.proc_delay)
+            return True
+        nic = self.routes.get(dgram.dst)
+        if nic is None:
+            self.no_route += 1
+            return False
+        return nic.send_datagram(dgram)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        kind = "router" if self.is_router else "host"
+        return f"<Node {self.name} ({kind}) nics={len(self.nics)}>"

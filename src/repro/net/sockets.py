@@ -1,0 +1,160 @@
+"""Host transport layer: the network stack, UDP sockets and ICMP taps.
+
+The Smart library's monitoring plane is UDP-heavy (probes, wizard requests)
+and its one-way bandwidth probe relies on the classic trick of sending UDP
+datagrams to a *closed* port and timing the ICMP port-unreachable echo —
+so the stack implements exactly that: a UDP datagram arriving at a port
+nobody is bound to triggers an ICMP error back to the sender, delivered to
+any raw ICMP listener on the sending host.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional, TYPE_CHECKING
+
+from ..sim import Simulator, Store
+from .node import Node
+from .packet import Datagram, IP_HEADER, PROTO_ICMP, PROTO_TCP, PROTO_UDP
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .tcp import TcpLayer
+
+__all__ = ["NetworkStack", "UdpSocket", "IcmpError", "PortInUse"]
+
+
+class PortInUse(Exception):
+    """bind() on a port that already has a socket."""
+
+
+class IcmpError:
+    """Parsed ICMP destination-unreachable message (code 3: port)."""
+
+    __slots__ = ("src", "ref", "received_at")
+
+    def __init__(self, src: str, ref: int, received_at: float):
+        self.src = src          # host that generated the error
+        self.ref = ref          # id of the offending datagram
+        self.received_at = received_at
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<IcmpError from {self.src} ref={self.ref} t={self.received_at:.6f}>"
+
+
+class UdpSocket:
+    """Bound UDP endpoint with a drop-when-full receive buffer."""
+
+    def __init__(self, stack: "NetworkStack", port: int, rcvbuf_datagrams: int = 512):
+        self.stack = stack
+        self.port = port
+        self.rx = Store(stack.sim, capacity=rcvbuf_datagrams, drop_when_full=True)
+        self.closed = False
+
+    def sendto(self, dst: str, dport: int, size: int, payload: Any = None) -> Datagram:
+        """Transmit one datagram; returns it (its ``id`` keys ICMP echoes)."""
+        dgram = Datagram(
+            proto=PROTO_UDP,
+            src=self.stack.node.addr,
+            dst=self.stack.resolve(dst),
+            sport=self.port,
+            dport=dport,
+            size=size,
+            payload=payload,
+            created=self.stack.sim.now,
+        )
+        self.stack.node.send(dgram)
+        return dgram
+
+    def recv(self):
+        """Event firing with the next inbound :class:`Datagram`."""
+        return self.rx.get()
+
+    def recv_timeout(self, timeout: float):
+        """Process generator: datagram or ``None`` after ``timeout``."""
+        get = self.rx.get()
+        to = self.stack.sim.timeout(timeout)
+        result = yield self.stack.sim.any_of([get, to])
+        if get in result:
+            return result[get]
+        return None
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self.stack.udp_ports.pop(self.port, None)
+
+
+class NetworkStack:
+    """Transport layer of one host node."""
+
+    def __init__(self, sim: Simulator, node: Node, network=None):
+        if node.stack is not None:
+            raise RuntimeError(f"node {node.name} already has a stack")
+        self.sim = sim
+        self.node = node
+        self.network = network  # used only for name resolution
+        node.stack = self
+        self.udp_ports: dict[int, UdpSocket] = {}
+        self.icmp_taps: list[Store] = []
+        self._ephemeral = itertools.count(32768)
+        # imported lazily to avoid a cycle
+        from .tcp import TcpLayer
+
+        self.tcp: "TcpLayer" = TcpLayer(self)
+        self.icmp_sent = 0
+
+    # -- naming ----------------------------------------------------------
+    def resolve(self, name_or_addr: str) -> str:
+        if self.network is not None:
+            return self.network.resolve(name_or_addr)
+        return name_or_addr
+
+    # -- sockets ------------------------------------------------------------
+    def udp_socket(self, port: Optional[int] = None) -> UdpSocket:
+        if port is None:
+            port = self._alloc_port()
+        if port in self.udp_ports:
+            raise PortInUse(f"udp port {port} on {self.node.name}")
+        sock = UdpSocket(self, port)
+        self.udp_ports[port] = sock
+        return sock
+
+    def icmp_tap(self) -> Store:
+        """Raw ICMP listener: every ICMP message to this host lands here."""
+        tap = Store(self.sim)
+        self.icmp_taps.append(tap)
+        return tap
+
+    def _alloc_port(self) -> int:
+        while True:
+            port = next(self._ephemeral)
+            if port not in self.udp_ports:
+                return port
+
+    # -- demux -----------------------------------------------------------------
+    def deliver(self, dgram: Datagram) -> None:
+        if dgram.proto == PROTO_UDP:
+            sock = self.udp_ports.get(dgram.dport)
+            if sock is not None:
+                sock.rx.put(dgram)
+            else:
+                self._send_port_unreachable(dgram)
+        elif dgram.proto == PROTO_ICMP:
+            err = IcmpError(src=dgram.src, ref=dgram.ref, received_at=self.sim.now)
+            for tap in self.icmp_taps:
+                tap.put(err)
+        elif dgram.proto == PROTO_TCP:
+            self.tcp.deliver(dgram)
+        else:  # pragma: no cover - Datagram validates proto already
+            raise ValueError(f"unknown protocol {dgram.proto!r}")
+
+    def _send_port_unreachable(self, offending: Datagram) -> None:
+        # ICMP type 3 code 3 carries the original IP header + 8 payload bytes.
+        reply = offending.reply_skeleton(
+            proto=PROTO_ICMP,
+            size=IP_HEADER + 8,
+            payload=("port-unreachable", offending.id),
+        )
+        reply.created = self.sim.now
+        self.icmp_sent += 1
+        self.node.send(reply)

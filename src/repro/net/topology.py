@@ -1,0 +1,170 @@
+"""Network construction: nodes, links, addressing, static routing.
+
+:class:`Network` is the builder facade used by the cluster layer.  It
+assigns dotted-quad addresses from per-segment subnets, keeps a hostname
+registry (the simulator's DNS), and computes static forwarding tables with
+Dijkstra over link propagation delays (small per-hop bias so equal-delay
+routes prefer fewer hops) — a reasonable stand-in for the thesis testbed's
+hand-configured routes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+from ..sim import Simulator
+from .link import Link
+from .nic import DEFAULT_INIT_SPEED_BPS, NIC
+from .node import Node
+
+__all__ = ["Network", "MBPS", "ETHERNET_100"]
+
+MBPS = 1e6
+#: the testbed networks are all 100 Mbps Ethernet (thesis §5.1.1)
+ETHERNET_100 = 100 * MBPS
+
+
+class Network:
+    """A collection of nodes and links plus routing and naming."""
+
+    def __init__(self, sim: Simulator, default_init_speed_bps: float = DEFAULT_INIT_SPEED_BPS):
+        self.sim = sim
+        self.default_init_speed_bps = default_init_speed_bps
+        self.nodes: dict[str, Node] = {}
+        self.links: list[Link] = []
+        self._next_subnet = 1
+        self._next_host_octet: dict[str, int] = {}
+
+    # -- construction ---------------------------------------------------------
+    def add_host(self, name: str) -> Node:
+        return self._add_node(name, is_router=False)
+
+    def add_router(self, name: str) -> Node:
+        return self._add_node(name, is_router=True)
+
+    def _add_node(self, name: str, is_router: bool) -> Node:
+        if name in self.nodes:
+            raise ValueError(f"duplicate node name {name!r}")
+        node = Node(self.sim, name, is_router=is_router)
+        self.nodes[name] = node
+        return node
+
+    def subnet(self, prefix: Optional[str] = None) -> str:
+        """Allocate (or register) a /24 subnet prefix like ``192.168.3``."""
+        if prefix is None:
+            prefix = f"192.168.{self._next_subnet}"
+            self._next_subnet += 1
+        self._next_host_octet.setdefault(prefix, 1)
+        return prefix
+
+    def _alloc_addr(self, prefix: str) -> str:
+        self._next_host_octet.setdefault(prefix, 1)
+        octet = self._next_host_octet[prefix]
+        if octet > 254:
+            raise ValueError(f"subnet {prefix} exhausted")
+        self._next_host_octet[prefix] = octet + 1
+        return f"{prefix}.{octet}"
+
+    def connect(
+        self,
+        a: Node,
+        b: Node,
+        rate_bps: float = ETHERNET_100,
+        delay: float = 100e-6,
+        mtu: int = 1500,
+        subnet: Optional[str] = None,
+        buffer_bytes: Optional[int] = None,
+    ) -> Link:
+        """Create a duplex link; each endpoint gets a NIC with an address
+        from ``subnet`` (auto-allocated when omitted)."""
+        prefix = self.subnet(subnet)
+        link = Link(self.sim, a, b, rate_bps, delay, mtu, buffer_bytes)
+        self.links.append(link)
+        for node in (a, b):
+            init = None if node.is_router else self.default_init_speed_bps
+            nic = NIC(
+                node,
+                link,
+                addr=self._alloc_addr(prefix),
+                name=f"eth{len(node.nics)}",
+                init_speed_bps=init,
+            )
+            node.add_nic(nic)
+        return link
+
+    # -- naming ----------------------------------------------------------------
+    def resolve(self, name_or_addr: str) -> str:
+        """Hostname or address -> primary address (the simulator's DNS)."""
+        node = self.nodes.get(name_or_addr)
+        if node is not None:
+            return node.addr
+        for node in self.nodes.values():
+            if name_or_addr in node.addresses:
+                return name_or_addr
+        raise KeyError(f"unknown host or address {name_or_addr!r}")
+
+    def node_of(self, name_or_addr: str) -> Node:
+        node = self.nodes.get(name_or_addr)
+        if node is not None:
+            return node
+        for node in self.nodes.values():
+            if name_or_addr in node.addresses:
+                return node
+        raise KeyError(f"unknown host or address {name_or_addr!r}")
+
+    def hostname_of(self, addr: str) -> str:
+        return self.node_of(addr).name
+
+    # -- routing -----------------------------------------------------------------
+    def build_routes(self, hop_bias: float = 1e-4) -> None:
+        """Fill every node's forwarding table via Dijkstra on link delay.
+
+        ``hop_bias`` is added per hop so that among equal-delay paths the
+        one with fewer hops wins (and zero-delay topologies still route).
+        """
+        # adjacency: node -> list of (peer, cost, nic_on_node)
+        adj: dict[Node, list[tuple[Node, float, NIC]]] = {n: [] for n in self.nodes.values()}
+        for node in self.nodes.values():
+            for nic in node.nics:
+                adj[node].append((nic.peer, nic.channel.delay + hop_bias, nic))
+
+        for src in self.nodes.values():
+            dist: dict[Node, float] = {src: 0.0}
+            first_nic: dict[Node, NIC] = {}
+            heap: list[tuple[float, int, Node]] = [(0.0, id(src), src)]
+            seen: set[Node] = set()
+            while heap:
+                d, _, u = heapq.heappop(heap)
+                if u in seen:
+                    continue
+                seen.add(u)
+                for v, cost, nic in adj[u]:
+                    nd = d + cost
+                    if nd < dist.get(v, float("inf")):
+                        dist[v] = nd
+                        first_nic[v] = nic if u is src else first_nic[u]
+                        heapq.heappush(heap, (nd, id(v), v))
+            routes: dict[str, NIC] = {}
+            for dst, nic in first_nic.items():
+                for addr in dst.addresses:
+                    routes[addr] = nic
+            src.routes = routes
+
+    # -- convenience ---------------------------------------------------------------
+    def path_hops(self, src: str, dst: str) -> list[str]:
+        """Node names a datagram from ``src`` to ``dst`` would traverse."""
+        node = self.node_of(src)
+        target = self.resolve(dst)
+        hops = [node.name]
+        guard = 0
+        while target not in node.addresses:
+            nic = node.routes.get(target)
+            if nic is None:
+                raise KeyError(f"no route from {src} to {dst}")
+            node = nic.peer
+            hops.append(node.name)
+            guard += 1
+            if guard > 64:
+                raise RuntimeError("routing loop detected")
+        return hops

@@ -1,0 +1,34 @@
+"""Discrete-event simulation substrate (kernel, IPC primitives, RNG streams)."""
+
+from .kernel import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .rand import RandomStreams
+from .resources import Resource, Segment, SharedMemory, Store
+from .trace import TraceRecord, Tracer, attach_node_tap
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AnyOf",
+    "AllOf",
+    "SimulationError",
+    "Store",
+    "Resource",
+    "SharedMemory",
+    "Segment",
+    "RandomStreams",
+    "Tracer",
+    "TraceRecord",
+    "attach_node_tap",
+]

@@ -1,0 +1,394 @@
+"""Discrete-event simulation kernel.
+
+The kernel is the substrate every other subsystem (network, hosts, the Smart
+socket components) runs on.  It is a compact, from-scratch, generator-based
+event loop in the style of SimPy:
+
+* a :class:`Simulator` owns a priority queue of timestamped :class:`Event`\\ s,
+* a :class:`Process` wraps a Python generator; each ``yield``\\ ed event
+  suspends the process until the event fires,
+* :class:`Timeout` models the passage of simulated time,
+* :class:`AnyOf` / :class:`AllOf` compose events (used e.g. for
+  "receive with timeout" in the UDP socket layer).
+
+Design notes
+------------
+Simulated time is a ``float`` of seconds.  Events scheduled at equal times are
+ordered FIFO by a monotonically increasing sequence number so runs are fully
+deterministic.  There is no wall-clock coupling anywhere: a whole testbed
+experiment runs in milliseconds of real time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AnyOf",
+    "AllOf",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for kernel misuse (yielding non-events, double triggering...)."""
+
+
+class Interrupt(Exception):
+    """Thrown *into* a process when another process interrupts it.
+
+    ``cause`` carries an arbitrary payload describing why the interrupt
+    happened (e.g. ``"shutdown"`` when a monitor daemon is stopped).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+def _defuse(event: "Event") -> None:
+    """Swallow a failure on an event nobody waits for any more."""
+    event._ok = True
+
+
+# Event states.
+PENDING = 0
+TRIGGERED = 1  # scheduled for processing, value decided
+PROCESSED = 2  # callbacks have run
+
+
+class Event:
+    """A happening at a point in simulated time.
+
+    Events are one-shot: they can succeed (with a value) or fail (with an
+    exception) exactly once.  Processes waiting on the event are resumed when
+    the simulator processes it.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_state", "__weakref__")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._state = PENDING
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._state >= TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        return self._state == PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        if self._state == PENDING:
+            raise SimulationError("event value not yet decided")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._state == PENDING:
+            raise SimulationError("event value not yet decided")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire successfully after ``delay`` seconds."""
+        if self._state != PENDING:
+            raise SimulationError("event already triggered")
+        self._state = TRIGGERED
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire by raising ``exc`` in waiters."""
+        if self._state != PENDING:
+            raise SimulationError("event already triggered")
+        if not isinstance(exc, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exc!r}")
+        self._state = TRIGGERED
+        self._ok = False
+        self._value = exc
+        self.sim._schedule(self, delay)
+        return self
+
+    # -- kernel internals ----------------------------------------------------
+    def _process_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._state = PROCESSED
+        if callbacks:
+            for cb in callbacks:
+                cb(self)
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Run ``cb(event)`` when the event is processed (immediately if done)."""
+        if self.callbacks is None:
+            cb(self)
+        else:
+            self.callbacks.append(cb)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = {PENDING: "pending", TRIGGERED: "triggered", PROCESSED: "processed"}
+        return f"<{type(self).__name__} {state[self._state]} at t={self.sim.now:.6f}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay; ``yield sim.timeout(d)``."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._state = TRIGGERED
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class Process(Event):
+    """A coroutine-as-process.  The process *is* an event: it triggers with
+    the generator's return value when the generator finishes (or fails with
+    the uncaught exception).
+    """
+
+    __slots__ = ("gen", "name", "_target", "_interrupts", "_started")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        super().__init__(sim)
+        if not hasattr(gen, "send"):
+            raise SimulationError(f"Process needs a generator, got {gen!r}")
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._target: Optional[Event] = None
+        self._interrupts: list[Interrupt] = []
+        self._started = False
+        # Kick the process off at the current sim time.
+        boot = Event(sim)
+        boot.succeed()
+        boot.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._state == PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            return
+        self._interrupts.append(Interrupt(cause))
+        if self._target is not None:
+            # Detach from whatever we were waiting for; the event may still
+            # fire later but will find no waiter — defuse any failure it
+            # carries so an abandoned error does not crash the event loop.
+            target, self._target = self._target, None
+            if target.callbacks is not None and self._proceed in target.callbacks:
+                target.callbacks.remove(self._proceed)
+                target.add_callback(_defuse)
+        wake = Event(self.sim)
+        wake.succeed()
+        wake.add_callback(self._resume)
+
+    def _resume(self, event: Event) -> None:
+        self.sim._active_proc = self
+        try:
+            while True:
+                try:
+                    if not self._started:
+                        # a generator must be entered before anything can be
+                        # thrown into it (interrupt-before-first-run case);
+                        # queued interrupts are delivered on the next resume
+                        self._started = True
+                        target = self.gen.send(None)
+                    elif self._interrupts:
+                        interrupt = self._interrupts.pop(0)
+                        target = self.gen.throw(interrupt)
+                    elif event is not None and not event.ok:
+                        exc = event.value
+                        event._ok = True  # mark as handled by this process
+                        target = self.gen.throw(exc)
+                    else:
+                        target = self.gen.send(event.value if event is not None else None)
+                except StopIteration as stop:
+                    self._state = PENDING  # allow succeed()
+                    self.succeed(stop.value)
+                    return
+                except Interrupt:
+                    raise SimulationError(
+                        f"process {self.name!r} did not handle an Interrupt"
+                    ) from None
+
+                if not isinstance(target, Event):
+                    raise SimulationError(
+                        f"process {self.name!r} yielded non-event {target!r}"
+                    )
+                if target.callbacks is None:
+                    # Already processed: loop immediately with its value
+                    # (the top of the loop re-raises if it had failed).
+                    event = target
+                    continue
+                self._target = target
+                target.add_callback(self._proceed)
+                return
+        except BaseException as exc:
+            if isinstance(exc, SimulationError):
+                raise
+            self._state = PENDING
+            self.fail(exc)
+        finally:
+            self.sim._active_proc = None
+
+    def _proceed(self, event: Event) -> None:
+        self._target = None
+        self._resume(event)
+
+
+class _Condition(Event):
+    """Base for AnyOf / AllOf composition events."""
+
+    __slots__ = ("events", "_done")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._done = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            ev.add_callback(self._check)
+
+    def _collect(self) -> dict[Event, Any]:
+        return {ev: ev.value for ev in self.events if ev.processed and ev.ok}
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Fires as soon as *any* of the composed events fires."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._state != PENDING:
+            return
+        if not event._ok:
+            self.fail(event.value)
+            event._ok = True
+        else:
+            self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Fires when *all* of the composed events have fired."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._state != PENDING:
+            return
+        if not event._ok:
+            self.fail(event.value)
+            event._ok = True
+            return
+        self._done += 1
+        if self._done == len(self.events):
+            self.succeed(self._collect())
+
+
+class Simulator:
+    """The event loop.
+
+    >>> sim = Simulator()
+    >>> def hello():
+    ...     yield sim.timeout(3.0)
+    ...     return sim.now
+    >>> p = sim.process(hello())
+    >>> sim.run()
+    >>> p.value
+    3.0
+    """
+
+    def __init__(self):
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._active_proc: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_proc
+
+    # -- event factories ---------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        return Process(self, gen, name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, next(self._seq), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event.
+
+        If the event carried a failure that no waiter *defused* (by having the
+        exception thrown into it), the exception propagates out of the event
+        loop — an uncaught crash inside a simulated daemon fails the run
+        loudly instead of disappearing.
+        """
+        when, _, event = heapq.heappop(self._queue)
+        self._now = when
+        event._process_callbacks()
+        if not event._ok:
+            raise event._value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or simulated time reaches ``until``.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if the last event fires earlier.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(f"until={until} is in the past (now={self._now})")
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                break
+            self.step()
+        if until is not None:
+            self._now = max(self._now, until)

@@ -1,0 +1,186 @@
+"""Synchronisation and IPC primitives for simulated processes.
+
+The paper's components coordinate through classic System V IPC: semaphores
+and keyed shared-memory segments (thesis Table 4.3).  Inside the event loop
+we model the same semantics:
+
+* :class:`Store` — an unbounded (or bounded) FIFO message queue.  UDP/TCP
+  socket receive queues and monitor in-boxes are Stores.
+* :class:`Resource` — a counted semaphore with FIFO hand-off, used for the
+  shared-memory locks.
+* :class:`SharedMemory` — a keyed segment registry mirroring the
+  ``shmget``/``semget`` key scheme of the paper so a monitor machine and a
+  wizard machine can each own segments under keys 1234/1235/1236 and
+  4321/5321/6321 without clashing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .kernel import Event, Simulator, SimulationError
+
+__all__ = ["Store", "Resource", "SharedMemory", "Segment"]
+
+
+class StoreFull(SimulationError):
+    """Raised when putting into a bounded :class:`Store` past capacity."""
+
+
+class Store:
+    """FIFO queue of items with event-based ``get``.
+
+    ``put`` is immediate (dropping or raising when bounded and full —
+    matching how a UDP receive buffer drops datagrams), ``get`` returns an
+    :class:`Event` that fires when an item is available.
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None,
+                 drop_when_full: bool = False):
+        if capacity is not None and capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.drop_when_full = drop_when_full
+        self.items: list[Any] = []
+        self._getters: list[Event] = []
+        self.dropped = 0  # datagrams lost to a full buffer
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> bool:
+        """Add ``item``; returns ``False`` if it was dropped (bounded+full)."""
+        while self._getters:
+            getter = self._getters.pop(0)
+            if getter.triggered:  # e.g. cancelled by a timeout race
+                continue
+            getter.succeed(item)
+            return True
+        if self.capacity is not None and len(self.items) >= self.capacity:
+            if self.drop_when_full:
+                self.dropped += 1
+                return False
+            raise StoreFull(f"store at capacity {self.capacity}")
+        self.items.append(item)
+        return True
+
+    def get(self) -> Event:
+        """Event that fires with the oldest item."""
+        ev = self.sim.event()
+        if self.items:
+            ev.succeed(self.items.pop(0))
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get; ``None`` when empty."""
+        return self.items.pop(0) if self.items else None
+
+
+class Resource:
+    """Counted semaphore with FIFO hand-off.
+
+    >>> lock = Resource(sim, capacity=1)
+    >>> # inside a process:
+    >>> #   yield lock.acquire()
+    >>> #   ... critical section ...
+    >>> #   lock.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: list[Event] = []
+
+    def acquire(self) -> Event:
+        ev = self.sim.event()
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            ev.succeed(self)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self.in_use <= 0:
+            raise SimulationError("release() without matching acquire()")
+        while self._waiters:
+            waiter = self._waiters.pop(0)
+            if waiter.triggered:
+                continue
+            waiter.succeed(self)  # hand the slot straight over
+            return
+        self.in_use -= 1
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+
+class Segment:
+    """One keyed shared-memory segment: a value slot plus its semaphore."""
+
+    def __init__(self, sim: Simulator, key: int):
+        self.key = key
+        self.value: Any = None
+        self.lock = Resource(sim, capacity=1)
+        self.writes = 0
+        self.reads = 0
+
+    def write(self, value: Any) -> None:
+        """Unlocked write (caller holds the semaphore)."""
+        self.value = value
+        self.writes += 1
+
+    def read(self) -> Any:
+        self.reads += 1
+        return self.value
+
+
+class SharedMemory:
+    """Registry of :class:`Segment`\\ s addressed by integer key.
+
+    Mirrors the paper's key layout (Table 4.3): the same key addresses the
+    semaphore and the memory region, and distinct key ranges on the monitor
+    machine vs the wizard machine mean all daemons can coexist on one host.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._segments: dict[int, Segment] = {}
+
+    def segment(self, key: int) -> Segment:
+        """Get-or-create the segment for ``key`` (``shmget`` with IPC_CREAT)."""
+        seg = self._segments.get(key)
+        if seg is None:
+            seg = self._segments[key] = Segment(self.sim, key)
+        return seg
+
+    def keys(self) -> list[int]:
+        return sorted(self._segments)
+
+    def locked_write(self, key: int, value: Any):
+        """Process generator: acquire the segment lock, write, release."""
+        seg = self.segment(key)
+        yield seg.lock.acquire()
+        try:
+            seg.write(value)
+        finally:
+            seg.lock.release()
+
+    def locked_read(self, key: int):
+        """Process generator: acquire the segment lock, read, release.
+
+        Returns the stored value as the generator's return value.
+        """
+        seg = self.segment(key)
+        yield seg.lock.acquire()
+        try:
+            return seg.read()
+        finally:
+            seg.lock.release()

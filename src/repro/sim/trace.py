@@ -1,0 +1,98 @@
+"""Lightweight event tracing for debugging simulated systems.
+
+A :class:`Tracer` collects timestamped, categorised records during a run —
+packet deliveries, daemon decisions, experiment milestones — without
+perturbing the simulation.  Components that support tracing accept a
+tracer and call :meth:`Tracer.log`; helpers below attach taps to network
+nodes so packet flows can be traced without touching component code.
+
+Typical use::
+
+    tracer = Tracer(sim, categories={"wizard", "net"})
+    attach_node_tap(tracer, some_node)
+    ... run ...
+    print(tracer.format())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from .kernel import Simulator
+
+__all__ = ["Tracer", "TraceRecord", "attach_node_tap"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    time: float
+    category: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.time:12.6f}] {self.category:>8}  {self.message}"
+
+
+class Tracer:
+    """Bounded in-memory trace log with category filtering."""
+
+    def __init__(self, sim: Simulator, categories: Optional[Iterable[str]] = None,
+                 max_records: int = 100_000):
+        if max_records <= 0:
+            raise ValueError(f"max_records must be positive, got {max_records}")
+        self.sim = sim
+        #: None = trace everything; otherwise only these categories
+        self.categories = set(categories) if categories is not None else None
+        self.max_records = max_records
+        self.records: list[TraceRecord] = []
+        self.dropped = 0
+
+    def wants(self, category: str) -> bool:
+        return self.categories is None or category in self.categories
+
+    def log(self, category: str, message: str) -> None:
+        if not self.wants(category):
+            return
+        if len(self.records) >= self.max_records:
+            self.dropped += 1
+            return
+        self.records.append(TraceRecord(self.sim.now, category, message))
+
+    # -- querying -----------------------------------------------------------
+    def select(self, category: Optional[str] = None,
+               since: float = 0.0) -> list[TraceRecord]:
+        return [
+            r for r in self.records
+            if (category is None or r.category == category) and r.time >= since
+        ]
+
+    def format(self, category: Optional[str] = None, last: int = 0) -> str:
+        records = self.select(category)
+        if last:
+            records = records[-last:]
+        lines = [str(r) for r in records]
+        if self.dropped:
+            lines.append(f"... {self.dropped} records dropped (max_records)")
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.dropped = 0
+
+
+def attach_node_tap(tracer: Tracer, node, category: str = "net") -> None:
+    """Trace every datagram delivered locally at ``node``."""
+
+    previous = node.tap
+
+    def tap(dgram, n):
+        if previous is not None:
+            previous(dgram, n)
+        tracer.log(
+            category,
+            f"{n.name} <- {dgram.proto} {dgram.src}:{dgram.sport} -> "
+            f":{dgram.dport} ({dgram.size}B id={dgram.id})",
+        )
+
+    node.tap = tap

@@ -1,0 +1,20 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+def run_process(sim: Simulator, gen, until: float | None = None):
+    """Run ``gen`` as a process to completion and return its value."""
+    proc = sim.process(gen)
+    sim.run(until)
+    assert proc.processed, "process did not finish within the horizon"
+    return proc.value

@@ -1,0 +1,78 @@
+"""Edge cases of the receiver/transmitter pairing and wizard group mapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, Deployment
+from repro.core import Config, Mode
+from repro.core.records import MSG_SYSDB
+from tests.conftest import run_process
+
+
+def world():
+    cluster = Cluster(seed=71)
+    w = cluster.add_host("w")
+    m = cluster.add_host("m")
+    s = cluster.add_host("s")
+    cluster.link(w, m)
+    cluster.link(m, s)
+    cluster.finalize()
+    cfg = Config(probe_interval=0.5, transmit_interval=0.5)
+    dep = Deployment(cluster, wizard_host=w, config=cfg)
+    dep.add_group("g", monitor_host=m, servers=[s])
+    dep.start()
+    return cluster, dep
+
+
+class TestTransmitterRestart:
+    def test_push_resumes_after_transmitter_restart(self):
+        cluster, dep = world()
+        cluster.run(until=3.0)
+        tx = dep.groups["g"].transmitter
+        before = tx.snapshots_sent
+        assert before > 0
+        tx.stop()
+        cluster.run(until=5.0)
+        stalled = tx.snapshots_sent
+        tx.start()
+        cluster.run(until=8.0)
+        assert tx.snapshots_sent > stalled
+        assert len(dep.receiver.database(MSG_SYSDB)) == 1
+
+    def test_receiver_restart_recovers(self):
+        cluster, dep = world()
+        cluster.run(until=3.0)
+        dep.receiver.stop()
+        # wipe the wizard-side segment to prove it refills
+        dep.wizard_host.shm.segment(dep.config.shm.wizard_system).write({})
+        dep.receiver._sources.clear()
+        cluster.run(until=4.0)
+        dep.receiver._listener_proc = None
+        # a fresh listen on the same port requires the old one gone;
+        # Receiver.stop() closed it, so start() works again
+        dep.receiver.start()
+        cluster.run(until=10.0)
+        assert len(dep.receiver.database(MSG_SYSDB)) == 1
+
+
+class TestGroupMapping:
+    def test_unknown_prefix_maps_to_default_group(self):
+        cluster, dep = world()
+        assert dep.wizard.group_of("203.0.113.50") == dep.wizard.default_group
+
+    def test_server_prefix_maps_to_its_group(self):
+        cluster, dep = world()
+        server_addr = dep.groups["g"].servers[0].addr
+        assert dep.wizard.group_of(server_addr) == "g"
+
+
+class TestReceiverSessionTermination:
+    def test_transmitter_closing_conn_ends_session_quietly(self):
+        """A transmitter that closes its push connection must not crash
+        the receiver's session process (EOF handling)."""
+        cluster, dep = world()
+        cluster.run(until=3.0)
+        tx = dep.groups["g"].transmitter
+        tx.stop()  # closes the TCP connection (FIN)
+        cluster.run(until=6.0)  # would raise if the EOF leaked

@@ -1,0 +1,110 @@
+"""Tests for status records and wire encodings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    MSG_NETDB,
+    MSG_PULL,
+    MSG_SECDB,
+    MSG_SYSDB,
+    NetMetric,
+    NetStatusRecord,
+    SecurityRecord,
+    ServerStatusRecord,
+    ServerStatusReport,
+    WireMessage,
+)
+from repro.core.records import SERVER_RECORD_BYTES, validate_report_keys
+from repro.lang.variables import SERVER_SIDE_VARS
+
+
+def sample_report(**overrides):
+    values = {name: float(i) for i, name in enumerate(SERVER_SIDE_VARS)}
+    values.update(overrides)
+    return ServerStatusReport(host="mimas", addr="192.168.1.3",
+                              group="lab", values=values)
+
+
+class TestAsciiWire:
+    def test_roundtrip_exact(self):
+        report = sample_report(host_cpu_free=0.875, host_system_load1=1.25)
+        back = ServerStatusReport.from_wire(report.to_wire())
+        assert back.host == report.host
+        assert back.addr == report.addr
+        assert back.group == report.group
+        assert back.values == report.values
+
+    def test_wire_is_ascii_printable(self):
+        wire = sample_report().to_wire()
+        assert wire.isascii()
+        assert "\n" not in wire
+
+    def test_wire_size_in_thesis_ballpark(self):
+        # thesis §3.2.1: "less than 200 bytes"... our 22 full-precision
+        # values run a bit larger but stay well under one MTU
+        assert sample_report().wire_bytes < 900
+
+    def test_integral_values_encode_without_decimals(self):
+        wire = sample_report(host_memory_total=268435456.0).to_wire()
+        assert "host_memory_total=268435456" in wire
+        assert "host_memory_total=268435456.0" not in wire
+
+    def test_malformed_wire_rejected(self):
+        with pytest.raises(ValueError):
+            ServerStatusReport.from_wire("no pipes here")
+        with pytest.raises(ValueError):
+            ServerStatusReport.from_wire("h|a|g|novalue")
+
+    def test_validate_report_keys_accepts_known(self):
+        validate_report_keys(sample_report())
+
+    def test_validate_report_keys_rejects_unknown(self):
+        report = sample_report()
+        report.values["host_gpu_load"] = 1.0
+        with pytest.raises(ValueError, match="host_gpu_load"):
+            validate_report_keys(report)
+
+
+class TestRecords:
+    def test_age(self):
+        rec = ServerStatusRecord(report=sample_report(), updated_at=10.0)
+        assert rec.age(16.0) == 6.0
+        assert rec.addr == "192.168.1.3"
+        assert rec.host == "mimas"
+
+    def test_net_metric_immutable(self):
+        m = NetMetric(delay_ms=1.0, bw_mbps=95.0)
+        with pytest.raises(AttributeError):
+            m.bw_mbps = 10.0  # type: ignore[misc]
+
+
+class TestWireMessages:
+    def test_sysdb_size_follows_thesis_struct(self):
+        records = {f"10.0.0.{i}": ServerStatusRecord(sample_report(), 0.0)
+                   for i in range(5)}
+        msg = WireMessage.sysdb(records)
+        assert msg.type == MSG_SYSDB
+        assert msg.size == 5 * SERVER_RECORD_BYTES
+
+    def test_netdb_size_scales_with_pairs(self):
+        rec = NetStatusRecord(group="g1", metrics={
+            "g2": NetMetric(1.0, 90.0), "g3": NetMetric(2.0, 80.0),
+        })
+        msg = WireMessage.netdb({"g1": rec})
+        assert msg.type == MSG_NETDB
+        assert msg.size == 64
+
+    def test_secdb_and_pull(self):
+        msg = WireMessage.secdb({"h": SecurityRecord("h", 2)})
+        assert msg.type == MSG_SECDB
+        assert WireMessage.pull().type == MSG_PULL
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(ValueError):
+            WireMessage(99, 10, None)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            WireMessage(MSG_SYSDB, -1, None)

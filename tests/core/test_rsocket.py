@@ -1,0 +1,191 @@
+"""Tests for the reliable-socket layer (thesis §6 fault-tolerance extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core.rsocket import ReliableServer, ReliableSocket
+from tests.conftest import run_process
+
+
+def make_world():
+    cluster = Cluster(seed=31)
+    client = cluster.add_host("client")
+    server_host = cluster.add_host("server")
+    cluster.link(client, server_host)
+    cluster.finalize()
+    server = ReliableServer(server_host.stack, 7000)
+    server.start()
+    return cluster, client, server_host, server
+
+
+class TestBasicSession:
+    def test_send_recv_roundtrip(self):
+        cluster, client, _, server = make_world()
+        out = {}
+
+        def srv():
+            session = yield server.accept()
+            msg, n = yield session.recv()
+            out["server_got"] = (msg, n)
+            session.send(msg.upper(), 256)
+
+        def cli():
+            rsock = ReliableSocket(client.stack, "server", 7000)
+            yield from rsock.connect()
+            rsock.send("ping", 128)
+            msg, n = yield rsock.recv()
+            out["client_got"] = (msg, n)
+
+        cluster.sim.process(srv())
+        cluster.sim.process(cli())
+        cluster.run(until=30.0)
+        assert out["server_got"] == ("ping", 128)
+        assert out["client_got"] == ("PING", 256)
+
+    def test_messages_in_order(self):
+        cluster, client, _, server = make_world()
+        got = []
+
+        def srv():
+            session = yield server.accept()
+            for _ in range(5):
+                msg, _ = yield session.recv()
+                got.append(msg)
+
+        def cli():
+            rsock = ReliableSocket(client.stack, "server", 7000)
+            yield from rsock.connect()
+            for i in range(5):
+                rsock.send(i, 64)
+
+        cluster.sim.process(srv())
+        cluster.sim.process(cli())
+        cluster.run(until=30.0)
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_invalid_size_rejected(self):
+        cluster, client, _, server = make_world()
+
+        def cli():
+            rsock = ReliableSocket(client.stack, "server", 7000)
+            yield from rsock.connect()
+            with pytest.raises(ValueError):
+                rsock.send("x", 0)
+
+        run_process(cluster.sim, cli(), until=30.0)
+
+
+class TestSuspendResume:
+    def test_stream_continues_across_suspend(self):
+        cluster, client, _, server = make_world()
+        got = []
+
+        def srv():
+            session = yield server.accept()
+            while len(got) < 6:
+                msg, _ = yield session.recv()
+                got.append(msg)
+
+        def cli():
+            rsock = ReliableSocket(client.stack, "server", 7000)
+            yield from rsock.connect()
+            for i in range(3):
+                rsock.send(i, 64)
+            yield cluster.sim.timeout(1.0)
+            rsock.suspend()
+            # sends while suspended are buffered
+            rsock.send(3, 64)
+            rsock.send(4, 64)
+            yield cluster.sim.timeout(2.0)
+            yield from rsock.resume()
+            rsock.send(5, 64)
+            return rsock
+
+        cluster.sim.process(srv())
+        proc = cluster.sim.process(cli())
+        cluster.run(until=60.0)
+        assert got == [0, 1, 2, 3, 4, 5]
+        assert proc.value.reconnects == 1
+
+    def test_no_duplicates_when_acks_lost_with_connection(self):
+        """Messages acked at the TCP level but whose session RACK raced the
+        suspend must not be delivered twice after resume."""
+        cluster, client, _, server = make_world()
+        got = []
+
+        def srv():
+            session = yield server.accept()
+            while len(got) < 4:
+                msg, _ = yield session.recv()
+                got.append(msg)
+
+        def cli():
+            rsock = ReliableSocket(client.stack, "server", 7000)
+            yield from rsock.connect()
+            rsock.send("a", 64)
+            rsock.send("b", 64)
+            # suspend immediately: RACKs may not have come back yet
+            rsock.suspend()
+            yield from rsock.resume()
+            rsock.send("c", 64)
+            rsock.send("d", 64)
+
+        cluster.sim.process(srv())
+        cluster.sim.process(cli())
+        cluster.run(until=60.0)
+        assert got == ["a", "b", "c", "d"]
+
+    def test_server_replies_survive_reconnect(self):
+        cluster, client, _, server = make_world()
+        out = {}
+
+        def srv():
+            session = yield server.accept()
+            msg, _ = yield session.recv()
+            # client is suspended right now; this buffers
+            session.send("answer", 64)
+
+        def cli():
+            rsock = ReliableSocket(client.stack, "server", 7000)
+            yield from rsock.connect()
+            rsock.send("question", 64)
+            yield cluster.sim.timeout(0.5)
+            rsock.suspend()
+            yield cluster.sim.timeout(2.0)
+            yield from rsock.resume()
+            msg, _ = yield rsock.recv()
+            out["reply"] = msg
+
+        cluster.sim.process(srv())
+        cluster.sim.process(cli())
+        cluster.run(until=60.0)
+        assert out["reply"] == "answer"
+
+    def test_sessions_are_independent(self):
+        cluster, client, _, server = make_world()
+        got = {}
+
+        def srv():
+            while True:
+                session = yield server.accept()
+                cluster.sim.process(serve_one(session))
+
+        def serve_one(session):
+            msg, _ = yield session.recv()
+            got[session.session_id] = msg
+
+        def cli(tag):
+            rsock = ReliableSocket(client.stack, "server", 7000)
+            yield from rsock.connect()
+            rsock.send(tag, 64)
+            return rsock
+
+        cluster.sim.process(srv())
+        p1 = cluster.sim.process(cli("one"))
+        p2 = cluster.sim.process(cli("two"))
+        cluster.run(until=30.0)
+        assert sorted(got.values()) == ["one", "two"]
+        assert p1.value.session_id != p2.value.session_id
+        assert len(server.sessions) == 2

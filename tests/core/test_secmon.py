@@ -1,0 +1,93 @@
+"""Tests for the security monitor and its pluggable sources."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import (
+    DummySecurityLog,
+    FingerprintScanner,
+    SecurityMonitor,
+)
+from repro.host import Machine
+from repro.sim import Simulator
+
+
+class TestDummySecurityLog:
+    def test_parses_host_level_lines(self):
+        log = DummySecurityLog("mimas 2\ntelesto 1\n")
+        assert log.collect() == [("mimas", 2), ("telesto", 1)]
+
+    def test_comments_and_blanks_ignored(self):
+        log = DummySecurityLog("# header\n\nmimas 2  # trusted\n")
+        assert log.collect() == [("mimas", 2)]
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError, match="line 1"):
+            DummySecurityLog("mimas\n").collect()
+
+    def test_set_text_updates(self):
+        log = DummySecurityLog("a 1")
+        log.set_text("b 2")
+        assert log.collect() == [("b", 2)]
+
+
+class TestFingerprintScanner:
+    def test_maps_os_to_level(self, sim):
+        machines = [
+            Machine(sim, "old", 1000, 1 << 20, os_name="Redhat Linux 7.3 (2.4)"),
+            Machine(sim, "new", 1000, 1 << 20, os_name="Debian (Linux 2.6)"),
+            Machine(sim, "unknown", 1000, 1 << 20, os_name="BeOS"),
+        ]
+        scanner = FingerprintScanner(machines)
+        levels = dict(scanner.collect())
+        assert levels == {"old": 2, "new": 3, "unknown": 0}
+
+
+class TestSecurityMonitorDaemon:
+    def make(self, sim, source, interval=1.0):
+        cluster = Cluster(sim)
+        host = cluster.add_host("monitor")
+        other = cluster.add_host("x")
+        cluster.link(host, other)
+        cluster.finalize()
+        return SecurityMonitor(sim, host.shm, source, interval=interval)
+
+    def test_publishes_levels(self, sim):
+        mon = self.make(sim, DummySecurityLog("mimas 2\ntelesto 1"))
+        mon.start()
+        sim.run(until=0.5)
+        db = mon.database()
+        assert db["mimas"].level == 2
+        assert db["telesto"].level == 1
+
+    def test_log_update_propagates(self, sim):
+        log = DummySecurityLog("mimas 2")
+        mon = self.make(sim, log, interval=1.0)
+        mon.start()
+        sim.run(until=0.5)
+        log.set_text("mimas 0")  # compromised!
+        sim.run(until=2.0)
+        assert mon.database()["mimas"].level == 0
+
+    def test_bad_source_counts_error_and_keeps_running(self, sim):
+        log = DummySecurityLog("good 1")
+        mon = self.make(sim, log, interval=1.0)
+        mon.start()
+        sim.run(until=0.5)
+        log.set_text("broken line without level_number x y")
+        sim.run(until=2.0)
+        assert mon.errors >= 1
+        log.set_text("good 3")
+        sim.run(until=4.0)
+        assert mon.database()["good"].level == 3
+
+    def test_stop(self, sim):
+        mon = self.make(sim, DummySecurityLog("a 1"))
+        mon.start()
+        sim.run(until=0.5)
+        mon.stop()
+        scans = mon.scans
+        sim.run(until=5.0)
+        assert mon.scans == scans

@@ -1,0 +1,178 @@
+"""Tests for the transmitter/receiver pair in both operating modes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import (
+    Config,
+    MSG_NETDB,
+    MSG_SECDB,
+    MSG_SYSDB,
+    Mode,
+    NetMetric,
+    NetStatusRecord,
+    Receiver,
+    SecurityRecord,
+    ServerStatusRecord,
+    ServerStatusReport,
+    Transmitter,
+)
+from tests.conftest import run_process
+
+
+def seed_monitor_shm(host, cfg, tag):
+    """Put recognisable data in the monitor-side segments."""
+    report = ServerStatusReport(host=f"srv-{tag}", addr=f"10.0.{tag}.1",
+                                group=f"g{tag}", values={"host_cpu_free": 0.5})
+    host.shm.segment(cfg.shm.monitor_system).write(
+        {report.addr: ServerStatusRecord(report, updated_at=0.0)}
+    )
+    host.shm.segment(cfg.shm.monitor_network).write(
+        {f"g{tag}": NetStatusRecord(group=f"g{tag}",
+                                    metrics={"gx": NetMetric(1.0, 90.0)})}
+    )
+    host.shm.segment(cfg.shm.monitor_security).write(
+        {f"srv-{tag}": SecurityRecord(f"srv-{tag}", level=tag)}
+    )
+
+
+def make_world(mode, n_monitors=1):
+    cluster = Cluster(seed=7)
+    wizard_host = cluster.add_host("wizard")
+    monitors = []
+    for i in range(n_monitors):
+        m = cluster.add_host(f"mon{i}")
+        cluster.link(m, wizard_host)
+        monitors.append(m)
+    cluster.finalize()
+    cfg = Config(transmit_interval=1.0, mode=mode)
+    receiver = Receiver(cluster.sim, wizard_host.stack, wizard_host.shm, cfg)
+    transmitters = []
+    for i, m in enumerate(monitors):
+        seed_monitor_shm(m, cfg, i + 1)
+        transmitters.append(Transmitter(
+            cluster.sim, m.stack, m.shm,
+            receiver_addr=wizard_host.addr, config=cfg, mode=mode,
+        ))
+    return cluster, cfg, receiver, transmitters, monitors
+
+
+class TestCentralized:
+    def test_push_populates_wizard_segments(self):
+        cluster, cfg, receiver, txs, _ = make_world(Mode.CENTRALIZED)
+        receiver.start()
+        txs[0].start()
+        cluster.run(until=3.0)
+        sysdb = receiver.database(MSG_SYSDB)
+        assert "10.0.1.1" in sysdb
+        netdb = receiver.database(MSG_NETDB)
+        assert netdb["g1"].metrics["gx"].bw_mbps == 90.0
+        secdb = receiver.database(MSG_SECDB)
+        assert secdb["srv-1"].level == 1
+        assert txs[0].snapshots_sent >= 2
+
+    def test_two_sources_merge(self):
+        cluster, cfg, receiver, txs, _ = make_world(Mode.CENTRALIZED, n_monitors=2)
+        receiver.start()
+        for tx in txs:
+            tx.start()
+        cluster.run(until=3.0)
+        sysdb = receiver.database(MSG_SYSDB)
+        assert {"10.0.1.1", "10.0.2.1"} <= set(sysdb)
+        secdb = receiver.database(MSG_SECDB)
+        assert secdb["srv-1"].level == 1 and secdb["srv-2"].level == 2
+
+    def test_update_replaces_own_contribution_only(self):
+        cluster, cfg, receiver, txs, monitors = make_world(
+            Mode.CENTRALIZED, n_monitors=2)
+        receiver.start()
+        for tx in txs:
+            tx.start()
+        cluster.run(until=2.5)
+        # monitor 1's server set shrinks to empty
+        monitors[0].shm.segment(cfg.shm.monitor_system).write({})
+        cluster.run(until=5.0)
+        sysdb = receiver.database(MSG_SYSDB)
+        assert "10.0.1.1" not in sysdb   # source 1 gone
+        assert "10.0.2.1" in sysdb       # source 2 untouched
+
+    def test_push_survives_receiver_starting_late(self):
+        cluster, cfg, receiver, txs, _ = make_world(Mode.CENTRALIZED)
+        txs[0].start()  # receiver not yet listening: connects fail quietly
+
+        def late():
+            yield cluster.sim.timeout(3.0)
+            receiver.start()
+
+        cluster.sim.process(late())
+        cluster.run(until=8.0)
+        assert "10.0.1.1" in receiver.database(MSG_SYSDB)
+
+    def test_centralized_requires_receiver_addr(self):
+        cluster = Cluster(seed=8)
+        m = cluster.add_host("m")
+        other = cluster.add_host("o")
+        cluster.link(m, other)
+        cluster.finalize()
+        with pytest.raises(ValueError):
+            Transmitter(cluster.sim, m.stack, m.shm, receiver_addr=None,
+                        mode=Mode.CENTRALIZED)
+
+
+class TestDistributed:
+    def test_no_traffic_until_pull(self):
+        cluster, cfg, receiver, txs, _ = make_world(Mode.DISTRIBUTED)
+        txs[0].start()
+        cluster.run(until=5.0)
+        assert txs[0].snapshots_sent == 0
+        assert receiver.database(MSG_SYSDB) == {}
+
+    def test_pull_fetches_snapshot(self):
+        cluster, cfg, receiver, txs, monitors = make_world(Mode.DISTRIBUTED)
+        txs[0].start()
+        receiver.add_transmitter(monitors[0].addr)
+
+        def p():
+            yield from receiver.pull_all()
+            return receiver.database(MSG_SYSDB)
+
+        sysdb = run_process(cluster.sim, p(), until=30.0)
+        assert "10.0.1.1" in sysdb
+        assert txs[0].snapshots_sent == 1
+
+    def test_repeated_pulls_reuse_connection(self):
+        cluster, cfg, receiver, txs, monitors = make_world(Mode.DISTRIBUTED)
+        txs[0].start()
+        receiver.add_transmitter(monitors[0].addr)
+
+        def p():
+            yield from receiver.pull_all()
+            yield from receiver.pull_all()
+            return len(receiver._pull_conns)
+
+        conns = run_process(cluster.sim, p(), until=30.0)
+        assert conns == 1
+        assert txs[0].snapshots_sent == 2
+
+    def test_pull_reflects_fresh_monitor_state(self):
+        cluster, cfg, receiver, txs, monitors = make_world(Mode.DISTRIBUTED)
+        txs[0].start()
+        receiver.add_transmitter(monitors[0].addr)
+
+        def p():
+            yield from receiver.pull_all()
+            first = set(receiver.database(MSG_SYSDB))
+            report = ServerStatusReport(host="late", addr="10.9.9.9",
+                                        group="g1", values={})
+            seg = monitors[0].shm.segment(cfg.shm.monitor_system)
+            db = dict(seg.read())
+            db["10.9.9.9"] = ServerStatusRecord(report, updated_at=cluster.sim.now)
+            seg.write(db)
+            yield from receiver.pull_all()
+            return first, set(receiver.database(MSG_SYSDB))
+
+        first, second = run_process(cluster.sim, p(), until=30.0)
+        assert "10.9.9.9" not in first
+        assert "10.9.9.9" in second

@@ -1,0 +1,219 @@
+"""Tests for wizard matching logic (thesis §3.6.1) — pure, via .match()."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import (
+    Config,
+    NetMetric,
+    NetStatusRecord,
+    SecurityRecord,
+    ServerStatusRecord,
+    ServerStatusReport,
+    Wizard,
+    WizardReply,
+    WizardRequest,
+)
+from repro.sim import SharedMemory, Simulator
+
+
+def make_wizard(sim=None):
+    cluster = Cluster(sim, seed=9)
+    w = cluster.add_host("wiz")
+    o = cluster.add_host("other")
+    cluster.link(w, o, subnet="10.0.0")
+    cluster.finalize()
+    wizard = Wizard(cluster.sim, w.stack, w.shm)
+    wizard.register_group("10.1.1", "g1")
+    wizard.register_group("10.2.2", "g2")
+    wizard.register_group("10.0.0", "client-net")
+    return wizard
+
+
+def record(host, addr, group="g1", **values):
+    defaults = {
+        "host_cpu_free": 1.0,
+        "host_memory_free": 200.0,
+        "host_cpu_bogomips": 3000.0,
+        "host_system_load1": 0.0,
+    }
+    defaults.update(values)
+    return ServerStatusRecord(
+        ServerStatusReport(host=host, addr=addr, group=group, values=defaults),
+        updated_at=0.0,
+    )
+
+
+def request(detail, n=10, option=""):
+    return WizardRequest(seq=1, server_num=n, option=option, detail=detail)
+
+
+CLIENT = "10.0.0.99"
+
+
+class TestMatching:
+    def test_filters_by_requirement(self):
+        sysdb = {
+            "10.1.1.1": record("fast", "10.1.1.1", host_cpu_bogomips=4771.0),
+            "10.1.1.2": record("slow", "10.1.1.2", host_cpu_bogomips=1730.0),
+        }
+        wizard = make_wizard()
+        out = wizard.match(request("host_cpu_bogomips > 4000"), CLIENT, sysdb, {}, {})
+        assert out == ["10.1.1.1"]
+
+    def test_server_num_caps_result(self):
+        sysdb = {f"10.1.1.{i}": record(f"s{i}", f"10.1.1.{i}") for i in range(1, 9)}
+        wizard = make_wizard()
+        out = wizard.match(request("host_cpu_free > 0.5", n=3), CLIENT, sysdb, {}, {})
+        assert len(out) == 3
+
+    def test_hard_cap_at_60(self):
+        wizard = make_wizard()
+        sysdb = {}
+        for i in range(70):
+            addr = f"10.1.{i // 250 + 1}.{i % 250 + 1}"
+            sysdb[addr] = record(f"s{i}", addr)
+        out = wizard.match(request("host_cpu_free > 0.5", n=100), CLIENT, sysdb, {}, {})
+        assert len(out) == 60
+
+    def test_denied_hosts_removed(self):
+        sysdb = {
+            "10.1.1.1": record("keep", "10.1.1.1"),
+            "10.1.1.2": record("blacklisted", "10.1.1.2"),
+        }
+        req = request("(host_cpu_free > 0.5) && (user_denied_host1 = blacklisted)")
+        wizard = make_wizard()
+        out = wizard.match(req, CLIENT, sysdb, {}, {})
+        assert out == ["10.1.1.1"]
+
+    def test_denied_by_address_also_works(self):
+        sysdb = {"10.1.1.2": record("h", "10.1.1.2")}
+        req = request("(host_cpu_free > 0.5) && (user_denied_host1 = 10.1.1.2)")
+        wizard = make_wizard()
+        assert wizard.match(req, CLIENT, sysdb, {}, {}) == []
+
+    def test_preferred_hosts_come_first(self):
+        sysdb = {f"10.1.1.{i}": record(f"s{i}", f"10.1.1.{i}") for i in range(1, 5)}
+        req = request(
+            "host_cpu_free > 0.5\nuser_preferred_host1 = s3", n=2)
+        wizard = make_wizard()
+        out = wizard.match(req, CLIENT, sysdb, {}, {})
+        assert out[0] == "10.1.1.3"
+
+    def test_empty_requirement_qualifies_all(self):
+        sysdb = {"10.1.1.1": record("a", "10.1.1.1")}
+        wizard = make_wizard()
+        assert wizard.match(request(""), CLIENT, sysdb, {}, {}) == ["10.1.1.1"]
+
+    def test_unparseable_requirement_returns_empty(self):
+        sysdb = {"10.1.1.1": record("a", "10.1.1.1")}
+        wizard = make_wizard()
+        out = wizard.match(request("@@@ ???"), CLIENT, sysdb, {}, {})
+        assert out == []
+        assert wizard.parse_failures == 1
+
+    def test_partial_bad_line_recovers(self):
+        sysdb = {
+            "10.1.1.1": record("good", "10.1.1.1", host_cpu_bogomips=5000.0),
+            "10.1.1.2": record("bad", "10.1.1.2", host_cpu_bogomips=1000.0),
+        }
+        req = request("host_cpu_bogomips > 4000\n* 3 +\n")
+        wizard = make_wizard()
+        assert wizard.match(req, CLIENT, sysdb, {}, {}) == ["10.1.1.1"]
+
+
+class TestMonitorVars:
+    def _netdb(self):
+        return {
+            "client-net": NetStatusRecord(
+                group="client-net",
+                metrics={"g1": NetMetric(delay_ms=2.0, bw_mbps=95.0),
+                         "g2": NetMetric(delay_ms=30.0, bw_mbps=95.0)},
+            ),
+            "g2": NetStatusRecord(
+                group="g2",
+                metrics={"client-net": NetMetric(delay_ms=30.0, bw_mbps=5.0)},
+            ),
+        }
+
+    def test_delay_requirement_uses_client_group_metrics(self):
+        sysdb = {
+            "10.1.1.1": record("near", "10.1.1.1", group="g1"),
+            "10.2.2.1": record("far", "10.2.2.1", group="g2"),
+        }
+        req = request("monitor_network_delay < 20")
+        wizard = make_wizard()
+        out = wizard.match(req, CLIENT, sysdb, self._netdb(), {})
+        assert out == ["10.1.1.1"]
+
+    def test_bw_takes_min_of_both_directions(self):
+        """g2's own shaped egress (5 Mbps) must disqualify it even though
+        the client-side probe saw 95 Mbps toward g2."""
+        sysdb = {"10.2.2.1": record("shaped", "10.2.2.1", group="g2")}
+        req = request("monitor_network_bw > 50")
+        wizard = make_wizard()
+        assert wizard.match(req, CLIENT, sysdb, self._netdb(), {}) == []
+
+    def test_same_group_counts_as_local(self):
+        sysdb = {"10.0.0.5": record("near", "10.0.0.5", group="client-net")}
+        req = request("monitor_network_bw > 50 && monitor_network_delay < 1")
+        wizard = make_wizard()
+        assert wizard.match(req, CLIENT, sysdb, {}, {}) == ["10.0.0.5"]
+
+    def test_missing_metrics_disqualify(self):
+        sysdb = {"10.1.1.1": record("unknown-path", "10.1.1.1", group="g1")}
+        req = request("monitor_network_bw > 1")
+        wizard = make_wizard()
+        assert wizard.match(req, CLIENT, sysdb, {}, {}) == []
+
+
+class TestSecurityVars:
+    def test_secdb_overrides_probe_level(self):
+        sysdb = {"10.1.1.1": record("h", "10.1.1.1", host_security_level=1.0)}
+        secdb = {"h": SecurityRecord("h", level=0)}
+        req = request("host_security_level >= 1")
+        wizard = make_wizard()
+        assert wizard.match(req, CLIENT, sysdb, {}, secdb) == []
+        assert wizard.match(req, CLIENT, sysdb, {}, {}) == ["10.1.1.1"]
+
+
+class TestRankingOption:
+    def _sysdb(self):
+        return {
+            "10.1.1.1": record("small", "10.1.1.1", host_memory_free=64.0),
+            "10.1.1.2": record("large", "10.1.1.2", host_memory_free=512.0),
+            "10.1.1.3": record("mid", "10.1.1.3", host_memory_free=256.0),
+        }
+
+    def test_rank_descending_default(self):
+        """Thesis §6 wants '3 servers with largest memory' — the rank
+        option delivers it."""
+        req = request("host_cpu_free > 0.5", n=2, option="rank:host_memory_free")
+        wizard = make_wizard()
+        out = wizard.match(req, CLIENT, self._sysdb(), {}, {})
+        assert out == ["10.1.1.2", "10.1.1.3"]
+
+    def test_rank_ascending(self):
+        req = request("host_cpu_free > 0.5", n=2,
+                      option="rank:host_memory_free:asc")
+        wizard = make_wizard()
+        out = wizard.match(req, CLIENT, self._sysdb(), {}, {})
+        assert out == ["10.1.1.1", "10.1.1.3"]
+
+    def test_unknown_option_ignored(self):
+        req = request("host_cpu_free > 0.5", option="frobnicate")
+        wizard = make_wizard()
+        assert len(wizard.match(req, CLIENT, self._sysdb(), {}, {})) == 3
+
+
+class TestWireFormats:
+    def test_request_size_tracks_fields(self):
+        r = WizardRequest(seq=1, server_num=3, option="", detail="a > 1")
+        assert r.wire_bytes == 12 + len("a > 1")
+
+    def test_reply_counts_servers(self):
+        r = WizardReply(seq=9, servers=("10.0.0.1", "10.0.0.2"))
+        assert r.server_num == 2
+        assert r.wire_bytes == 8 + len("10.0.0.1") + 1 + len("10.0.0.2") + 1

@@ -1,0 +1,100 @@
+"""Tests for memory accounting and the disk model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.host import BLOCK_BYTES, Disk, Memory, OutOfMemory
+from repro.sim import Simulator
+from tests.conftest import run_process
+
+
+class TestMemory:
+    def test_alloc_free_roundtrip(self):
+        mem = Memory(256 << 20)
+        before = mem.snapshot()["free"]
+        h = mem.alloc(50 << 20, owner="test")
+        assert mem.snapshot()["free"] < before
+        mem.free(h)
+        assert mem.snapshot()["free"] == before
+
+    def test_oom_raises(self):
+        mem = Memory(64 << 20)
+        with pytest.raises(OutOfMemory):
+            mem.alloc(128 << 20)
+
+    def test_double_free_rejected(self):
+        mem = Memory(64 << 20)
+        h = mem.alloc(1 << 20)
+        mem.free(h)
+        with pytest.raises(ValueError):
+            mem.free(h)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            Memory(0)
+        mem = Memory(64 << 20)
+        with pytest.raises(ValueError):
+            mem.alloc(0)
+
+    def test_snapshot_invariants(self):
+        mem = Memory(256 << 20)
+        mem.alloc(100 << 20)
+        snap = mem.snapshot()
+        assert snap["used"] + snap["free"] == snap["total"]
+        assert snap["free"] >= 0
+        assert snap["buffers"] >= 0 and snap["cached"] >= 0
+
+    def test_page_cache_shrinks_under_pressure(self):
+        """Like Table 4.1: buffers/cached give way to a big allocation."""
+        mem = Memory(256 << 20)
+        cached_before = mem.snapshot()["cached"]
+        mem.alloc(200 << 20, owner="super_pi")
+        snap = mem.snapshot()
+        assert snap["buffers"] + snap["cached"] < cached_before + (18 << 20)
+        assert snap["free"] >= 0
+
+
+class TestDisk:
+    def test_read_takes_time(self, sim):
+        disk = Disk(sim, throughput_bps=8e6, seek_time=1e-3)  # 1 MB/s
+
+        def p():
+            yield disk.read(1_000_000)
+            return sim.now
+
+        assert run_process(sim, p()) == pytest.approx(1.001, rel=0.01)
+
+    def test_counters_track_requests_and_blocks(self, sim):
+        disk = Disk(sim)
+
+        def p():
+            yield disk.read(1024)
+            yield disk.write(4096)
+
+        sim.process(p())
+        sim.run()
+        assert disk.rreq == 1 and disk.wreq == 1
+        assert disk.allreq == 2
+        assert disk.rblocks == 1024 // BLOCK_BYTES
+        assert disk.wblocks == 4096 // BLOCK_BYTES
+
+    def test_io_serialises(self, sim):
+        disk = Disk(sim, throughput_bps=8e6, seek_time=0.0)
+        ends = []
+
+        def p():
+            yield disk.read(1_000_000)
+            ends.append(sim.now)
+
+        sim.process(p())
+        sim.process(p())
+        sim.run()
+        assert ends[1] == pytest.approx(2.0, rel=0.01)
+
+    def test_invalid_io_rejected(self, sim):
+        disk = Disk(sim)
+        with pytest.raises(ValueError):
+            disk.read(0)
+        with pytest.raises(ValueError):
+            Disk(sim, throughput_bps=0)

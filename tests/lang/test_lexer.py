@@ -1,0 +1,100 @@
+"""Tests for the requirement-language lexer (thesis Fig 4.1 rules)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import LexError, TokenKind, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text) if t.kind != TokenKind.EOF]
+
+
+def texts(text):
+    return [t.text for t in tokenize(text) if t.kind != TokenKind.EOF]
+
+
+class TestBasicTokens:
+    def test_integer_and_decimal_are_numbers(self):
+        assert kinds("42 3.14") == ["NUMBER", "NUMBER"]
+
+    def test_identifier(self):
+        assert kinds("host_cpu_free abc_123") == ["IDENT", "IDENT"]
+
+    def test_identifier_cannot_start_with_digit(self):
+        # "9abc" lexes as NUMBER then IDENT, per the thesis' regexes
+        assert kinds("9abc") == ["NUMBER", "IDENT"]
+
+    def test_dotted_quad_is_netaddr(self):
+        assert kinds("137.132.90.182") == ["NETADDR"]
+
+    def test_domain_name_is_netaddr(self):
+        assert kinds("sagit.ddns.comp.nus.edu.sg") == ["NETADDR"]
+
+    def test_bare_hostname_is_ident(self):
+        assert kinds("telesto") == ["IDENT"]
+
+    def test_all_operators(self):
+        ops = "&& || > >= < <= == != + - * / ^ ( ) ="
+        assert kinds(ops) == ["OP"] * 16
+        assert texts(ops) == ops.split()
+
+    def test_multichar_ops_win_over_prefixes(self):
+        assert texts(">=") == [">="]
+        assert texts("> =") == [">", "="]
+
+
+class TestCommentsAndLayout:
+    def test_comments_ignored(self):
+        assert kinds("a # this is a comment\nb") == ["IDENT", "NEWLINE", "IDENT"]
+
+    def test_comment_with_garbage_ignored(self):
+        # straight from the thesis' sample requirement
+        assert kinds("#ldjfaldjfalsjff #akldjfaldfj") == []
+
+    def test_whitespace_ignored(self):
+        assert kinds("a \t  b") == ["IDENT", "IDENT"]
+
+    def test_newline_token_emitted(self):
+        assert kinds("a\nb") == ["IDENT", "NEWLINE", "IDENT"]
+
+    def test_line_numbers_advance(self):
+        toks = list(tokenize("a\nb\nc"))
+        lines = [t.line for t in toks if t.kind == TokenKind.IDENT]
+        assert lines == [1, 2, 3]
+
+    def test_column_positions(self):
+        toks = list(tokenize("ab cd"))
+        assert toks[0].col == 1
+        assert toks[1].col == 4
+
+
+class TestErrors:
+    def test_unknown_character_raises_with_position(self):
+        with pytest.raises(LexError) as exc:
+            list(tokenize("a\nb @ c"))
+        assert exc.value.line == 2
+
+    def test_empty_input_yields_only_eof(self):
+        toks = list(tokenize(""))
+        assert len(toks) == 1
+        assert toks[0].kind == TokenKind.EOF
+
+
+class TestThesisSample:
+    def test_full_sample_requirement_lexes(self):
+        sample = """host_system_load1 < 1
+host_memory_used <= 250*1024*1024
+host_cpu_free >= 0.9
+#ldjfaldjfalsjff #akldjfaldfj
+#some comments
+host_network_tbytesps < 1024*1024  # for network IO
+# comments
+user_denied_host1 = 137.132.90.182
+user_preferred_host1 = sagit.ddns.comp.nus.edu.sg
+#
+"""
+        toks = list(tokenize(sample))
+        assert toks[-1].kind == TokenKind.EOF
+        assert sum(1 for t in toks if t.kind == TokenKind.NETADDR) == 2

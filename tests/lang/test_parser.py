@@ -1,0 +1,153 @@
+"""Tests for the requirement-language parser (thesis Fig 4.2 grammar)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import (
+    Assign,
+    BinOp,
+    Call,
+    Compare,
+    Logic,
+    Neg,
+    Paren,
+    ParseError,
+    Num,
+    Var,
+    is_logical,
+    parse,
+)
+
+
+class TestPrecedence:
+    def test_mul_binds_tighter_than_add(self):
+        (stmt,) = parse("1 + 2 * 3").statements
+        assert isinstance(stmt, BinOp) and stmt.op == "+"
+        assert isinstance(stmt.right, BinOp) and stmt.right.op == "*"
+
+    def test_comparison_over_arithmetic(self):
+        (stmt,) = parse("a + 1 < b * 2").statements
+        assert isinstance(stmt, Compare) and stmt.op == "<"
+
+    def test_and_over_comparison(self):
+        (stmt,) = parse("a < 1 && b > 2").statements
+        assert isinstance(stmt, Logic) and stmt.op == "&&"
+
+    def test_or_binds_loosest(self):
+        (stmt,) = parse("a && b || c").statements
+        assert isinstance(stmt, Logic) and stmt.op == "||"
+        assert isinstance(stmt.left, Logic) and stmt.left.op == "&&"
+
+    def test_power_right_associative(self):
+        (stmt,) = parse("2 ^ 3 ^ 2").statements
+        assert stmt.op == "^"
+        assert isinstance(stmt.right, BinOp) and stmt.right.op == "^"
+
+    def test_unary_minus(self):
+        (stmt,) = parse("-a * 2").statements
+        assert isinstance(stmt, BinOp) and isinstance(stmt.left, Neg)
+
+    def test_parens_override(self):
+        (stmt,) = parse("(1 + 2) * 3").statements
+        assert stmt.op == "*"
+        assert isinstance(stmt.left, Paren)
+
+
+class TestStatements:
+    def test_one_statement_per_line(self):
+        prog = parse("a > 1\nb < 2\nc == 3")
+        assert len(prog.statements) == 3
+
+    def test_blank_lines_and_comments_skipped(self):
+        prog = parse("\n\na > 1\n# note\n\nb < 2\n")
+        assert len(prog.statements) == 2
+
+    def test_assignment_statement(self):
+        (stmt,) = parse("x = 3 + 4").statements
+        assert isinstance(stmt, Assign) and stmt.name == "x"
+
+    def test_chained_assignment(self):
+        (stmt,) = parse("a = b = 3").statements
+        assert isinstance(stmt, Assign)
+        assert isinstance(stmt.value, Assign)
+
+    def test_assignment_inside_parens_in_logic_chain(self):
+        # thesis Table 5.5 style
+        (stmt,) = parse("(user_denied_host1 = telesto) && (a > 1)").statements
+        assert isinstance(stmt, Logic)
+
+    def test_call_single_arg(self):
+        (stmt,) = parse("log10(100)").statements
+        assert isinstance(stmt, Call) and stmt.func == "log10"
+
+    def test_call_multi_arg(self):
+        (stmt,) = parse("pow(2, 10)").statements
+        assert len(stmt.args) == 2
+
+
+class TestIsLogical:
+    @pytest.mark.parametrize("src,expected", [
+        ("a > 1", True),
+        ("a && b", True),
+        ("(a > 1)", True),          # parens transparent
+        ("((a == b))", True),
+        ("a + b", False),
+        ("x = a > 1", False),       # assignment is non-logical
+        ("(a+b)<=b", True),         # thesis' own example
+        ("a+(b<c)", False),         # thesis' own counter-example
+        ("sin(x)", False),
+        ("3", False),
+    ])
+    def test_classification(self, src, expected):
+        (stmt,) = parse(src).statements
+        assert is_logical(stmt) is expected
+
+
+class TestErrors:
+    def test_incomplete_expression(self):
+        with pytest.raises(ParseError):
+            parse("a > ")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(ParseError):
+            parse("(a > 1")
+
+    def test_assign_to_non_variable(self):
+        with pytest.raises(ParseError):
+            parse("3 = a")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse("a > 1 b")
+
+    def test_recovery_mode_skips_bad_lines(self):
+        prog = parse("a > 1\n* 3 +\nb < 2", recover=True)
+        assert len(prog.statements) == 2
+        assert len(prog.errors) == 1
+
+    def test_recovery_collects_errors(self):
+        prog = parse("a > 1\na > > 2\nb < 2", recover=True)
+        assert len(prog.statements) == 2
+        assert len(prog.errors) == 1
+
+
+class TestThesisRequirements:
+    """Each requirement string from Chapter 5 must parse."""
+
+    @pytest.mark.parametrize("src", [
+        "(host_cpu_bogomips > 4000) && (host_cpu_free > 0.9) && (host_memory_free > 5)",
+        "((host_cpu_bogomips > 4000) || (host_cpu_bogomips < 2000)) && "
+        "(host_cpu_free > 0.9) && (host_memory_free > 5)",
+        "(host_cpu_free > 0.9) && (host_memory_free > 5) && "
+        "(user_denied_host1 = telesto) && (user_denied_host2 = mimas) && "
+        "(user_denied_host3 = phoebe) && (user_denied_host4 = calypso) && "
+        "(user_denied_host5 = titan-x)",
+        "(host_cpu_free > 0.9) && (host_memory_free > 5) && (host_system_load1 < 0.5)",
+        "monitor_network_bw > 6",
+        "monitor_network_bw > 7",
+        "monitor_network_bw > 5",
+    ])
+    def test_parses(self, src):
+        prog = parse(src)
+        assert len(prog.statements) == 1

@@ -1,0 +1,113 @@
+"""Unit tests for channels and links: serialisation, queueing, loss."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.net import Datagram, PROTO_UDP
+from repro.net.link import Channel
+from repro.net.packet import Frame
+from repro.sim import Simulator
+
+
+def frame_of(size=1000, proto=PROTO_UDP):
+    d = Datagram(proto=proto, src="a", dst="b", sport=1, dport=2, size=size)
+    return Frame(d, d.transport_bytes, first=True)
+
+
+@pytest.fixture
+def channel(sim):
+    ch = Channel(sim, rate_bps=8e6, delay=1e-3)  # 1 MB/s, 1 ms
+    ch.delivered = []
+    ch.on_deliver = ch.delivered.append
+    return ch
+
+
+class TestSerialisation:
+    def test_delivery_time_is_tx_plus_prop(self, sim, channel):
+        f = frame_of(972)  # transport 980, wire 1000
+        channel.transmit(f)
+        sim.run()
+        assert sim.now == pytest.approx(1000 / 1e6 + 1e-3)
+        assert channel.delivered == [f]
+
+    def test_fifo_queueing_serialises(self, sim, channel):
+        times = []
+        channel.on_deliver = lambda fr: times.append(sim.now)
+        for _ in range(3):
+            channel.transmit(frame_of(972))
+        sim.run()
+        tx = 1000 / 1e6
+        assert times == pytest.approx([tx + 1e-3, 2 * tx + 1e-3, 3 * tx + 1e-3])
+
+    def test_backlog_tracks_queue(self, sim, channel):
+        for _ in range(4):
+            channel.transmit(frame_of(972))
+        assert channel.backlog_bytes() == pytest.approx(4000)
+        sim.run()
+        assert channel.backlog_bytes() == 0.0
+
+    def test_extra_start_delay_defers_start(self, sim, channel):
+        channel.transmit(frame_of(972), extra_start_delay=0.5)
+        sim.run()
+        assert sim.now == pytest.approx(0.5 + 1000 / 1e6 + 1e-3)
+
+    def test_occupy_pushes_later_traffic(self, sim, channel):
+        channel.occupy(10000)  # 10 ms of cross traffic
+        channel.transmit(frame_of(972))
+        sim.run()
+        assert sim.now == pytest.approx(0.010 + 0.001 + 0.001)
+
+    def test_busy_time_accumulates(self, sim, channel):
+        channel.transmit(frame_of(972))
+        sim.run()
+        assert channel.busy_time == pytest.approx(1e-3)
+        assert channel.utilisation(sim.now) > 0
+
+
+class TestDropPolicies:
+    def test_tail_drop_when_buffer_exceeded(self, sim):
+        ch = Channel(sim, rate_bps=8e3, delay=0, buffer_bytes=2000)  # slow
+        ch.on_deliver = lambda f: None
+        results = [ch.transmit(frame_of(972)) for _ in range(5)]
+        assert results[0] and not all(results)
+        assert ch.drops >= 1
+
+    def test_random_loss(self, sim):
+        ch = Channel(sim, rate_bps=8e9, delay=0)
+        ch.on_deliver = lambda f: None
+        ch.loss_rate = 0.5
+        ch.loss_rng = random.Random(7)
+        sent = [ch.transmit(frame_of(972)) for _ in range(200)]
+        lost = sent.count(False)
+        assert 50 < lost < 150
+        assert ch.drops == lost
+
+    def test_invalid_rate_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Channel(sim, rate_bps=0, delay=0)
+        with pytest.raises(ValueError):
+            Channel(sim, rate_bps=1, delay=-1)
+
+    def test_no_receiver_raises(self, sim):
+        ch = Channel(sim, rate_bps=8e6, delay=0)
+        ch.transmit(frame_of())
+        with pytest.raises(RuntimeError, match="no receiver"):
+            sim.run()
+
+
+class TestShapedChannel:
+    def test_shaper_limits_throughput(self, sim):
+        from repro.net import TokenBucket
+
+        ch = Channel(sim, rate_bps=100e6, delay=0)
+        times = []
+        ch.on_deliver = lambda fr: times.append(sim.now)
+        ch.shaper = TokenBucket(rate_bps=8e6, burst_bytes=1000)  # 1 MB/s
+        for _ in range(20):
+            ch.transmit(frame_of(972))  # 1000 B wire each
+        sim.run()
+        # 20 KB at 1 MB/s -> ~19 ms for the last (first rides the burst)
+        assert times[-1] == pytest.approx(0.019, rel=0.1)

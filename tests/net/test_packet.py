@@ -1,0 +1,112 @@
+"""Unit tests for datagrams, frames and fragmentation arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import (
+    Datagram,
+    IP_HEADER,
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+    TCP_HEADER,
+    UDP_HEADER,
+    fragment_sizes,
+)
+from repro.net.packet import Frame
+
+
+class TestFragmentSizes:
+    def test_single_fragment_when_fits(self):
+        assert fragment_sizes(100, 1500) == [100 + IP_HEADER]
+
+    def test_exact_fit_is_single_fragment(self):
+        assert fragment_sizes(1480, 1500) == [1500]
+
+    def test_one_byte_over_splits(self):
+        sizes = fragment_sizes(1481, 1500)
+        assert sizes == [1500, 1 + IP_HEADER]
+
+    def test_total_payload_conserved(self):
+        for transport in (1, 100, 1480, 1481, 6000, 65535):
+            sizes = fragment_sizes(transport, 1500)
+            payload = sum(s - IP_HEADER for s in sizes)
+            assert payload == transport
+
+    def test_every_fragment_within_mtu(self):
+        for mtu in (500, 1000, 1500):
+            for s in fragment_sizes(6000, mtu):
+                assert s <= mtu
+
+    def test_tiny_mtu_rejected(self):
+        with pytest.raises(ValueError):
+            fragment_sizes(100, IP_HEADER)
+
+
+class TestDatagram:
+    def _dgram(self, proto=PROTO_UDP, size=1000):
+        return Datagram(proto=proto, src="10.0.0.1", dst="10.0.0.2",
+                        sport=1, dport=2, size=size)
+
+    def test_transport_bytes_adds_proto_header(self):
+        assert self._dgram(PROTO_UDP, 100).transport_bytes == 100 + UDP_HEADER
+        assert self._dgram(PROTO_TCP, 100).transport_bytes == 100 + TCP_HEADER
+
+    def test_wire_size_includes_per_fragment_ip_headers(self):
+        d = self._dgram(size=3000)
+        nfrags = d.n_fragments(1500)
+        assert d.wire_size(1500) == d.transport_bytes + nfrags * IP_HEADER
+
+    def test_first_fragment_capped_at_mtu(self):
+        assert self._dgram(size=6000).first_fragment_size(1500) == 1500
+        assert self._dgram(size=10).first_fragment_size(1500) == 10 + UDP_HEADER + IP_HEADER
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            self._dgram(size=-1)
+
+    def test_unknown_proto_rejected(self):
+        with pytest.raises(ValueError):
+            self._dgram(proto="quic")
+
+    def test_ids_unique(self):
+        assert self._dgram().id != self._dgram().id
+
+    def test_reply_skeleton_swaps_endpoints(self):
+        d = self._dgram()
+        r = d.reply_skeleton(PROTO_ICMP, 36)
+        assert (r.src, r.dst) == (d.dst, d.src)
+        assert (r.sport, r.dport) == (d.dport, d.sport)
+        assert r.ref == d.id
+
+
+class TestFrame:
+    def _dgram(self, size=3000):
+        return Datagram(proto=PROTO_UDP, src="a", dst="b", sport=1, dport=2, size=size)
+
+    def test_fragment_wire_is_payload_plus_ip(self):
+        f = Frame(self._dgram(), payload_bytes=1480, first=True)
+        assert f.wire_at(1500) == 1500
+
+    def test_burst_wire_counts_all_fragments(self):
+        d = Datagram(proto=PROTO_TCP, src="a", dst="b", sport=1, dport=2, size=2960)
+        f = Frame(d, d.transport_bytes, first=True, burst=True)
+        assert f.wire_at(1500) == d.wire_size(1500)
+
+    def test_split_preserves_payload_and_first_flag(self):
+        f = Frame(self._dgram(), payload_bytes=3000, first=True)
+        pieces = f.split(1000)
+        assert sum(p.payload_bytes for p in pieces) == 3000
+        assert [p.first for p in pieces] == [True] + [False] * (len(pieces) - 1)
+        for p in pieces:
+            assert p.payload_bytes + IP_HEADER <= 1000
+
+    def test_split_noop_when_fits(self):
+        f = Frame(self._dgram(), payload_bytes=500, first=True)
+        assert f.split(1500) == [f]
+
+    def test_burst_never_splits(self):
+        d = Datagram(proto=PROTO_TCP, src="a", dst="b", sport=1, dport=2, size=9000)
+        f = Frame(d, d.transport_bytes, first=True, burst=True)
+        assert f.split(1500) == [f]

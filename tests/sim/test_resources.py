@@ -1,0 +1,201 @@
+"""Unit tests for Store, Resource and SharedMemory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Resource, SharedMemory, SimulationError, Simulator, Store
+from tests.conftest import run_process
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        store.put("x")
+
+        def p():
+            return (yield store.get())
+
+        assert run_process(sim, p()) == "x"
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+
+        def producer():
+            yield sim.timeout(4)
+            store.put("late")
+
+        def consumer():
+            item = yield store.get()
+            return (item, sim.now)
+
+        sim.process(producer())
+        assert run_process(sim, consumer()) == ("late", 4.0)
+
+    def test_fifo_ordering(self, sim):
+        store = Store(sim)
+        for i in range(5):
+            store.put(i)
+
+        def p():
+            out = []
+            for _ in range(5):
+                out.append((yield store.get()))
+            return out
+
+        assert run_process(sim, p()) == [0, 1, 2, 3, 4]
+
+    def test_bounded_drop_when_full(self, sim):
+        store = Store(sim, capacity=2, drop_when_full=True)
+        assert store.put(1)
+        assert store.put(2)
+        assert not store.put(3)
+        assert store.dropped == 1
+        assert len(store) == 2
+
+    def test_bounded_raise_when_full(self, sim):
+        store = Store(sim, capacity=1)
+        store.put(1)
+        with pytest.raises(SimulationError):
+            store.put(2)
+
+    def test_invalid_capacity(self, sim):
+        with pytest.raises(SimulationError):
+            Store(sim, capacity=0)
+
+    def test_try_get(self, sim):
+        store = Store(sim)
+        assert store.try_get() is None
+        store.put("a")
+        assert store.try_get() == "a"
+
+    def test_put_skips_triggered_getter(self, sim):
+        """A getter that lost a race (already triggered) must not swallow
+        the item."""
+        store = Store(sim)
+
+        def p():
+            get = store.get()
+            to = sim.timeout(1.0)
+            fired = yield sim.any_of([get, to])
+            assert get in fired  # store.put below resolves it first
+            return fired[get]
+
+        store.put("now")
+        assert run_process(sim, p()) == "now"
+
+
+class TestResource:
+    def test_mutual_exclusion(self, sim):
+        lock = Resource(sim, capacity=1)
+        trace = []
+
+        def worker(tag, hold):
+            yield lock.acquire()
+            trace.append((tag, "in", sim.now))
+            yield sim.timeout(hold)
+            trace.append((tag, "out", sim.now))
+            lock.release()
+
+        sim.process(worker("a", 2))
+        sim.process(worker("b", 1))
+        sim.run()
+        assert trace == [
+            ("a", "in", 0.0), ("a", "out", 2.0),
+            ("b", "in", 2.0), ("b", "out", 3.0),
+        ]
+
+    def test_capacity_two_allows_two(self, sim):
+        res = Resource(sim, capacity=2)
+
+        def p():
+            yield res.acquire()
+            yield res.acquire()
+            return res.available
+
+        assert run_process(sim, p()) == 0
+
+    def test_release_without_acquire(self, sim):
+        res = Resource(sim)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_fifo_handoff(self, sim):
+        lock = Resource(sim)
+        order = []
+
+        def holder():
+            yield lock.acquire()
+            yield sim.timeout(5)
+            lock.release()
+
+        def waiter(tag, arrive):
+            yield sim.timeout(arrive)
+            yield lock.acquire()
+            order.append(tag)
+            lock.release()
+
+        sim.process(holder())
+        sim.process(waiter("first", 1))
+        sim.process(waiter("second", 2))
+        sim.run()
+        assert order == ["first", "second"]
+
+
+class TestSharedMemory:
+    def test_segment_created_on_demand(self, sim):
+        shm = SharedMemory(sim)
+        seg = shm.segment(1234)
+        assert seg.key == 1234
+        assert shm.segment(1234) is seg
+        assert shm.keys() == [1234]
+
+    def test_locked_write_read_roundtrip(self, sim):
+        shm = SharedMemory(sim)
+
+        def p():
+            yield from shm.locked_write(4321, {"a": 1})
+            value = yield from shm.locked_read(4321)
+            return value
+
+        assert run_process(sim, p()) == {"a": 1}
+
+    def test_distinct_keys_are_independent(self, sim):
+        shm = SharedMemory(sim)
+        shm.segment(1234).write("monitor")
+        shm.segment(4321).write("wizard")
+        assert shm.segment(1234).read() == "monitor"
+        assert shm.segment(4321).read() == "wizard"
+
+    def test_write_counts(self, sim):
+        shm = SharedMemory(sim)
+        seg = shm.segment(1)
+        seg.write(1)
+        seg.write(2)
+        seg.read()
+        assert seg.writes == 2
+        assert seg.reads == 1
+
+    def test_writer_excludes_reader(self, sim):
+        """A slow writer holding the semaphore delays the reader — the
+        System V discipline of thesis §3.2.2."""
+        shm = SharedMemory(sim)
+        seg = shm.segment(1234)
+        times = {}
+
+        def writer():
+            yield seg.lock.acquire()
+            yield sim.timeout(3)  # long critical section
+            seg.write("fresh")
+            seg.lock.release()
+
+        def reader():
+            yield sim.timeout(1)  # arrives while writer holds the lock
+            value = yield from shm.locked_read(1234)
+            times["read_at"] = sim.now
+            times["value"] = value
+
+        sim.process(writer())
+        sim.process(reader())
+        sim.run()
+        assert times == {"read_at": 3.0, "value": "fresh"}

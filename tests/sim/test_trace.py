@@ -1,0 +1,103 @@
+"""Tests for the event tracer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import Network, NetworkStack
+from repro.sim import Simulator, Tracer, attach_node_tap
+
+
+class TestTracer:
+    def test_records_carry_sim_time(self, sim):
+        tracer = Tracer(sim)
+
+        def p():
+            tracer.log("app", "start")
+            yield sim.timeout(2.5)
+            tracer.log("app", "done")
+
+        sim.process(p())
+        sim.run()
+        assert [(r.time, r.message) for r in tracer.records] == [
+            (0.0, "start"), (2.5, "done"),
+        ]
+
+    def test_category_filter(self, sim):
+        tracer = Tracer(sim, categories={"keep"})
+        tracer.log("keep", "a")
+        tracer.log("drop", "b")
+        assert [r.message for r in tracer.records] == ["a"]
+        assert not tracer.wants("drop")
+
+    def test_bounded_with_drop_count(self, sim):
+        tracer = Tracer(sim, max_records=3)
+        for i in range(5):
+            tracer.log("x", str(i))
+        assert len(tracer.records) == 3
+        assert tracer.dropped == 2
+        assert "2 records dropped" in tracer.format()
+
+    def test_select_by_category_and_time(self, sim):
+        tracer = Tracer(sim)
+
+        def p():
+            tracer.log("a", "early")
+            yield sim.timeout(10)
+            tracer.log("a", "late")
+            tracer.log("b", "other")
+
+        sim.process(p())
+        sim.run()
+        assert [r.message for r in tracer.select("a", since=5.0)] == ["late"]
+
+    def test_format_last_n(self, sim):
+        tracer = Tracer(sim)
+        for i in range(10):
+            tracer.log("x", f"m{i}")
+        out = tracer.format(last=2)
+        assert "m8" in out and "m9" in out and "m7" not in out
+
+    def test_clear(self, sim):
+        tracer = Tracer(sim, max_records=1)
+        tracer.log("x", "1")
+        tracer.log("x", "2")
+        tracer.clear()
+        assert tracer.records == [] and tracer.dropped == 0
+
+    def test_invalid_max_records(self, sim):
+        with pytest.raises(ValueError):
+            Tracer(sim, max_records=0)
+
+
+class TestNodeTap:
+    def test_traces_local_deliveries(self, sim):
+        net = Network(sim)
+        a, b = net.add_host("a"), net.add_host("b")
+        net.connect(a, b)
+        net.build_routes()
+        sa, sb = NetworkStack(sim, a, net), NetworkStack(sim, b, net)
+        sb.udp_socket(9)
+        tracer = Tracer(sim)
+        attach_node_tap(tracer, b)
+        sa.udp_socket().sendto("b", 9, size=100, payload="x")
+        sim.run()
+        assert len(tracer.records) == 1
+        assert "udp" in tracer.records[0].message
+        assert "100B" in tracer.records[0].message
+
+    def test_preserves_existing_tap(self, sim):
+        net = Network(sim)
+        a, b = net.add_host("a"), net.add_host("b")
+        net.connect(a, b)
+        net.build_routes()
+        sa, sb = NetworkStack(sim, a, net), NetworkStack(sim, b, net)
+        sb.udp_socket(9)
+        seen = []
+        b.tap = lambda d, n: seen.append(d.id)
+        tracer = Tracer(sim)
+        attach_node_tap(tracer, b)
+        sa.udp_socket().sendto("b", 9, size=50)
+        sim.run()
+        assert len(seen) == 1       # the original tap still fires
+        assert len(tracer.records) == 1

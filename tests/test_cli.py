@@ -1,0 +1,45 @@
+"""Tests for the `python -m repro` command-line front end."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+class TestCliInProcess:
+    def test_list_enumerates_all(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["tab9.9"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_every_registered_id_maps_to_a_paper_artifact(self):
+        assert set(EXPERIMENTS) == {
+            "fig3.3", "fig3.4", "fig3.5", "fig3.6", "tab3.3",
+            "tab5.2", "fig5.2", "tab5.3", "tab5.4", "tab5.5", "tab5.6",
+            "fig5.3", "tab5.7", "tab5.8", "tab5.9",
+        }
+
+    def test_runs_one_experiment(self, capsys):
+        assert main(["fig5.2"]) == 0
+        out = capsys.readouterr().out
+        assert "Matrix Benchmarking Results" in out
+        assert "dalmatian" in out
+
+
+class TestCliSubprocess:
+    def test_module_invocation(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert result.returncode == 0
+        assert "tab5.3" in result.stdout

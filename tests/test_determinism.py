@@ -1,0 +1,96 @@
+"""Determinism guarantees: the whole stack is reproducible given a seed.
+
+A simulator whose runs are not bit-for-bit reproducible cannot back a
+benchmark harness — these tests pin that property at several levels.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import rtt_vs_size
+from repro.bench.experiments import _drive
+from repro.cluster import Cluster, Deployment
+from repro.core import Config, estimate_bandwidth
+from repro.sim import RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_seed_same_draws(self):
+        a = RandomStreams(7).stream("x")
+        b = RandomStreams(7).stream("x")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_streams_independent_by_name(self):
+        s = RandomStreams(7)
+        s.stream("noise").random()  # consuming one stream...
+        fresh = RandomStreams(7)
+        # ...does not perturb another
+        assert s.stream("signal").random() == fresh.stream("signal").random()
+
+    def test_different_seeds_differ(self):
+        assert RandomStreams(1).stream("x").random() != \
+            RandomStreams(2).stream("x").random()
+
+
+class TestExperimentDeterminism:
+    def test_rtt_series_reproducible(self):
+        s1 = rtt_vs_size(sizes=range(100, 3001, 100), seed=5)
+        s2 = rtt_vs_size(sizes=range(100, 3001, 100), seed=5)
+        assert s1 == s2
+
+    def test_rtt_series_seed_sensitive(self):
+        s1 = rtt_vs_size(sizes=range(100, 3001, 100),
+                         cross_utilisation=0.05, seed=5)
+        s2 = rtt_vs_size(sizes=range(100, 3001, 100),
+                         cross_utilisation=0.05, seed=6)
+        assert s1 != s2  # cross traffic differs by seed
+
+    def test_full_deployment_reproducible(self):
+        def run():
+            cluster = Cluster(seed=77)
+            w = cluster.add_host("w")
+            s1 = cluster.add_host("s1", bogomips=2000)
+            s2 = cluster.add_host("s2", bogomips=4000)
+            cluster.link(w, s1)
+            cluster.link(w, s2)
+            cluster.finalize()
+            cfg = Config(probe_interval=0.5, transmit_interval=0.5)
+            dep = Deployment(cluster, wizard_host=w, config=cfg)
+            dep.add_group("g", monitor_host=w, servers=[s1, s2])
+            dep.start()
+            client = dep.client_for(w)
+            out = {}
+
+            def p():
+                yield cluster.sim.timeout(3.0)
+                reply = yield from client.request_servers(
+                    "host_cpu_bogomips > 3000", 2)
+                out["seq"] = reply.seq
+                out["servers"] = reply.servers
+                out["t"] = cluster.sim.now
+
+            proc = cluster.sim.process(p())
+            _drive(cluster, proc)
+            return out
+
+        assert run() == run()
+
+    def test_bandwidth_estimate_reproducible(self):
+        def run():
+            cluster = Cluster(seed=13)
+            a = cluster.add_host("a")
+            b = cluster.add_host("b")
+            cluster.link(a, b)
+            cluster.finalize()
+            holder = {}
+
+            def p():
+                est = yield from estimate_bandwidth(a.stack, b.addr, samples=2)
+                holder["v"] = est.samples_bps
+
+            proc = cluster.sim.process(p())
+            _drive(cluster, proc)
+            return holder["v"]
+
+        assert run() == run()

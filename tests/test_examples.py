@@ -1,0 +1,49 @@
+"""Smoke tests: every example script must run to completion.
+
+Each example carries its own assertions about the outcome, so "exit 0"
+means the demonstrated behaviour actually held.  The slow ones are kept
+fast here via subprocess timeouts sized generously above their normal
+runtimes.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+FAST = [
+    "requirement_language.py",
+    "fault_tolerance.py",
+    "quickstart.py",
+]
+SLOW = [
+    "bandwidth_probing.py",
+    "matrix_multiplication.py",
+    "massive_download.py",
+]
+
+
+def run_example(name: str, timeout: float) -> None:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert result.returncode == 0, (
+        f"{name} failed:\n--- stdout ---\n{result.stdout[-2000:]}\n"
+        f"--- stderr ---\n{result.stderr[-2000:]}"
+    )
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_fast_example(name):
+    run_example(name, timeout=120)
+
+
+@pytest.mark.parametrize("name", SLOW)
+def test_slow_example(name):
+    run_example(name, timeout=420)
