@@ -17,6 +17,10 @@ The package is layered bottom-up:
   the client library, plus the random/round-robin selection baselines;
 * :mod:`repro.cluster` — the 11-machine thesis testbed, WAN path profiles
   and one-call deployment of all daemons;
+* :mod:`repro.faults` — deterministic fault injection: seedable
+  :class:`~repro.faults.FaultPlan` schedules (host crashes, partitions,
+  link flaps, daemon kills, loss bursts) executed by a
+  :class:`~repro.faults.ChaosController` against a live deployment;
 * :mod:`repro.apps` — the evaluation workloads: distributed matrix
   multiplication and the ``massd`` massive downloader;
 * :mod:`repro.bench` — runners that regenerate every table and figure of
@@ -52,6 +56,7 @@ __all__ = [
     "lang",
     "core",
     "cluster",
+    "faults",
     "apps",
     "bench",
     "__version__",

@@ -3,7 +3,13 @@
 from .builder import Cluster
 from .deploy import Deployment, GroupDeployment
 from .host import SmartHost
-from .testbed import MachineSpec, TESTBED_MACHINES, TESTBED_SEGMENTS, build_testbed
+from .testbed import (
+    MachineSpec,
+    TESTBED_MACHINES,
+    TESTBED_SEGMENTS,
+    build_testbed,
+    segment_partition_nodes,
+)
 from .wan import WAN_PATHS, WanPathSpec, build_wan_paths
 
 __all__ = [
@@ -14,6 +20,7 @@ __all__ = [
     "build_testbed",
     "TESTBED_MACHINES",
     "TESTBED_SEGMENTS",
+    "segment_partition_nodes",
     "MachineSpec",
     "build_wan_paths",
     "WAN_PATHS",

@@ -22,7 +22,13 @@ from ..sim import Simulator
 from .builder import Cluster
 from .host import SmartHost
 
-__all__ = ["TESTBED_MACHINES", "MachineSpec", "build_testbed", "TESTBED_SEGMENTS"]
+__all__ = [
+    "TESTBED_MACHINES",
+    "MachineSpec",
+    "build_testbed",
+    "TESTBED_SEGMENTS",
+    "segment_partition_nodes",
+]
 
 
 @dataclass(frozen=True)
@@ -66,6 +72,20 @@ TESTBED_SEGMENTS: tuple[str, ...] = (
 _SWITCH_DELAY = 25e-6
 #: extra propagation crossing the campus to the lab gateway
 _CAMPUS_DELAY = 60e-6
+
+
+def segment_partition_nodes(segment: str) -> tuple[str, str]:
+    """Endpoint names of the link to cut to partition a lab segment from
+    the rest of the testbed — feed straight into
+    :meth:`repro.faults.FaultPlan.partition`.  Every segment reaches the
+    world through the gateway *dalmatian*, so cutting the
+    dalmatian<->switch uplink isolates the whole segment (dalmatian's own
+    segment ``192.168.1`` cannot be cut away from itself)."""
+    if segment not in TESTBED_SEGMENTS:
+        raise KeyError(f"unknown segment {segment!r}; have {TESTBED_SEGMENTS}")
+    if segment == "192.168.1":
+        raise ValueError("192.168.1 is the gateway's own segment")
+    return ("dalmatian", f"sw-{segment}")
 
 
 def build_testbed(sim: Simulator | None = None, seed: int = 0) -> Cluster:

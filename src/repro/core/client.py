@@ -11,6 +11,17 @@ Workflow of :meth:`SmartClient.smart_sockets`:
    caller the list of connected sockets — "the user's program and the
    actual service program ... should be aware of how to interact through
    the list of connected sockets".
+
+Failure hardening (beyond the thesis):
+
+* retries back off exponentially with *decorrelated jitter* — the sleep
+  before attempt k is drawn from ``U(base, 3 * previous)`` and capped —
+  so a thundering herd of clients does not re-synchronise on a wizard
+  that just came back;
+* a server whose service port refused the connection is *quarantined*
+  for ``config.quarantine_period`` seconds: subsequent ``smart_sockets``
+  calls connect to it last, so one dead-but-not-yet-expired server does
+  not slow every socket group down.
 """
 
 from __future__ import annotations
@@ -63,6 +74,11 @@ class SmartClient:
         self.rng = rng or random.Random(0x5EED)
         self.requests_sent = 0
         self.timeouts = 0
+        self.connect_failures = 0
+        #: sleeps taken between retry attempts (for tests/telemetry)
+        self.backoff_history: list[float] = []
+        #: dead-server quarantine: addr -> sim time the sentence ends
+        self._quarantine: dict[str, float] = {}
 
     # -- wizard round trip ---------------------------------------------------
     def request_servers(self, requirement: str, n: int, option: str = ""):
@@ -74,8 +90,20 @@ class SmartClient:
         if n <= 0:
             raise ValueError(f"server count must be positive, got {n}")
         sock = self.stack.udp_socket()
+        backoff = self.config.client_backoff_base
         try:
             for attempt in range(1 + self.config.client_retries):
+                if attempt > 0:
+                    # decorrelated jitter: spread the retries of many
+                    # clients out instead of hammering in lock-step
+                    backoff = min(
+                        self.config.client_backoff_cap,
+                        self.rng.uniform(
+                            self.config.client_backoff_base, backoff * 3.0
+                        ),
+                    )
+                    self.backoff_history.append(backoff)
+                    yield self.sim.timeout(backoff)
                 seq = self.rng.randrange(1, 2**31)
                 request = WizardRequest(
                     seq=seq, server_num=n, option=option, detail=requirement
@@ -128,15 +156,39 @@ class SmartClient:
             raise InsufficientServers(n, reply.servers)
         port = service_port if service_port is not None else self.config.ports.service
         conns: list[TcpConnection] = []
-        for addr in reply.servers:
+        for addr in self._deprioritise(reply.servers):
             kwargs = {} if mss is None else {"mss": mss}
             try:
                 conn = yield from self.stack.tcp.connect(addr, port, **kwargs)
             except ConnectError:
-                continue  # dead server: skip (monitor will expire it soon)
+                # dead server: skip, and remember — the wizard's database
+                # will not notice until the record expires, so deprioritise
+                # the host locally in the meantime
+                self._note_connect_failure(addr)
+                continue
             conns.append(conn)
         if strict and len(conns) < n:
             for conn in conns:
                 conn.close()
             raise InsufficientServers(n, [c.remote_addr for c in conns])
         return conns
+
+    # -- dead-server quarantine ----------------------------------------------
+    def _note_connect_failure(self, addr: str) -> None:
+        self.connect_failures += 1
+        self._quarantine[addr] = self.sim.now + self.config.quarantine_period
+
+    def quarantined(self) -> set[str]:
+        """Addresses currently serving a quarantine sentence."""
+        now = self.sim.now
+        return {a for a, until in self._quarantine.items() if until > now}
+
+    def _deprioritise(self, servers: list[str]) -> list[str]:
+        """Stable-sort a wizard reply so quarantined hosts connect last."""
+        now = self.sim.now
+        for addr, until in list(self._quarantine.items()):
+            if until <= now:
+                del self._quarantine[addr]
+        if not self._quarantine:
+            return list(servers)
+        return sorted(servers, key=lambda a: a in self._quarantine)

@@ -75,6 +75,21 @@ class Config:
     #: client request timeout and retries
     client_timeout: float = 2.0
     client_retries: int = 2
+    #: client retry backoff: exponential with decorrelated jitter, the sleep
+    #: before attempt k drawn from U(base, 3 * previous) capped at the cap
+    client_backoff_base: float = 0.2
+    client_backoff_cap: float = 5.0
+    #: how long a server stays deprioritised after a failed TCP connect
+    quarantine_period: float = 10.0
+    #: centralized transmitter: cap on the reconnect backoff after the
+    #: receiver became unreachable (doubles from transmit_interval)
+    transmit_backoff_cap: float = 4.0
+    #: centralized transmitter: in-flight snapshot bytes unacked for this
+    #: long means the path or peer silently died — drop and reconnect
+    transmit_stall_limit: float = 6.0
+    #: distributed receiver: per-transmitter budget for one pull round trip
+    #: before the wizard falls back to last-known-good data
+    pull_timeout: float = 2.0
     mode: str = Mode.CENTRALIZED
 
 

@@ -7,6 +7,13 @@ directly use the contents as if they were generated locally".  Because one
 wizard may serve several server groups, each with its own transmitter, the
 receiver merges per-source snapshots: a new sysdb from group A replaces
 only A's previous contribution.
+
+Failure hardening: a snapshot that arrives *partially* (the connection died
+between messages) applies whatever bodies made it — the untouched message
+types keep their last-known-good contents; distributed-mode pulls are
+bounded by ``config.pull_timeout`` so a wedged transmitter degrades the
+wizard to stale data instead of stalling it; and :meth:`staleness` exposes
+how old each database is so callers can flag degraded answers.
 """
 
 from __future__ import annotations
@@ -46,7 +53,11 @@ class Receiver:
         self._sessions = []
         #: per-source contributions: src addr -> {msg_type: data}
         self._sources: dict[str, dict[int, dict]] = {}
+        #: msg_type -> sim time of the last applied snapshot (staleness flag)
+        self._updated_at: dict[int, float] = {}
         self.messages_received = 0
+        self.pull_failures = 0
+        self.pull_timeouts = 0
         for key in (config.shm.wizard_system, config.shm.wizard_network,
                     config.shm.wizard_security):
             self.shm.segment(key).write({})
@@ -79,6 +90,14 @@ class Receiver:
     def database(self, msg_type: int) -> dict:
         return dict(self.shm.segment(self._segment_key(msg_type)).read() or {})
 
+    def staleness(self, msg_type: int) -> float:
+        """Seconds since a snapshot of ``msg_type`` was last applied
+        (``inf`` when none ever arrived) — the degraded-mode flag."""
+        last = self._updated_at.get(msg_type)
+        if last is None:
+            return float("inf")
+        return self.sim.now - last
+
     # -- merging ---------------------------------------------------------------
     def _apply(self, src: str, msg_type: int, data: dict):
         """Process generator: merge one snapshot into shared memory."""
@@ -93,6 +112,7 @@ class Receiver:
             seg.write(merged)
         finally:
             seg.lock.release()
+        self._updated_at[msg_type] = self.sim.now
         self.messages_received += 1
 
     # -- centralized: accept pushes --------------------------------------------------
@@ -101,6 +121,7 @@ class Receiver:
         try:
             while True:
                 conn = yield listener.accept()
+                self._sessions[:] = [p for p in self._sessions if p.is_alive]
                 proc = self.sim.process(self._session(conn), name="receiver-session")
                 self._sessions.append(proc)
         except Interrupt:
@@ -132,26 +153,51 @@ class Receiver:
     # -- distributed: pull on demand ---------------------------------------------------
     def pull_all(self):
         """Process generator: request fresh snapshots from every registered
-        transmitter (invoked by the wizard per user request, §3.5.2)."""
+        transmitter (invoked by the wizard per user request, §3.5.2).
+
+        Each transmitter gets at most ``config.pull_timeout`` seconds to
+        deliver its three databases; one that is dead, partitioned, or
+        wedged is aborted and skipped so the wizard answers from
+        last-known-good data instead of stalling the request."""
         for addr in self.transmitters:
             conn = self._pull_conns.get(addr)
-            if conn is None or conn.peer_closed:
+            if conn is None or conn.peer_closed or conn.reset:
+                if conn is not None:
+                    conn.close()
                 try:
                     conn = yield from self.stack.tcp.connect(
                         addr, self.config.ports.transmitter
                     )
                 except ConnectError:
+                    self.pull_failures += 1
+                    self._pull_conns.pop(addr, None)
                     continue
                 self._pull_conns[addr] = conn
-            conn.send(WireMessage.pull(), 8)
+            try:
+                conn.send(WireMessage.pull(), 8)
+            except ConnectionClosed:
+                self.pull_failures += 1
+                self._pull_conns.pop(addr, None)
+                continue
             pending = 3  # sysdb, netdb, secdb
             expected_type: Optional[int] = None
+            deadline = self.sim.timeout(self.config.pull_timeout)
             while pending > 0:
+                get = conn.recv()
                 try:
-                    payload, _ = yield conn.recv()
+                    fired = yield self.sim.any_of([get, deadline])
                 except ConnectionClosed:
+                    self.pull_failures += 1
                     self._pull_conns.pop(addr, None)
                     break
+                if get not in fired:
+                    # wedged or partitioned transmitter: abort the
+                    # connection so a fresh one is dialled next pull
+                    self.pull_timeouts += 1
+                    conn.abort()
+                    self._pull_conns.pop(addr, None)
+                    break
+                payload, _ = fired[get]
                 kind = payload[0]
                 if kind == "hdr":
                     expected_type = payload[1]

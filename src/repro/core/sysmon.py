@@ -81,14 +81,19 @@ class SystemMonitor:
                 yield from self._upsert(report)
         except Interrupt:
             pass
+        finally:
+            sock.close()  # free the port so a restarted monitor can bind
 
     def _listen_tcp(self):
-        from ..net.tcp import ConnectionClosed
-
         listener = self.stack.tcp.listen(self.config.ports.system_monitor)
         try:
             while True:
                 conn = yield listener.accept()
+                # prune finished sessions so the list cannot grow without
+                # bound over a long run full of short-lived reporters
+                self._tcp_sessions[:] = [
+                    p for p in self._tcp_sessions if p.is_alive
+                ]
                 proc = self.sim.process(
                     self._tcp_session(conn), name="sysmon-tcp-session"
                 )

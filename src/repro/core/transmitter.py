@@ -9,6 +9,15 @@ behaviours:
 * **distributed** — passive: listens on its own port and answers each
   ``MSG_PULL`` with a fresh snapshot, so status only crosses the (wide
   area) network when a wizard actually needs it.
+
+The centralized push loop is failure-hardened: a send that hits a reset or
+locally-closed connection drops the connection instead of killing the
+daemon, reconnects back off exponentially (capped at
+``config.transmit_backoff_cap``), and a snapshot whose bytes sit unacked
+for ``config.transmit_stall_limit`` seconds — a partition or a silently
+crashed receiver — triggers an abort-and-reconnect, so recovery after a
+heal is bounded by the backoff cap rather than by TCP's backed-off
+retransmission timer.
 """
 
 from __future__ import annotations
@@ -46,6 +55,9 @@ class Transmitter:
         self._proc = None
         self.snapshots_sent = 0
         self.bytes_sent = 0
+        self.connects = 0
+        self.send_failures = 0
+        self.stalls = 0
 
     # -- lifecycle ------------------------------------------------------------
     def start(self) -> None:
@@ -89,18 +101,52 @@ class Transmitter:
     # -- centralized push ----------------------------------------------------------
     def _push_loop(self):
         conn = None
+        backoff = self.config.transmit_interval
+        acked_mark = 0
+        progress_at = 0.0
         try:
             while True:
-                if conn is None or conn.peer_closed:
+                if conn is not None and (conn.peer_closed or conn.reset):
+                    conn.close()
+                    conn = None
+                if conn is not None and conn.in_flight > 0:
+                    # stall watchdog: a partition or silently-crashed
+                    # receiver never acks; waiting out TCP's backed-off
+                    # retransmission timer would blow the recovery budget
+                    if conn.bytes_acked > acked_mark:
+                        acked_mark = conn.bytes_acked
+                        progress_at = self.sim.now
+                    elif (
+                        self.sim.now - progress_at
+                        >= self.config.transmit_stall_limit
+                    ):
+                        self.stalls += 1
+                        conn.abort()
+                        conn = None
+                if conn is None:
                     try:
                         conn = yield from self.stack.tcp.connect(
                             self.receiver_addr, self.config.ports.receiver
                         )
                     except ConnectError:
-                        yield self.sim.timeout(self.config.transmit_interval)
+                        yield self.sim.timeout(backoff)
+                        backoff = min(
+                            backoff * 2.0, self.config.transmit_backoff_cap
+                        )
                         continue
+                    self.connects += 1
+                    backoff = self.config.transmit_interval
+                    acked_mark = conn.bytes_acked
+                    progress_at = self.sim.now
                 messages = yield from self.snapshot()
-                self._send_messages(conn, messages)
+                try:
+                    self._send_messages(conn, messages)
+                except ConnectionClosed:
+                    # connection died mid-snapshot: drop it and reconnect
+                    # on the next pass instead of killing the daemon
+                    self.send_failures += 1
+                    conn = None
+                    continue
                 self.snapshots_sent += 1
                 yield self.sim.timeout(self.config.transmit_interval)
         except Interrupt:
@@ -114,6 +160,7 @@ class Transmitter:
         try:
             while True:
                 conn = yield listener.accept()
+                sessions[:] = [p for p in sessions if p.is_alive]
                 sessions.append(
                     self.sim.process(self._session(conn), name="transmitter-session")
                 )
@@ -132,7 +179,11 @@ class Transmitter:
                     return
                 if isinstance(payload, WireMessage) and payload.type == MSG_PULL:
                     messages = yield from self.snapshot()
-                    self._send_messages(conn, messages)
+                    try:
+                        self._send_messages(conn, messages)
+                    except ConnectionClosed:
+                        self.send_failures += 1
+                        return
                     self.snapshots_sent += 1
         except Interrupt:
             conn.close()

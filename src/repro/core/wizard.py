@@ -19,6 +19,14 @@ Options (the Table 3.5 ``Option`` field):
 * ``"rank:<var>"`` or ``"rank:<var>:asc"`` — order candidates by a status
   variable (thesis §6 wants "3 servers with largest memory": use
   ``rank:host_memory_free``); descending unless ``:asc``.
+
+Failure hardening (beyond the thesis): a malformed option or a request
+that blows up mid-match never kills the daemon — the wizard answers an
+empty-but-well-formed reply and counts the incident
+(:attr:`option_errors` / :attr:`request_errors`); a failed distributed
+pull falls back to last-known-good databases; and every record is given
+a ``host_status_age`` parameter (seconds since its monitor last wrote
+it) so requirements can demand fresh data with ``host_status_age < 10``.
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ from typing import Optional
 
 from ..lang import evaluate, parse
 from ..lang.errors import LangError
+from ..net.tcp import ConnectError, ConnectionClosed
 from ..sim import Interrupt, SharedMemory, Simulator
 from .config import Config, DEFAULT_CONFIG, Mode
 from .records import (
@@ -117,6 +126,9 @@ class Wizard:
         self._proc = None
         self.requests_handled = 0
         self.parse_failures = 0
+        self.option_errors = 0
+        self.request_errors = 0
+        self.pull_failures = 0
         self.bytes_in = 0
         self.bytes_out = 0
 
@@ -147,13 +159,29 @@ class Wizard:
                 request: WizardRequest = dgram.payload
                 self.bytes_in += request.wire_bytes
                 if self.mode == Mode.DISTRIBUTED:
-                    yield from self.receiver.pull_all()
-                reply = yield from self._process(request, client_addr=dgram.src)
+                    try:
+                        yield from self.receiver.pull_all()
+                    except Interrupt:
+                        raise
+                    except (ConnectError, ConnectionClosed):
+                        # degraded mode: answer from last-known-good data
+                        self.pull_failures += 1
+                try:
+                    reply = yield from self._process(request, client_addr=dgram.src)
+                except Interrupt:
+                    raise
+                except Exception:
+                    # never stall the requester: an empty-but-well-formed
+                    # reply lets the client fail fast or retry elsewhere
+                    self.request_errors += 1
+                    reply = WizardReply(seq=request.seq, servers=())
                 sock.sendto(dgram.src, dgram.sport, size=reply.wire_bytes, payload=reply)
                 self.bytes_out += reply.wire_bytes
                 self.requests_handled += 1
         except Interrupt:
             pass
+        finally:
+            sock.close()  # free the port so a restarted wizard can bind
 
     # -- databases ---------------------------------------------------------------
     def _read_segment(self, key: int):
@@ -236,6 +264,10 @@ class Wizard:
     ) -> dict[str, float]:
         params = dict(record.report.values)
         params.update(record.report.extras)  # §6 string attributes
+        # derived freshness metric: how long ago the server's own monitor
+        # wrote this record (max with 0 guards distributed-mode snapshots
+        # whose transfer makes updated_at slightly "newer" than arrival)
+        params["host_status_age"] = max(0.0, record.age(self.sim.now))
         sec = secdb.get(record.host)
         if sec is not None:
             params["host_security_level"] = float(sec.level)
@@ -265,19 +297,35 @@ class Wizard:
             # else: leave undefined -> requirements on them evaluate false
         return params
 
-    @staticmethod
-    def _apply_option(option: str, candidates: list[Candidate]) -> list[Candidate]:
+    def _apply_option(
+        self, option: str, candidates: list[Candidate]
+    ) -> list[Candidate]:
+        """Apply the Table 3.5 option string.  Never raises: a malformed
+        option (empty variable, unknown verb, non-numeric rank values) is
+        counted in :attr:`option_errors` and the candidates pass through
+        unranked — a bad option must not take the whole wizard down."""
         option = (option or "").strip()
-        if option.startswith("rank:"):
-            parts = option.split(":")
-            var = parts[1] if len(parts) > 1 else ""
-            ascending = len(parts) > 2 and parts[2] == "asc"
-            if var:
-                missing = float("inf") if ascending else float("-inf")
+        if not option:
+            return candidates
+        if not option.startswith("rank:"):
+            self.option_errors += 1  # unknown verb: ignore (fwd compat)
+            return candidates
+        parts = option.split(":")
+        var = parts[1].strip() if len(parts) > 1 else ""
+        ascending = len(parts) > 2 and parts[2].strip() == "asc"
+        if not var:
+            self.option_errors += 1  # "rank:" with no variable
+            return candidates
+        missing = float("inf") if ascending else float("-inf")
 
-                def keyfn(c: Candidate):
-                    val = c.params.get(var, missing)
-                    return (not c.preferred, val if ascending else -val)
+        def keyfn(c: Candidate):
+            val = c.params.get(var, missing)
+            if not isinstance(val, (int, float)):
+                val = missing  # string attribute (§6 extras): unrankable
+            return (not c.preferred, val if ascending else -val)
 
-                candidates = sorted(candidates, key=keyfn)
-        return candidates
+        if not any(isinstance(c.params.get(var), (int, float)) for c in candidates):
+            if candidates:
+                self.option_errors += 1  # var rankable in no candidate
+            return candidates
+        return sorted(candidates, key=keyfn)

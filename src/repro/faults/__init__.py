@@ -1,0 +1,34 @@
+"""Fault injection for the Smart-socket testbed.
+
+Deterministic, seedable chaos: declare *what breaks when* in a
+:class:`FaultPlan` (host crashes, link partitions and flaps, daemon
+kills, probe-report loss bursts), then point a :class:`ChaosController`
+at a started deployment to execute it.  Fixed seed + fixed plan =
+bit-identical run — failures found by the chaos suite replay exactly.
+
+Quick use::
+
+    from repro.faults import ChaosController, FaultPlan
+
+    plan = (FaultPlan()
+            .crash_host(5.0, "dione")
+            .restart_host(40.0, "dione")
+            .partition(12.0, "dalmatian", "sw-192.168.3", duration=30.0)
+            .kill_daemon(20.0, "mimas", "transmitter")
+            .restart_daemon(25.0, "mimas", "transmitter"))
+    chaos = ChaosController(deployment, plan)
+    chaos.start()
+    cluster.run(until=90.0)
+    chaos.log      # [(sim_time, "crash-host dione"), ...]
+"""
+
+from .controller import ChaosController
+from .plan import DAEMON_ROLES, FAULT_KINDS, FaultEvent, FaultPlan
+
+__all__ = [
+    "ChaosController",
+    "FaultPlan",
+    "FaultEvent",
+    "FAULT_KINDS",
+    "DAEMON_ROLES",
+]

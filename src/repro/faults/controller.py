@@ -1,0 +1,234 @@
+"""The chaos controller: applies a :class:`~repro.faults.plan.FaultPlan`
+to a live deployment.
+
+The controller runs as one simulated process that sleeps to each event's
+time and executes it against the cluster.  Everything it does is
+reversible through the plan itself (restart/heal events); every applied
+fault is appended to :attr:`ChaosController.log` as ``(sim_time,
+description)`` so tests can assert on what actually happened.
+
+Crash semantics: ``crash-host`` models a power failure of the *host
+plane* — all daemons die, established TCP connections are torn down with
+no FIN (peers discover via RST on their next segment), bound ports are
+released and shared memory is wiped.  The network node itself keeps
+forwarding (switches/routers are cabinet hardware, not the crashed OS).
+``restart-host`` relaunches exactly the daemons deployment wired onto
+that machine, with cold state — the recovery path the hardened control
+plane is designed to survive.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cluster.deploy import Deployment
+from ..core.config import Mode
+from ..net.link import Link
+from ..sim import Interrupt
+from .plan import FaultEvent, FaultPlan
+
+__all__ = ["ChaosController"]
+
+
+class ChaosController:
+    """Drives scheduled faults against a started :class:`Deployment`."""
+
+    def __init__(self, deployment: Deployment, plan: FaultPlan):
+        self.deployment = deployment
+        self.cluster = deployment.cluster
+        self.sim = self.cluster.sim
+        self.plan = plan
+        self._proc = None
+        self._burst_procs: list = []
+        #: (sim_time, description) of every fault actually applied
+        self.log: list[tuple[float, str]] = []
+        #: hosts currently crashed
+        self.down_hosts: set[str] = set()
+        #: (host, role) pairs currently killed individually
+        self.down_daemons: set[tuple[str, str]] = set()
+        self._daemons = self._build_registry()
+
+    # -- registry ----------------------------------------------------------
+    def _build_registry(self) -> dict[str, list[tuple[str, object]]]:
+        """host name -> ordered [(role, daemon)] as the deployment wired it."""
+        reg: dict[str, list[tuple[str, object]]] = {}
+
+        def put(host_name: str, role: str, daemon) -> None:
+            reg.setdefault(host_name, []).append((role, daemon))
+
+        dep = self.deployment
+        put(dep.wizard_host.name, "receiver", dep.receiver)
+        put(dep.wizard_host.name, "wizard", dep.wizard)
+        for group in dep.groups.values():
+            mon = group.monitor_host.name
+            put(mon, "sysmon", group.sysmon)
+            put(mon, "netmon", group.netmon)
+            put(mon, "secmon", group.secmon)
+            put(mon, "transmitter", group.transmitter)
+            for server, probe in zip(group.servers, group.probes):
+                put(server.name, "probe", probe)
+        return reg
+
+    def _daemon(self, host: str, role: str):
+        for r, d in self._daemons.get(host, ()):
+            if r == role:
+                return d
+        raise KeyError(f"no {role!r} daemon deployed on host {host!r}")
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            raise RuntimeError("chaos controller already running")
+        self._proc = self.sim.process(self._run(), name="chaos-controller")
+
+    def stop(self) -> None:
+        for proc in (self._proc, *self._burst_procs):
+            if proc is not None and proc.is_alive:
+                proc.interrupt("stop")
+
+    # -- the driver --------------------------------------------------------
+    def _run(self):
+        try:
+            for event in self.plan.events():
+                delay = event.at - self.sim.now
+                if delay > 0:
+                    yield self.sim.timeout(delay)
+                yield from self._apply(event)
+        except Interrupt:
+            pass
+
+    def _note(self, text: str) -> None:
+        self.log.append((self.sim.now, text))
+
+    def _apply(self, event: FaultEvent):
+        kind = event.kind
+        if kind == "crash-host":
+            yield from self._crash_host(event.target)
+        elif kind == "restart-host":
+            self._restart_host(event.target)
+        elif kind in ("link-down", "link-up"):
+            self._set_links(event.target, event.peer, up=(kind == "link-up"))
+        elif kind == "kill-daemon":
+            yield from self._kill_daemon(event.target, event.peer)
+        elif kind == "restart-daemon":
+            self._restart_daemon(event.target, event.peer)
+        elif kind == "loss-burst":
+            self._start_burst(event)
+
+    # -- host faults -------------------------------------------------------
+    def _crash_host(self, host_name: str):
+        if host_name in self.down_hosts:
+            self._note(f"crash-host {host_name} (already down)")
+            return
+        host = self.cluster.host(host_name)
+        # no FIN for anyone: peers learn from RSTs against the emptied
+        # connection table when their next segment arrives
+        for conn in list(host.stack.tcp.conns.values()):
+            conn.abort()
+        for role, daemon in self._daemons.get(host_name, ()):
+            daemon.stop()
+            self.down_daemons.discard((host_name, role))
+        # let the interrupts deliver so daemon cleanup (socket close,
+        # memory free) runs before we bulldoze what is left
+        yield self.sim.timeout(0)
+        for sock in list(host.stack.udp_ports.values()):
+            sock.close()
+        for listener in list(host.stack.tcp.listeners.values()):
+            listener.close()
+        for key in host.shm.keys():
+            host.shm.segment(key).write(None)  # power loss: RAM is gone
+        self.down_hosts.add(host_name)
+        self._note(f"crash-host {host_name}")
+
+    def _restart_host(self, host_name: str) -> None:
+        if host_name not in self.down_hosts:
+            self._note(f"restart-host {host_name} (was not down)")
+            return
+        self.down_hosts.discard(host_name)
+        for role, daemon in self._daemons.get(host_name, ()):
+            self._launch(role, daemon)
+        self._note(f"restart-host {host_name}")
+
+    def _launch(self, role: str, daemon) -> None:
+        if role == "receiver" and self.deployment.mode != Mode.CENTRALIZED:
+            return  # distributed receivers have no push listener to run
+        if role == "netmon" and not daemon.peers:
+            return  # single-group deployments never start the netmon
+        daemon.start()
+
+    # -- daemon faults ------------------------------------------------------
+    def _kill_daemon(self, host_name: str, role: str):
+        daemon = self._daemon(host_name, role)
+        key = (host_name, role)
+        if host_name in self.down_hosts or key in self.down_daemons:
+            self._note(f"kill-daemon {role}@{host_name} (already down)")
+            return
+        daemon.stop()
+        # deliver the interrupt now so a paired restart (even at the same
+        # sim time) finds ports released and the process dead
+        yield self.sim.timeout(0)
+        self.down_daemons.add(key)
+        self._note(f"kill-daemon {role}@{host_name}")
+
+    def _restart_daemon(self, host_name: str, role: str) -> None:
+        daemon = self._daemon(host_name, role)
+        key = (host_name, role)
+        if host_name in self.down_hosts or key not in self.down_daemons:
+            self._note(f"restart-daemon {role}@{host_name} (not restartable)")
+            return
+        self.down_daemons.discard(key)
+        self._launch(role, daemon)
+        self._note(f"restart-daemon {role}@{host_name}")
+
+    # -- link faults -------------------------------------------------------
+    def _links_between(self, a: str, b: str) -> list[Link]:
+        names = {a, b}
+        found = [
+            link for link in self.cluster.network.links
+            if {link.a.name, link.b.name} == names
+        ]
+        if not found:
+            raise KeyError(f"no link between {a!r} and {b!r}")
+        return found
+
+    def _set_links(self, a: str, b: str, up: bool) -> None:
+        for link in self._links_between(a, b):
+            link.set_up(up)
+        self._note(f"{'link-up' if up else 'link-down'} {a}<->{b}")
+
+    # -- loss bursts --------------------------------------------------------
+    def _start_burst(self, event: FaultEvent) -> None:
+        host = self.cluster.host(event.target)
+        proc = self.sim.process(
+            self._burst(host, event), name=f"chaos-burst-{event.target}"
+        )
+        self._burst_procs = [p for p in self._burst_procs if p.is_alive]
+        self._burst_procs.append(proc)
+        self._note(
+            f"loss-burst {event.target} p={event.value:g} "
+            f"for {event.duration:g}s"
+        )
+
+    def _burst(self, host, event: FaultEvent):
+        """Process: raise loss on every channel touching the host, then
+        restore the previous settings.  Overlapping bursts on the same
+        host restore last-writer-wins — schedule them disjoint."""
+        rng = self.cluster.streams.stream(
+            f"chaos-loss-{event.target}-{event.at:g}"
+        )
+        touched = []
+        for nic in host.node.nics:
+            for channel in (nic.link.ab, nic.link.ba):
+                touched.append(
+                    (channel, channel.loss_rate, channel.loss_rng)
+                )
+                channel.loss_rate = event.value
+                channel.loss_rng = rng
+        try:
+            yield self.sim.timeout(event.duration)
+        except Interrupt:
+            pass
+        finally:
+            for channel, rate, old_rng in touched:
+                channel.loss_rate = rate
+                channel.loss_rng = old_rng

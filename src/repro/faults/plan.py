@@ -1,0 +1,229 @@
+"""Deterministic fault plans.
+
+A :class:`FaultPlan` is a declarative, time-ordered schedule of faults to
+throw at a running deployment — the *what* and *when*, with no reference
+to live objects, so the same plan replays bit-identically across runs and
+can be generated from a seeded RNG (:meth:`FaultPlan.random_plan`).  The
+:class:`~repro.faults.controller.ChaosController` is the *how*: it turns
+each event into concrete operations on the cluster.
+
+Fault taxonomy (the ``kind`` field of :class:`FaultEvent`):
+
+``crash-host``      power-fail a machine: every daemon dies, every TCP
+                    connection is torn down without a FIN, ports and
+                    shared memory are wiped.
+``restart-host``    power the machine back on and relaunch the daemons
+                    it was running (with empty state).
+``link-down`` /     hard-partition / heal one link (both directions),
+``link-up``         via :meth:`repro.net.link.Link.set_up`.
+``kill-daemon`` /   stop / relaunch a single daemon by role name
+``restart-daemon``  (``probe``, ``sysmon``, ``netmon``, ``secmon``,
+                    ``transmitter``, ``receiver``, ``wizard``).
+``loss-burst``      raise random frame loss on every link of one host
+                    for a bounded window — how probe-report loss bursts
+                    are injected.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+__all__ = ["FaultEvent", "FaultPlan", "FAULT_KINDS", "DAEMON_ROLES"]
+
+FAULT_KINDS: frozenset[str] = frozenset({
+    "crash-host",
+    "restart-host",
+    "link-down",
+    "link-up",
+    "kill-daemon",
+    "restart-daemon",
+    "loss-burst",
+})
+
+#: daemon role names the controller can kill/restart individually
+DAEMON_ROLES: tuple[str, ...] = (
+    "probe", "sysmon", "netmon", "secmon", "transmitter", "receiver", "wizard",
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.  ``target`` is a host name; ``peer`` carries
+    the second link endpoint or the daemon role; ``value``/``duration``
+    parameterise loss bursts."""
+
+    at: float
+    kind: str
+    target: str
+    peer: str = ""
+    value: float = 0.0
+    duration: float = 0.0
+
+    def __post_init__(self):
+        if self.at < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.at}")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.kind in ("kill-daemon", "restart-daemon") \
+                and self.peer not in DAEMON_ROLES:
+            raise ValueError(f"unknown daemon role {self.peer!r}")
+        if self.kind == "loss-burst" and not (0.0 < self.value <= 1.0):
+            raise ValueError(f"loss rate must be in (0, 1], got {self.value}")
+
+    def describe(self) -> str:
+        if self.kind in ("link-down", "link-up"):
+            return f"{self.kind} {self.target}<->{self.peer}"
+        if self.kind in ("kill-daemon", "restart-daemon"):
+            return f"{self.kind} {self.peer}@{self.target}"
+        if self.kind == "loss-burst":
+            return (f"loss-burst {self.target} p={self.value:g} "
+                    f"for {self.duration:g}s")
+        return f"{self.kind} {self.target}"
+
+
+class FaultPlan:
+    """An ordered schedule of :class:`FaultEvent`\\ s with builder helpers.
+
+    Builders return ``self`` so plans chain::
+
+        plan = (FaultPlan()
+                .crash_host(5.0, "dione")
+                .partition(12.0, "sw-g1", "wiz", duration=30.0)
+                .kill_daemon(20.0, "mon2", "transmitter")
+                .restart_daemon(25.0, "mon2", "transmitter"))
+    """
+
+    def __init__(self, events: Iterable[FaultEvent] = ()):
+        self._events: list[FaultEvent] = list(events)
+
+    # -- builders ---------------------------------------------------------
+    def add(self, event: FaultEvent) -> "FaultPlan":
+        self._events.append(event)
+        return self
+
+    def crash_host(self, at: float, host: str) -> "FaultPlan":
+        return self.add(FaultEvent(at, "crash-host", host))
+
+    def restart_host(self, at: float, host: str) -> "FaultPlan":
+        return self.add(FaultEvent(at, "restart-host", host))
+
+    def link_down(self, at: float, a: str, b: str) -> "FaultPlan":
+        return self.add(FaultEvent(at, "link-down", a, peer=b))
+
+    def link_up(self, at: float, a: str, b: str) -> "FaultPlan":
+        return self.add(FaultEvent(at, "link-up", a, peer=b))
+
+    def partition(self, at: float, a: str, b: str,
+                  duration: Optional[float] = None) -> "FaultPlan":
+        """Down the a<->b link; heal it ``duration`` seconds later."""
+        self.link_down(at, a, b)
+        if duration is not None:
+            if duration <= 0:
+                raise ValueError(f"partition duration must be > 0, got {duration}")
+            self.link_up(at + duration, a, b)
+        return self
+
+    def flap_link(self, at: float, a: str, b: str, *,
+                  period: float, count: int) -> "FaultPlan":
+        """``count`` down/up cycles: down at ``at``, up half a period
+        later, repeating every ``period`` seconds."""
+        if period <= 0 or count <= 0:
+            raise ValueError("flap needs period > 0 and count > 0")
+        for i in range(count):
+            self.link_down(at + i * period, a, b)
+            self.link_up(at + i * period + period / 2.0, a, b)
+        return self
+
+    def kill_daemon(self, at: float, host: str, role: str) -> "FaultPlan":
+        return self.add(FaultEvent(at, "kill-daemon", host, peer=role))
+
+    def restart_daemon(self, at: float, host: str, role: str) -> "FaultPlan":
+        return self.add(FaultEvent(at, "restart-daemon", host, peer=role))
+
+    def loss_burst(self, at: float, host: str, rate: float,
+                   duration: float) -> "FaultPlan":
+        """Drop each frame on every link of ``host`` with probability
+        ``rate`` for ``duration`` seconds (probe-report loss bursts)."""
+        if duration <= 0:
+            raise ValueError(f"burst duration must be > 0, got {duration}")
+        return self.add(
+            FaultEvent(at, "loss-burst", host, value=rate, duration=duration)
+        )
+
+    # -- reading ----------------------------------------------------------
+    def events(self) -> list[FaultEvent]:
+        """Time-ordered events; ties keep insertion order (stable sort),
+        so a plan is a deterministic program."""
+        return sorted(self._events, key=lambda e: e.at)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self.events())
+
+    @property
+    def horizon(self) -> float:
+        """Time of the last scheduled event (0 for an empty plan)."""
+        if not self._events:
+            return 0.0
+        return max(e.at + e.duration for e in self._events)
+
+    # -- randomised plans ---------------------------------------------------
+    @classmethod
+    def random_plan(
+        cls,
+        rng: random.Random,
+        *,
+        horizon: float,
+        hosts: Iterable[str],
+        links: Iterable[tuple[str, str]] = (),
+        daemons: Iterable[tuple[str, str]] = (),
+        n_events: int = 6,
+        mean_outage: float = 10.0,
+    ) -> "FaultPlan":
+        """Generate a seeded random plan: every fault that takes something
+        down schedules the matching recovery, so the system always gets a
+        chance to heal before ``horizon``.
+
+        ``rng`` should come from a named
+        :class:`~repro.sim.rand.RandomStreams` stream — the plan is then a
+        pure function of the seed.
+        """
+        if horizon <= 0:
+            raise ValueError(f"horizon must be > 0, got {horizon}")
+        hosts = sorted(hosts)
+        links = sorted(tuple(l) for l in links)
+        daemons = sorted(tuple(d) for d in daemons)
+        if not hosts:
+            raise ValueError("random_plan needs at least one host")
+        plan = cls()
+        menu = ["crash-host", "loss-burst"]
+        if links:
+            menu.append("link-down")
+        if daemons:
+            menu.append("kill-daemon")
+        for _ in range(n_events):
+            at = rng.uniform(0.05 * horizon, 0.6 * horizon)
+            outage = min(
+                rng.expovariate(1.0 / mean_outage), 0.35 * horizon
+            ) + 0.5
+            kind = rng.choice(menu)
+            if kind == "crash-host":
+                host = rng.choice(hosts)
+                plan.crash_host(at, host)
+                plan.restart_host(at + outage, host)
+            elif kind == "link-down":
+                a, b = rng.choice(links)
+                plan.partition(at, a, b, duration=outage)
+            elif kind == "kill-daemon":
+                host, role = rng.choice(daemons)
+                plan.kill_daemon(at, host, role)
+                plan.restart_daemon(at + outage, host, role)
+            else:
+                plan.loss_burst(at, rng.choice(hosts),
+                                rate=rng.uniform(0.1, 0.9),
+                                duration=outage)
+        return plan

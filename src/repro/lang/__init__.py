@@ -37,6 +37,7 @@ from .parser import Parser, parse
 from .variables import (
     ALL_PREDEFINED,
     DENIED_VARS,
+    DERIVED_VARS,
     MONITOR_VARS,
     PREFERRED_VARS,
     SERVER_SIDE_VARS,
@@ -75,6 +76,7 @@ __all__ = [
     "is_logical",
     "SERVER_SIDE_VARS",
     "MONITOR_VARS",
+    "DERIVED_VARS",
     "USER_SIDE_VARS",
     "PREFERRED_VARS",
     "DENIED_VARS",

@@ -12,7 +12,12 @@ from the worked examples:
 * ``monitor_network_bw`` is in Mbps ("monitor_network_bw > 6") and
   ``monitor_network_delay`` in ms ("delay < 20ms", Fig 1.4) — these two are
   *group* metrics coming from the network monitor rather than the probe;
-* the IO rates ``host_network_*ps`` are per-second deltas in bytes/packets.
+* the IO rates ``host_network_*ps`` are per-second deltas in bytes/packets;
+* ``host_status_age`` (fault-model extension, not in the thesis set) is the
+  seconds since the server's status record was written by its group's
+  system monitor — ``host_status_age < 10`` filters out servers whose
+  monitoring path is partitioned or whose monitor crashed, so a requirement
+  can demand *fresh* data instead of trusting last-known-good snapshots.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ from __future__ import annotations
 __all__ = [
     "SERVER_SIDE_VARS",
     "MONITOR_VARS",
+    "DERIVED_VARS",
     "USER_SIDE_VARS",
     "PREFERRED_VARS",
     "DENIED_VARS",
@@ -64,13 +70,19 @@ MONITOR_VARS: tuple[str, ...] = (
     "monitor_network_bw",     # Mbps
 )
 
+#: wizard-derived health metrics (fault-model extension; computed per
+#: request, never carried in a probe report)
+DERIVED_VARS: tuple[str, ...] = (
+    "host_status_age",        # seconds since the record was last refreshed
+)
+
 #: the 10 user-side variables: preference / blacklist slots
 PREFERRED_VARS: tuple[str, ...] = tuple(f"user_preferred_host{i}" for i in range(1, 6))
 DENIED_VARS: tuple[str, ...] = tuple(f"user_denied_host{i}" for i in range(1, 6))
 USER_SIDE_VARS: tuple[str, ...] = PREFERRED_VARS + DENIED_VARS
 
 ALL_PREDEFINED: frozenset[str] = frozenset(
-    SERVER_SIDE_VARS + MONITOR_VARS + USER_SIDE_VARS
+    SERVER_SIDE_VARS + MONITOR_VARS + DERIVED_VARS + USER_SIDE_VARS
 )
 
 assert len(SERVER_SIDE_VARS) == 22, "thesis specifies exactly 22 server-side vars"

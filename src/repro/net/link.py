@@ -55,6 +55,9 @@ class Channel:
         #: random frame loss probability (0 disables); seeded via loss_rng
         self.loss_rate = 0.0
         self.loss_rng: Optional[random.Random] = None
+        #: hard carrier switch: a downed channel drops every frame (used by
+        #: the fault-injection plane for partitions and link flaps)
+        self.up = True
         self.next_free = 0.0
         #: callback installed by the receiving endpoint: fn(frame)
         self.on_deliver: Optional[Callable[[Frame], None]] = None
@@ -85,6 +88,9 @@ class Channel:
         for the initialisation term of Eq. 3.6 without blocking the caller).
         """
         now = self.sim.now
+        if not self.up:
+            self.drops += 1
+            return False
         if self.buffer_bytes is not None and self.backlog_bytes() > self.buffer_bytes:
             self.drops += 1
             return False
@@ -164,3 +170,12 @@ class Link:
             raise ValueError(f"MTU {mtu} too small for IP+UDP headers")
         self.ab.mtu = mtu
         self.ba.mtu = mtu
+
+    def set_up(self, up: bool) -> None:
+        """Bring both directions up or down (partition / heal)."""
+        self.ab.up = up
+        self.ba.up = up
+
+    @property
+    def is_up(self) -> bool:
+        return self.ab.up and self.ba.up

@@ -102,6 +102,7 @@ class TcpConnection:
         self.established_ev = self.sim.event()
         self.closed = False          # local close() called
         self.peer_closed = False     # FIN received
+        self.reset = False           # RST received, or abort() called
 
         # --- sender state (go-back-N) ---
         self._outq: list[tuple[Any, int]] = []   # (payload, nbytes) messages
@@ -133,6 +134,8 @@ class TcpConnection:
     # -- public API -----------------------------------------------------------
     def send(self, payload: Any, nbytes: int) -> None:
         """Queue one application message of ``nbytes`` bytes."""
+        if self.reset:
+            raise ConnectionClosed("connection reset")
         if self.closed:
             raise ConnectionClosed("send() after close()")
         if nbytes <= 0:
@@ -170,6 +173,35 @@ class TcpConnection:
         self._fin_queued = True
         self._signal()
 
+    def abort(self) -> None:
+        """Hard local teardown — no FIN, no flush (a crashed host).
+
+        Queued and in-flight data is discarded and the endpoint is removed
+        from the demux table, so the peer's next segment is answered with an
+        RST instead of silently vanishing.
+        """
+        if self.reset and self.closed:
+            return
+        self.closed = True
+        self.reset = True
+        self.peer_closed = True
+        self._outq.clear()
+        self._fin_queued = False
+        self.rx.put(EOF)
+        self.layer.conns.pop(
+            (self.local_port, self.remote_addr, self.remote_port), None
+        )
+        self._signal()
+
+    def _handle_reset(self) -> None:
+        """Peer answered with RST: the far endpoint no longer exists."""
+        if self.reset:
+            return
+        self.reset = True
+        self.peer_closed = True
+        self.rx.put(EOF)
+        self._signal()
+
     @property
     def in_flight(self) -> int:
         return self._next_seq - self._base
@@ -187,6 +219,8 @@ class TcpConnection:
 
     def _sender(self):
         while True:
+            if self.reset:
+                return  # reset: stop (re)transmitting immediately
             self._pump()
             idle = self._base == self._next_seq and not self._outq
             if idle and self.closed and not self._fin_queued:
@@ -422,8 +456,19 @@ class TcpLayer:
             elif kind == "ACK1":
                 if not conn.established:
                     conn._start()
+            elif kind == "RST":
+                conn._handle_reset()
             else:
                 conn._handle(dgram)
+            return
+        if kind in ("SEG", "ACK", "SYNACK"):
+            # traffic for a connection this host no longer knows about (it
+            # crashed, or the handshake was abandoned): answer with RST so
+            # the peer learns the endpoint is gone instead of retrying
+            # into the void
+            reply = dgram.reply_skeleton(PROTO_TCP, 0, ("RST",))
+            reply.created = self.stack.sim.now
+            self.stack.node.send(reply)
             return
         if kind == "SYN":
             lsn = self.listeners.get(dgram.dport)

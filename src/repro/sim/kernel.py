@@ -287,6 +287,10 @@ class AnyOf(_Condition):
 
     def _check(self, event: Event) -> None:
         if self._state != PENDING:
+            # the race is already decided; a losing member that fails late
+            # (e.g. a recv() beaten by its timeout, then the connection
+            # dies) has no waiter left — defuse so it cannot crash the loop
+            event._ok = True
             return
         if not event._ok:
             self.fail(event.value)
@@ -302,6 +306,7 @@ class AllOf(_Condition):
 
     def _check(self, event: Event) -> None:
         if self._state != PENDING:
+            event._ok = True  # late member of a failed condition: defuse
             return
         if not event._ok:
             self.fail(event.value)

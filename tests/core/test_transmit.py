@@ -176,3 +176,86 @@ class TestDistributed:
         first, second = run_process(cluster.sim, p(), until=30.0)
         assert "10.9.9.9" not in first
         assert "10.9.9.9" in second
+
+class TestPushHardening:
+    def test_push_loop_survives_receiver_crash_and_restart(self):
+        """Receiver dies mid-run: the push loop must not crash, and must
+        resume delivering snapshots once the receiver is back."""
+        cluster, cfg, receiver, (tx,), _ = make_world(Mode.CENTRALIZED)
+        receiver.start()
+        tx.start()
+
+        def scenario():
+            yield cluster.sim.timeout(3.0)
+            # crash the receiver abruptly: no FIN ever reaches the
+            # transmitter — it discovers via RST on its next push
+            wiz_stack = receiver.stack
+            for conn in list(wiz_stack.tcp.conns.values()):
+                conn.abort()
+            for lsn in list(wiz_stack.tcp.listeners.values()):
+                lsn.close()
+            receiver.stop()
+            yield cluster.sim.timeout(5.0)
+            receiver.start()
+            yield cluster.sim.timeout(8.0)
+
+        run_process(cluster.sim, scenario(), until=60.0)
+        # the RST from the dead receiver is detected at the top of the
+        # push loop: the stale conn is dropped and a fresh one dialled
+        assert tx.connects >= 2
+        # snapshots flowed again after the restart
+        assert receiver.staleness(MSG_SYSDB) < 3.0
+
+    def test_staleness_tracks_last_apply(self):
+        cluster, cfg, receiver, (tx,), _ = make_world(Mode.CENTRALIZED)
+        assert receiver.staleness(MSG_SYSDB) == float("inf")
+        receiver.start()
+        tx.start()
+
+        def scenario():
+            yield cluster.sim.timeout(3.0)
+            fresh = receiver.staleness(MSG_SYSDB)
+            tx.stop()
+            yield cluster.sim.timeout(10.0)
+            return fresh, receiver.staleness(MSG_SYSDB)
+
+        fresh, stale = run_process(cluster.sim, scenario(), until=30.0)
+        assert fresh <= 1.0
+        assert stale >= 9.0
+
+
+class TestPullHardening:
+    def test_unreachable_transmitter_counts_pull_failure(self):
+        cluster, cfg, receiver, _, monitors = make_world(Mode.DISTRIBUTED)
+        receiver.add_transmitter(monitors[0].addr)  # nothing listens there
+
+        def p():
+            yield from receiver.pull_all()
+
+        run_process(cluster.sim, p(), until=30.0)
+        assert receiver.pull_failures == 1
+
+    def test_wedged_transmitter_times_out_not_stalls(self):
+        """A transmitter that accepts but never answers must cost at most
+        config.pull_timeout, then be dropped (wizard serves stale data)."""
+        cluster, cfg, receiver, _, monitors = make_world(Mode.DISTRIBUTED)
+        mon = monitors[0]
+        receiver.add_transmitter(mon.addr)
+
+        def black_hole():
+            lsn = mon.stack.tcp.listen(cfg.ports.transmitter)
+            while True:
+                yield lsn.accept()  # accept and say nothing
+
+        cluster.sim.process(black_hole())
+        t = {}
+
+        def p():
+            t["start"] = cluster.sim.now
+            yield from receiver.pull_all()
+            t["end"] = cluster.sim.now
+
+        run_process(cluster.sim, p(), until=30.0)
+        assert receiver.pull_timeouts == 1
+        assert t["end"] - t["start"] == pytest.approx(cfg.pull_timeout, abs=0.1)
+        assert mon.addr not in receiver._pull_conns  # dropped for re-dial

@@ -217,3 +217,93 @@ class TestWireFormats:
         r = WizardReply(seq=9, servers=("10.0.0.1", "10.0.0.2"))
         assert r.server_num == 2
         assert r.wire_bytes == 8 + len("10.0.0.1") + 1 + len("10.0.0.2") + 1
+
+class TestOptionHardening:
+    """Malformed options must never raise out of match() — they count in
+    option_errors and the candidates pass through unranked."""
+
+    def _sysdb(self):
+        return {
+            "10.1.1.1": record("small", "10.1.1.1", host_memory_free=64.0),
+            "10.1.1.2": record("large", "10.1.1.2", host_memory_free=512.0),
+        }
+
+    def _match(self, option):
+        wizard = make_wizard()
+        req = request("host_cpu_free > 0.5", option=option)
+        out = wizard.match(req, CLIENT, self._sysdb(), {}, {})
+        return wizard, out
+
+    def test_rank_with_no_variable(self):
+        wizard, out = self._match("rank:")
+        assert len(out) == 2
+        assert wizard.option_errors == 1
+
+    def test_rank_unknown_variable_passes_through(self):
+        wizard, out = self._match("rank:no_such_var")
+        assert len(out) == 2
+        assert wizard.option_errors == 1
+
+    def test_rank_trailing_colon_tolerated(self):
+        wizard, out = self._match("rank:host_memory_free:")
+        assert out == ["10.1.1.2", "10.1.1.1"]  # still ranked, descending
+        assert wizard.option_errors == 0
+
+    def test_rank_string_valued_variable(self):
+        """§6 extras are strings; ranking on one must not TypeError."""
+        sysdb = self._sysdb()
+        for rec in sysdb.values():
+            rec.report.extras["host_color"] = "blue"
+        wizard = make_wizard()
+        req = request("host_cpu_free > 0.5", option="rank:host_color")
+        out = wizard.match(req, CLIENT, sysdb, {}, {})
+        assert len(out) == 2
+        assert wizard.option_errors == 1
+
+    def test_unknown_verb_counts_error(self):
+        wizard, out = self._match("frobnicate")
+        assert len(out) == 2
+        assert wizard.option_errors == 1
+
+    def test_empty_option_is_not_an_error(self):
+        wizard, out = self._match("")
+        assert len(out) == 2
+        assert wizard.option_errors == 0
+
+    def test_rank_mixed_missing_values_still_ranks(self):
+        sysdb = self._sysdb()
+        del sysdb["10.1.1.1"].report.values["host_memory_free"]
+        wizard = make_wizard()
+        req = request("host_cpu_free > 0.5", option="rank:host_memory_free")
+        out = wizard.match(req, CLIENT, sysdb, {}, {})
+        assert out == ["10.1.1.2", "10.1.1.1"]  # missing sorts last (desc)
+        assert wizard.option_errors == 0
+
+
+class TestStatusAge:
+    def test_fresh_record_qualifies_and_stale_does_not(self):
+        wizard = make_wizard()
+        sim = wizard.sim
+        sim.run(until=20.0)  # advance the clock to 20 s
+        sysdb = {
+            "10.1.1.1": record("fresh", "10.1.1.1"),
+            "10.1.1.2": record("stale", "10.1.1.2"),
+        }
+        sysdb["10.1.1.1"].updated_at = 19.0   # 1 s old
+        sysdb["10.1.1.2"].updated_at = 5.0    # 15 s old
+        req = request("host_status_age < 10")
+        out = wizard.match(req, CLIENT, sysdb, {}, {})
+        assert out == ["10.1.1.1"]
+
+    def test_age_can_rank(self):
+        wizard = make_wizard()
+        wizard.sim.run(until=30.0)
+        sysdb = {
+            "10.1.1.1": record("older", "10.1.1.1"),
+            "10.1.1.2": record("newer", "10.1.1.2"),
+        }
+        sysdb["10.1.1.1"].updated_at = 10.0
+        sysdb["10.1.1.2"].updated_at = 29.0
+        req = request("host_cpu_free > 0.5", option="rank:host_status_age:asc")
+        out = wizard.match(req, CLIENT, sysdb, {}, {})
+        assert out == ["10.1.1.2", "10.1.1.1"]

@@ -1,0 +1,94 @@
+"""Shared topology for the chaos suite: a 2-group, 6-server star.
+
+::
+
+    cli --- core --- wiz
+             |\
+       sw-g1 | sw-g2
+      /  |   |  |  \
+  mon1 s0-s2 | s3-s5 (mon2)
+
+Cutting sw-g1<->core partitions group g1 (monitor + 3 servers) from the
+wizard; the servers of g2 hang off sw-g2 next to their monitor mon2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.cluster import Cluster, Deployment
+from repro.core.config import DEFAULT_CONFIG
+
+#: chaos-test timing: 1 s probes, 3 misses, 1 s pushes — so a dead
+#: server expires after 3 s and the acceptance recovery budget
+#: (probe_miss_limit * probe_interval + transmit_interval) is 4 s
+CHAOS_CONFIG = replace(
+    DEFAULT_CONFIG,
+    probe_interval=1.0,
+    probe_miss_limit=3,
+    transmit_interval=1.0,
+    netmon_interval=1.0,
+    client_timeout=1.0,
+    client_retries=2,
+    client_backoff_base=0.1,
+    client_backoff_cap=1.0,
+    transmit_backoff_cap=2.0,
+    transmit_stall_limit=3.0,
+    quarantine_period=5.0,
+)
+
+#: freshness demand used by the chaos scenarios: a record whose monitor
+#: path has been dead for >= 10 s no longer qualifies
+CHAOS_REQUIREMENT = "host_cpu_free > 0.1\nhost_status_age < 10"
+
+
+def build_chaos_world(seed: int = 0, config=CHAOS_CONFIG):
+    """Cluster + started deployment; returns (cluster, dep, name->addr)."""
+    cluster = Cluster(seed=seed)
+    wiz = cluster.add_host("wiz")
+    cli = cluster.add_host("cli")
+    mon1 = cluster.add_host("mon1")
+    mon2 = cluster.add_host("mon2")
+    core = cluster.add_switch("core")
+    sw1 = cluster.add_switch("sw-g1")
+    sw2 = cluster.add_switch("sw-g2")
+    cluster.link(wiz, core, subnet="10.0.0")
+    cluster.link(cli, core, subnet="10.0.3")
+    cluster.link(mon1, sw1, subnet="10.0.1")
+    cluster.link(sw1, core, subnet="10.0.1")
+    cluster.link(mon2, sw2, subnet="10.0.2")
+    cluster.link(sw2, core, subnet="10.0.2")
+    servers = []
+    for i in range(6):
+        s = cluster.add_host(f"s{i}")
+        cluster.link(s, sw1 if i < 3 else sw2,
+                     subnet="10.0.1" if i < 3 else "10.0.2")
+        servers.append(s)
+    cluster.finalize()
+    dep = Deployment(cluster, wizard_host=wiz, config=config)
+    dep.add_group("g1", mon1, servers[:3])
+    dep.add_group("g2", mon2, servers[3:])
+    dep.start()
+    addrs = {s.name: s.addr for s in servers}
+    return cluster, dep, addrs
+
+
+def poll_replies(cluster, dep, *, n: int, requirement: str = CHAOS_REQUIREMENT,
+                 until: float, period: float = 1.0, results: list | None = None):
+    """Spawn a client process polling the wizard every ``period`` seconds.
+
+    Appends ``(sim_time, sorted_server_addrs)`` tuples to ``results`` (a
+    new list is returned when not supplied) until ``until``.
+    """
+    log = results if results is not None else []
+    client = dep.client_for(cluster.host("cli"))
+
+    def poller():
+        yield cluster.sim.timeout(dep.warm_up_seconds())
+        while cluster.sim.now < until:
+            reply = yield from client.request_servers(requirement, n)
+            log.append((cluster.sim.now, tuple(sorted(reply.servers))))
+            yield cluster.sim.timeout(period)
+
+    cluster.sim.process(poller(), name="chaos-poller")
+    return log

@@ -1,0 +1,113 @@
+"""Unit tests for the declarative fault plan."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.faults import DAEMON_ROLES, FAULT_KINDS, FaultEvent, FaultPlan
+
+
+class TestFaultEvent:
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError, match="fault time"):
+            FaultEvent(-1.0, "crash-host", "a")
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent(0.0, "set-on-fire", "a")
+
+    def test_rejects_unknown_daemon_role(self):
+        with pytest.raises(ValueError, match="unknown daemon role"):
+            FaultEvent(0.0, "kill-daemon", "a", peer="cron")
+
+    def test_rejects_bad_loss_rate(self):
+        with pytest.raises(ValueError, match="loss rate"):
+            FaultEvent(0.0, "loss-burst", "a", value=1.5, duration=1.0)
+
+    def test_describe_is_readable(self):
+        ev = FaultEvent(1.0, "kill-daemon", "mon", peer="sysmon")
+        assert ev.describe() == "kill-daemon sysmon@mon"
+
+
+class TestFaultPlan:
+    def test_builders_chain_and_sort(self):
+        plan = (FaultPlan()
+                .crash_host(9.0, "b")
+                .crash_host(3.0, "a")
+                .restart_host(5.0, "a"))
+        assert [e.at for e in plan.events()] == [3.0, 5.0, 9.0]
+        assert plan.events()[0].target == "a"
+
+    def test_ties_keep_insertion_order(self):
+        plan = FaultPlan().crash_host(2.0, "x").crash_host(2.0, "y")
+        assert [e.target for e in plan.events()] == ["x", "y"]
+
+    def test_partition_adds_heal(self):
+        plan = FaultPlan().partition(4.0, "a", "b", duration=10.0)
+        kinds = [(e.at, e.kind) for e in plan.events()]
+        assert kinds == [(4.0, "link-down"), (14.0, "link-up")]
+
+    def test_partition_without_duration_stays_down(self):
+        plan = FaultPlan().partition(4.0, "a", "b")
+        assert [e.kind for e in plan.events()] == ["link-down"]
+
+    def test_flap_expands_to_cycles(self):
+        plan = FaultPlan().flap_link(10.0, "a", "b", period=2.0, count=3)
+        events = plan.events()
+        assert len(events) == 6
+        assert [e.kind for e in events] == ["link-down", "link-up"] * 3
+        assert events[-1].at == pytest.approx(15.0)
+
+    def test_horizon_covers_burst_tail(self):
+        plan = FaultPlan().loss_burst(5.0, "a", 0.5, duration=7.0)
+        assert plan.horizon == pytest.approx(12.0)
+
+    def test_kill_needs_known_role(self):
+        plan = FaultPlan()
+        for role in DAEMON_ROLES:
+            plan.kill_daemon(1.0, "m", role)
+        assert len(plan) == len(DAEMON_ROLES)
+
+    def test_exported_taxonomy_is_closed(self):
+        assert {e.kind for e in FaultPlan()
+                .crash_host(0, "a").restart_host(1, "a")
+                .partition(0, "a", "b", duration=1)
+                .kill_daemon(0, "a", "sysmon").restart_daemon(1, "a", "sysmon")
+                .loss_burst(0, "a", 0.5, 1).events()} <= FAULT_KINDS
+
+
+class TestRandomPlan:
+    def test_same_seed_same_plan(self):
+        kwargs = dict(horizon=60.0, hosts=["a", "b"],
+                      links=[("x", "y")], daemons=[("m", "sysmon")])
+        p1 = FaultPlan.random_plan(random.Random(42), **kwargs)
+        p2 = FaultPlan.random_plan(random.Random(42), **kwargs)
+        assert p1.events() == p2.events()
+
+    def test_different_seed_different_plan(self):
+        kwargs = dict(horizon=60.0, hosts=["a", "b"])
+        p1 = FaultPlan.random_plan(random.Random(1), **kwargs)
+        p2 = FaultPlan.random_plan(random.Random(2), **kwargs)
+        assert p1.events() != p2.events()
+
+    def test_every_outage_is_paired_with_recovery(self):
+        plan = FaultPlan.random_plan(
+            random.Random(7), horizon=100.0, hosts=["a", "b", "c"],
+            links=[("x", "y")], daemons=[("m", "transmitter")], n_events=12,
+        )
+        crashes = sum(1 for e in plan if e.kind == "crash-host")
+        restarts = sum(1 for e in plan if e.kind == "restart-host")
+        downs = sum(1 for e in plan if e.kind == "link-down")
+        ups = sum(1 for e in plan if e.kind == "link-up")
+        kills = sum(1 for e in plan if e.kind == "kill-daemon")
+        relaunches = sum(1 for e in plan if e.kind == "restart-daemon")
+        assert crashes == restarts
+        assert downs == ups
+        assert kills == relaunches
+
+    def test_events_inside_horizon(self):
+        plan = FaultPlan.random_plan(
+            random.Random(3), horizon=50.0, hosts=["a"], n_events=10)
+        assert all(0 <= e.at <= 50.0 for e in plan)
