@@ -11,8 +11,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from conftest import record
 from repro.bench import format_table
 from repro.bench.experiments import _drive

@@ -7,8 +7,6 @@ monitor the busiest network consumer (it absorbs all probe reports).
 
 from __future__ import annotations
 
-import pytest
-
 from conftest import record
 from repro.bench import format_table, resource_usage
 

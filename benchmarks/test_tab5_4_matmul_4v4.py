@@ -8,8 +8,6 @@ exploits the Fig 5.2 benchmark insight: ask for bogomips > 4000 *or*
 
 from __future__ import annotations
 
-import pytest
-
 from conftest import matmul_report
 from repro.bench import matmul_experiment
 

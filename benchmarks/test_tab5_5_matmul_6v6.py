@@ -8,8 +8,6 @@ overhead grows.  The requirement denies the five slowest machines.
 
 from __future__ import annotations
 
-import pytest
-
 from conftest import matmul_report
 from repro.bench import matmul_experiment
 

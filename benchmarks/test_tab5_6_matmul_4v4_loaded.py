@@ -8,8 +8,6 @@ phoebe, titan-x, pandora-x) needs 66.72 s — 26.6 % better, purely from the
 
 from __future__ import annotations
 
-import pytest
-
 from conftest import matmul_report
 from repro.bench import matmul_experiment
 

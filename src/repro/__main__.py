@@ -1,4 +1,5 @@
-"""Command-line front end: regenerate any thesis table/figure.
+"""Command-line front end: regenerate any thesis table/figure, or lint
+a requirement file.
 
 Usage::
 
@@ -7,6 +8,13 @@ Usage::
     python -m repro tab5.3               # matmul 2v2
     python -m repro tab5.9               # massd 3v3
     python -m repro all                  # everything (minutes)
+
+    python -m repro lint req.txt         # static-analyze a requirement file
+    echo 'host_cpu_free > 2' | python -m repro lint -
+    repro-lint req.txt                   # installed entry point
+
+Lint exit codes: 0 clean (warnings allowed), 1 diagnostics at error
+severity (or any finding with ``--strict``), 2 usage/IO problems.
 """
 
 from __future__ import annotations
@@ -172,14 +180,78 @@ EXPERIMENTS: dict[str, Callable[[], str]] = {
 }
 
 
+def lint_main(argv: list[str] | None = None) -> int:
+    """``python -m repro lint <file|->`` — the repro-lint front end."""
+    from .lang import analyze
+    from .lang.errors import LangError
+
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Statically analyze a requirement file: typed "
+                    "diagnostics (REQxxx), satisfiability pre-flight, "
+                    "did-you-mean suggestions.",
+    )
+    parser.add_argument("path", help="requirement file, or '-' for stdin")
+    parser.add_argument("--strict", action="store_true",
+                        help="treat warnings as errors")
+    args = parser.parse_args(argv)
+
+    if args.path == "-":
+        filename = "<stdin>"
+        source = sys.stdin.read()
+    else:
+        filename = args.path
+        try:
+            with open(args.path, "r", encoding="utf-8") as fh:
+                source = fh.read()
+        except OSError as exc:
+            print(f"repro-lint: cannot read {args.path}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    try:
+        result = analyze(source, recover=True)
+    except LangError as exc:
+        print(f"{filename}:{exc.line}:{exc.col}: error PARSE: {exc.message}")
+        return 1
+
+    findings = 0
+    errors = 0
+    for perr in result.parse_errors:
+        print(f"{filename}:{perr.line}:{perr.col}: error PARSE: {perr.message}")
+        findings += 1
+        errors += 1
+    for diag in result.diagnostics:
+        print(diag.render(filename))
+        findings += 1
+        errors += diag.is_error
+    if result.unsatisfiable:
+        print(f"{filename}: requirement is statically unsatisfiable — "
+              f"the wizard would NAK it without scanning any server")
+    if findings == 0:
+        n_logical = len(result.statement_truths)
+        print(f"{filename}: clean ({n_logical} logical statement(s), "
+              f"{len(result.program.statements)} total)")
+    if errors or (args.strict and findings):
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate tables/figures of 'A Smart TCP Socket for "
-                    "Distributed Computing' (ICPP 2005).",
+                    "Distributed Computing' (ICPP 2005). Use "
+                    "'python -m repro lint <file|->' to static-analyze a "
+                    "requirement file.",
     )
     parser.add_argument("experiment",
-                        help="experiment id (see 'list'), or 'list'/'all'")
+                        help="experiment id (see 'list'), 'list'/'all', "
+                             "or 'lint <file|->'")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -199,6 +271,11 @@ def main(argv: list[str] | None = None) -> int:
         print(EXPERIMENTS[name]())
         print(f"--- done in {time.time() - t0:.1f}s wall\n")
     return 0
+
+
+def lint_entry() -> None:
+    """Console-script entry point for ``repro-lint``."""
+    raise SystemExit(lint_main())
 
 
 if __name__ == "__main__":

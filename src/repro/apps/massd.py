@@ -14,7 +14,6 @@ that parameterisation (we take sizes in KB too).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from ..net.shaper import TokenBucket
 from ..net.tcp import ConnectionClosed

@@ -6,8 +6,8 @@ paper-vs-measured comparison where the thesis gives concrete numbers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Sequence
 
 __all__ = ["format_table", "ComparisonRow", "format_comparison", "series_to_text"]
 

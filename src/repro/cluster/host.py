@@ -9,7 +9,6 @@ library's daemons run on.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..host import Machine, ProcFS
 from ..net import NetworkStack, Node

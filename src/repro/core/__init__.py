@@ -5,7 +5,12 @@ network / security), the transmitter/receiver pair, the wizard, and the
 client library; plus the selection baselines used by the evaluation.
 """
 
-from .client import InsufficientServers, SmartClient, SmartReply
+from .client import (
+    InsufficientServers,
+    RequirementRejected,
+    SmartClient,
+    SmartReply,
+)
 from .config import Config, DEFAULT_CONFIG, Mode, Ports, ShmKeys
 from .netmon import (
     BandwidthEstimate,
@@ -24,11 +29,14 @@ from .records import (
     MSG_PULL,
     MSG_SECDB,
     MSG_SYSDB,
+    REPLY_NAK,
+    REPLY_OK,
     NetMetric,
     NetStatusRecord,
     SecurityRecord,
     ServerStatusRecord,
     ServerStatusReport,
+    WireDiagnostic,
     WireMessage,
 )
 from .secmon import (
@@ -64,6 +72,7 @@ __all__ = [
     "SmartClient",
     "SmartReply",
     "InsufficientServers",
+    "RequirementRejected",
     "ReliableSocket",
     "ReliableServer",
     "ReliableSession",
@@ -78,6 +87,9 @@ __all__ = [
     "MSG_NETDB",
     "MSG_SECDB",
     "MSG_PULL",
+    "REPLY_OK",
+    "REPLY_NAK",
+    "WireDiagnostic",
     "measure_rtt",
     "rtt_curve",
     "estimate_bandwidth",

@@ -21,7 +21,13 @@ Failure hardening (beyond the thesis):
 * a server whose service port refused the connection is *quarantined*
   for ``config.quarantine_period`` seconds: subsequent ``smart_sockets``
   calls connect to it last, so one dead-but-not-yet-expired server does
-  not slow every socket group down.
+  not slow every socket group down;
+* a **pre-submit static check**: the requirement is run through
+  :func:`repro.lang.analysis` *before* any packet leaves the client —
+  misspelled variables, arity errors and statically-unsatisfiable
+  constraints raise :class:`RequirementRejected` locally with the full
+  diagnostics instead of burning a wizard round trip (disable with
+  ``precheck=False``); a wizard NAK reply is surfaced the same way.
 """
 
 from __future__ import annotations
@@ -30,12 +36,15 @@ import random
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..lang.analysis import CompileCache
 from ..net.tcp import ConnectError, TcpConnection
 from ..sim import Simulator
 from .config import Config, DEFAULT_CONFIG
+from .records import REPLY_NAK
 from .wizard import WizardReply, WizardRequest
 
-__all__ = ["SmartClient", "SmartReply", "InsufficientServers"]
+__all__ = ["SmartClient", "SmartReply", "InsufficientServers",
+           "RequirementRejected"]
 
 
 class InsufficientServers(Exception):
@@ -47,6 +56,16 @@ class InsufficientServers(Exception):
         self.got = got
 
 
+class RequirementRejected(Exception):
+    """A requirement failed static analysis (locally or via wizard NAK)."""
+
+    def __init__(self, reason: str, diagnostics=()):  # diagnostics render()able
+        lines = [reason] + [d.render() for d in diagnostics]
+        super().__init__("\n".join(lines))
+        self.reason = reason
+        self.diagnostics = list(diagnostics)
+
+
 @dataclass
 class SmartReply:
     """Outcome of one wizard round-trip."""
@@ -54,6 +73,10 @@ class SmartReply:
     seq: int
     servers: list[str] = field(default_factory=list)
     attempts: int = 1
+    #: True when the wizard NAKed the request after static analysis
+    nak: bool = False
+    #: analyzer findings carried in a NAK reply
+    diagnostics: list = field(default_factory=list)
 
 
 class SmartClient:
@@ -72,23 +95,47 @@ class SmartClient:
         self.wizard_addr = wizard_addr
         self.config = config
         self.rng = rng or random.Random(0x5EED)
+        #: client-side compile cache for the pre-submit static check
+        self.compile_cache = CompileCache(maxsize=config.compile_cache_size)
         self.requests_sent = 0
         self.timeouts = 0
         self.connect_failures = 0
+        #: requirements rejected locally before any packet was sent
+        self.precheck_rejections = 0
         #: sleeps taken between retry attempts (for tests/telemetry)
         self.backoff_history: list[float] = []
         #: dead-server quarantine: addr -> sim time the sentence ends
         self._quarantine: dict[str, float] = {}
 
+    # -- pre-submit static check ---------------------------------------------
+    def precheck_requirement(self, requirement: str) -> None:
+        """Raise :class:`RequirementRejected` when static analysis proves the
+        requirement can never match (or is too broken to evaluate)."""
+        compiled = self.compile_cache.get_or_compile(requirement)
+        if compiled.parse_failed:
+            self.precheck_rejections += 1
+            raise RequirementRejected("requirement does not parse")
+        if compiled.unsatisfiable or compiled.errors:
+            self.precheck_rejections += 1
+            raise RequirementRejected(
+                "requirement rejected by static analysis",
+                diagnostics=compiled.errors or compiled.diagnostics,
+            )
+
     # -- wizard round trip ---------------------------------------------------
-    def request_servers(self, requirement: str, n: int, option: str = ""):
+    def request_servers(self, requirement: str, n: int, option: str = "",
+                        precheck: bool = True):
         """Process generator -> :class:`SmartReply`.
 
         Retries ``config.client_retries`` times on timeout; a reply whose
-        sequence number does not match is ignored (§3.6.2 step 3).
+        sequence number does not match is ignored (§3.6.2 step 3).  With
+        ``precheck`` (the default) a statically-bad requirement raises
+        :class:`RequirementRejected` before any packet is sent.
         """
         if n <= 0:
             raise ValueError(f"server count must be positive, got {n}")
+        if precheck:
+            self.precheck_requirement(requirement)
         sock = self.stack.udp_socket()
         backoff = self.config.client_backoff_base
         try:
@@ -126,7 +173,10 @@ class SmartClient:
                     reply = dgram.payload
                     if isinstance(reply, WizardReply) and reply.seq == seq:
                         return SmartReply(
-                            seq=seq, servers=list(reply.servers), attempts=attempt + 1
+                            seq=seq, servers=list(reply.servers),
+                            attempts=attempt + 1,
+                            nak=reply.status == REPLY_NAK,
+                            diagnostics=list(reply.diagnostics),
                         )
                     # stale or foreign reply: keep waiting on the deadline
             return SmartReply(seq=-1, servers=[], attempts=1 + self.config.client_retries)
@@ -142,6 +192,7 @@ class SmartClient:
         service_port: Optional[int] = None,
         mss: Optional[int] = None,
         strict: bool = False,
+        precheck: bool = True,
     ):
         """Process generator -> list of connected :class:`TcpConnection`.
 
@@ -151,7 +202,13 @@ class SmartClient:
         when the wizard cannot satisfy the count (otherwise the caller gets
         however many qualified — the "Option field" behaviours of §3.6.1).
         """
-        reply = yield from self.request_servers(requirement, n, option=option)
+        reply = yield from self.request_servers(requirement, n, option=option,
+                                                precheck=precheck)
+        if reply.nak:
+            raise RequirementRejected(
+                "wizard rejected the requirement (static analysis NAK)",
+                diagnostics=reply.diagnostics,
+            )
         if strict and len(reply.servers) < n:
             raise InsufficientServers(n, reply.servers)
         port = service_port if service_port is not None else self.config.ports.service

@@ -90,6 +90,9 @@ class Config:
     #: distributed receiver: per-transmitter budget for one pull round trip
     #: before the wizard falls back to last-known-good data
     pull_timeout: float = 2.0
+    #: wizard compile cache: distinct requirement texts kept as analyzed,
+    #: constant-folded ASTs (LRU); repeated requests skip lex/parse/analyze
+    compile_cache_size: int = 256
     mode: str = Mode.CENTRALIZED
 
 

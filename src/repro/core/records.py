@@ -28,10 +28,13 @@ __all__ = [
     "NetStatusRecord",
     "SecurityRecord",
     "WireMessage",
+    "WireDiagnostic",
     "MSG_SYSDB",
     "MSG_NETDB",
     "MSG_SECDB",
     "MSG_PULL",
+    "REPLY_OK",
+    "REPLY_NAK",
     "SERVER_RECORD_BYTES",
 ]
 
@@ -43,6 +46,37 @@ MSG_SYSDB = 1
 MSG_NETDB = 2
 MSG_SECDB = 3
 MSG_PULL = 4  # distributed-mode snapshot request
+
+#: wizard reply status (Table 3.6 extension): OK carries servers, NAK
+#: carries the static-analysis diagnostics that rejected the request
+REPLY_OK = 0
+REPLY_NAK = 1
+
+
+@dataclass(frozen=True)
+class WireDiagnostic:
+    """Wire form of one analyzer :class:`~repro.lang.diagnostics.Diagnostic`
+    as carried in a NAK reply: ``[code, severity, line, col, message]``."""
+
+    code: str
+    severity: str
+    message: str
+    line: int = 0
+    col: int = 0
+
+    @classmethod
+    def from_diagnostic(cls, diag) -> "WireDiagnostic":
+        return cls(code=diag.code, severity=diag.severity,
+                   message=diag.message, line=diag.line, col=diag.col)
+
+    @property
+    def wire_bytes(self) -> int:
+        # code + 1-byte severity flag + 2x2-byte span + message + NUL
+        return len(self.code) + 1 + 4 + len(self.message) + 1
+
+    def render(self, filename: str = "<requirement>") -> str:
+        return (f"{filename}:{self.line}:{self.col}: "
+                f"{self.severity} {self.code}: {self.message}")
 
 
 @dataclass

@@ -35,7 +35,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Optional
 
-from ..net.tcp import ConnectError, ConnectionClosed, TcpConnection
+from ..net.tcp import ConnectionClosed, TcpConnection
 from ..sim import Interrupt, Simulator, Store
 
 __all__ = ["ReliableSocket", "ReliableServer", "ReliableSession", "SessionError"]

@@ -10,7 +10,6 @@ intervals — this is how servers leave (and later rejoin) the pool.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..sim import Interrupt, SharedMemory, Simulator
 from .config import Config, DEFAULT_CONFIG

@@ -6,9 +6,13 @@ A UDP daemon on port 1120 processing requests sequentially:
 2. refresh the status structures — in *centralized* mode they are already
    hot in shared memory; in *distributed* mode trigger the receiver to
    pull fresh snapshots from every transmitter;
-3. lex + parse the requirement (with line-level error recovery), then
-   evaluate it against each server's status record; a server qualifies iff
-   every logical statement holds;
+3. compile the requirement — lex + parse (with line-level error
+   recovery), statically analyze and constant-fold it, all served from an
+   LRU :class:`~repro.lang.analysis.CompileCache` keyed by the text; a
+   provably-unsatisfiable requirement is **NAKed with its diagnostics
+   before the status DB is read** (``requests_rejected_static``), and on
+   the accept path the folded AST is evaluated against each server's
+   status record; a server qualifies iff every logical statement holds;
 4. apply the user-side slots: denied hosts are removed, preferred hosts
    are moved to the front of the candidate list;
 5. reply ``[seq, server_num, server...]`` (Table 3.6) capped at 60 hosts.
@@ -34,18 +38,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..lang import evaluate, parse
-from ..lang.errors import LangError
+from ..lang import evaluate
+from ..lang.analysis import CompileCache, CompiledRequirement
 from ..net.tcp import ConnectError, ConnectionClosed
 from ..sim import Interrupt, SharedMemory, Simulator
 from .config import Config, DEFAULT_CONFIG, Mode
 from .records import (
-    MSG_NETDB,
-    MSG_SECDB,
-    MSG_SYSDB,
+    REPLY_NAK,
+    REPLY_OK,
     NetStatusRecord,
     SecurityRecord,
     ServerStatusRecord,
+    WireDiagnostic,
 )
 from .receiver import Receiver
 
@@ -73,10 +77,22 @@ class WizardRequest:
 
 @dataclass(frozen=True)
 class WizardReply:
-    """Wire format of Table 3.6."""
+    """Wire format of Table 3.6, extended with a status byte.
+
+    ``status == REPLY_NAK`` means the static analyzer proved the
+    requirement unsatisfiable: no status DB was scanned, ``servers`` is
+    empty and ``diagnostics`` carries the analyzer findings so the client
+    can show *why* instead of retrying a hopeless spec.
+    """
 
     seq: int
     servers: tuple[str, ...]
+    status: int = REPLY_OK
+    diagnostics: tuple[WireDiagnostic, ...] = ()
+
+    @property
+    def is_nak(self) -> bool:
+        return self.status == REPLY_NAK
 
     @property
     def server_num(self) -> int:
@@ -84,7 +100,11 @@ class WizardReply:
 
     @property
     def wire_bytes(self) -> int:
-        return 8 + sum(len(s) + 1 for s in self.servers)
+        # the status flag rides in the sign bit of the server_num header
+        # field (a NAK always has server_num == 0), so OK replies cost
+        # exactly what the thesis' Table 3.6 format costs
+        return (8 + sum(len(s) + 1 for s in self.servers)
+                + sum(d.wire_bytes for d in self.diagnostics))
 
 
 @dataclass
@@ -124,11 +144,15 @@ class Wizard:
         self.group_prefixes: dict[str, str] = {}
         self.default_group = "default"
         self._proc = None
+        #: analyzed + folded ASTs keyed by requirement text (LRU)
+        self.compile_cache = CompileCache(maxsize=config.compile_cache_size)
         self.requests_handled = 0
         self.parse_failures = 0
         self.option_errors = 0
         self.request_errors = 0
         self.pull_failures = 0
+        #: requests NAKed by the static pre-flight (no DB scan performed)
+        self.requests_rejected_static = 0
         self.bytes_in = 0
         self.bytes_out = 0
 
@@ -207,9 +231,32 @@ class Wizard:
         return sysdb, netdb, secdb
 
     # -- matching ------------------------------------------------------------------
+    @property
+    def compile_cache_hits(self) -> int:
+        return self.compile_cache.hits
+
+    @property
+    def compile_cache_misses(self) -> int:
+        return self.compile_cache.misses
+
+    def _nak_reply(self, request: WizardRequest,
+                   compiled: CompiledRequirement) -> WizardReply:
+        diags = tuple(
+            WireDiagnostic.from_diagnostic(d) for d in compiled.diagnostics
+        )
+        return WizardReply(seq=request.seq, servers=(), status=REPLY_NAK,
+                           diagnostics=diags)
+
     def _process(self, request: WizardRequest, client_addr: str):
+        # static pre-flight: a provably-unsatisfiable requirement is NAKed
+        # with its diagnostics before the status DB is even read
+        compiled = self.compile_cache.get_or_compile(request.detail)
+        if compiled.unsatisfiable:
+            self.requests_rejected_static += 1
+            return self._nak_reply(request, compiled)
         sysdb, netdb, secdb = yield from self.databases()
-        servers = self.match(request, client_addr, sysdb, netdb, secdb)
+        servers = self.match(request, client_addr, sysdb, netdb, secdb,
+                             compiled=compiled)
         return WizardReply(seq=request.seq, servers=tuple(servers))
 
     def match(
@@ -219,13 +266,18 @@ class Wizard:
         sysdb: dict[str, ServerStatusRecord],
         netdb: dict[str, NetStatusRecord],
         secdb: dict[str, SecurityRecord],
+        compiled: Optional[CompiledRequirement] = None,
     ) -> list[str]:
         """Pure matching logic (also unit-testable without the daemon)."""
-        try:
-            program = parse(request.detail, recover=True)
-        except LangError:
+        if compiled is None:
+            compiled = self.compile_cache.get_or_compile(request.detail)
+        if compiled.parse_failed:
             self.parse_failures += 1
             return []
+        if compiled.unsatisfiable:
+            # statically false: no record can qualify, skip the scan
+            return []
+        program = compiled.folded
         client_group = self.group_of(client_addr)
         candidates: list[Candidate] = []
         denied: set[str] = set()

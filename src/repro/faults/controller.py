@@ -19,7 +19,6 @@ plane is designed to survive.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..cluster.deploy import Deployment
 from ..core.config import Mode

@@ -20,7 +20,6 @@ the paper describes.
 from __future__ import annotations
 
 import math
-from typing import Optional
 
 from ..sim import Event, Simulator
 

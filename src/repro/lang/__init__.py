@@ -14,7 +14,18 @@ Quick use::
     result.env.denied_hosts()  # -> ['hacker.some.net']
 """
 
+from .analysis import (
+    AbstractValue,
+    AnalysisResult,
+    CompileCache,
+    CompiledRequirement,
+    MB_UNIT_VARS,
+    VAR_INTERVALS,
+    analyze,
+    compile_requirement,
+)
 from .builtins import BUILTINS, CONSTANTS, call_builtin
+from .diagnostics import DIAGNOSTIC_CODES, Diagnostic, Severity, format_diagnostic
 from .errors import EvalError, LangError, LexError, ParseError
 from .evaluator import Environment, Evaluation, Undefined, evaluate
 from .lexer import Token, TokenKind, tokenize
@@ -46,6 +57,18 @@ from .variables import (
 
 __all__ = [
     "parse",
+    "analyze",
+    "AnalysisResult",
+    "AbstractValue",
+    "CompileCache",
+    "CompiledRequirement",
+    "compile_requirement",
+    "VAR_INTERVALS",
+    "MB_UNIT_VARS",
+    "Diagnostic",
+    "Severity",
+    "DIAGNOSTIC_CODES",
+    "format_diagnostic",
     "Parser",
     "evaluate",
     "Evaluation",

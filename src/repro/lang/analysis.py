@@ -1,0 +1,804 @@
+"""Static analysis for requirement programs: semantics + satisfiability.
+
+The pipeline runs between :func:`repro.lang.parse` and
+:func:`repro.lang.evaluate` and produces three artefacts:
+
+1. **Typed diagnostics** (:mod:`repro.lang.diagnostics`): undefined and
+   misspelled variables (with did-you-mean against the 22 server-side +
+   10 user-side registry), builtin arity errors, assignments to read-only
+   predefined variables, and string/number type mismatches.
+2. **Satisfiability verdicts** from interval analysis: every predefined
+   variable has a known range (fractions in [0, 1], non-negative rates,
+   the MB-vs-bytes ``host_memory_free`` quirk), constants fold, and the
+   resulting intervals propagate through arithmetic, comparisons and
+   ``&&``/``||`` so the analyzer can prove a statement *always false*
+   (``REQ1xx`` errors — the wizard NAKs these without scanning the
+   status DB) or *always true* / dead-branched (``REQ2xx`` warnings).
+3. A **constant-folded program** that evaluates to the same results as
+   the original but with every pure-constant subtree collapsed to a
+   literal — what the wizard's compile cache stores and evaluates.
+
+Soundness notes (what a verdict does and does not promise):
+
+* *always false* is sound w.r.t. the evaluator: if the variable is
+  present its range excludes the comparison, and if it is absent the
+  statement is false anyway (undefined-in-logical = false, thesis rule).
+* *always true* is a warning only — a registry variable can still be
+  missing at runtime (e.g. ``monitor_network_bw`` with no probe data),
+  which makes the statement false.  The wizard never skips evaluation
+  based on an always-true verdict.
+* bare unknown identifiers are *warnings*, not errors: the §6 string
+  attributes (``host_machine_type == i386``) and the hostname idiom on
+  assignment right-hand sides (``user_denied_host1 = telesto``,
+  ``... = titan-x``) read undefined names as strings by design.
+"""
+
+from __future__ import annotations
+
+import difflib
+import math
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from .builtins import BUILTINS, CONSTANTS
+from .diagnostics import Diagnostic, make
+from .errors import EvalError, LangError, ParseError
+from .nodes import (
+    Addr,
+    Assign,
+    BinOp,
+    Call,
+    Compare,
+    Logic,
+    Neg,
+    Node,
+    Paren,
+    Program,
+    Num,
+    Var,
+    is_logical,
+)
+from .parser import parse
+from .variables import (
+    ALL_PREDEFINED,
+    DERIVED_VARS,
+    MONITOR_VARS,
+    SERVER_SIDE_VARS,
+    USER_SIDE_VARS,
+)
+
+__all__ = [
+    "AbstractValue",
+    "AnalysisResult",
+    "CompiledRequirement",
+    "CompileCache",
+    "VAR_INTERVALS",
+    "MB_UNIT_VARS",
+    "analyze",
+    "compile_requirement",
+    "TRUE",
+    "FALSE",
+    "UNKNOWN",
+]
+
+INF = math.inf
+
+#: tri-state truth lattice for logical expressions
+TRUE, FALSE, UNKNOWN = "true", "false", "unknown"
+
+_FRACTION = (0.0, 1.0)
+_NONNEG = (0.0, INF)
+
+#: known value ranges of the predefined variables (units documented in
+#: :mod:`repro.lang.variables`)
+VAR_INTERVALS: dict[str, tuple[float, float]] = {
+    "host_system_load1": _NONNEG,
+    "host_system_load5": _NONNEG,
+    "host_system_load15": _NONNEG,
+    "host_cpu_user": _FRACTION,
+    "host_cpu_nice": _FRACTION,
+    "host_cpu_system": _FRACTION,
+    "host_cpu_idle": _FRACTION,
+    "host_cpu_free": _FRACTION,
+    "host_cpu_bogomips": _NONNEG,
+    "host_memory_total": _NONNEG,
+    "host_memory_used": _NONNEG,
+    "host_memory_free": _NONNEG,
+    "host_disk_allreq": _NONNEG,
+    "host_disk_rreq": _NONNEG,
+    "host_disk_rblocks": _NONNEG,
+    "host_disk_wreq": _NONNEG,
+    "host_disk_wblocks": _NONNEG,
+    "host_network_rbytesps": _NONNEG,
+    "host_network_rpacketsps": _NONNEG,
+    "host_network_tbytesps": _NONNEG,
+    "host_network_tpacketsps": _NONNEG,
+    "host_security_level": _NONNEG,
+    "monitor_network_delay": _NONNEG,
+    "monitor_network_bw": _NONNEG,
+    "host_status_age": _NONNEG,
+}
+
+#: variables measured in MB (the thesis quirk) — comparing them against a
+#: byte-sized constant gets a REQ204 unit-suspicion warning
+MB_UNIT_VARS = frozenset({"host_memory_free"})
+
+_READ_ONLY = (frozenset(SERVER_SIDE_VARS) | frozenset(MONITOR_VARS)
+              | frozenset(DERIVED_VARS) | frozenset(CONSTANTS))
+
+#: output ranges of non-constant builtin calls
+_BUILTIN_RANGES: dict[str, tuple[float, float]] = {
+    "sin": (-1.0, 1.0),
+    "cos": (-1.0, 1.0),
+    "atan": (-math.pi / 2, math.pi / 2),
+    "asin": (-math.pi / 2, math.pi / 2),
+    "acos": (0.0, math.pi),
+    "exp": (0.0, INF),
+    "sqrt": (0.0, INF),
+    "abs": (0.0, INF),
+}
+
+_MIB = 1024.0 * 1024.0
+
+
+# ---------------------------------------------------------------------------
+# abstract values + interval arithmetic
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AbstractValue:
+    """What the analyzer knows about one expression's runtime value."""
+
+    lo: float = -INF
+    hi: float = INF
+    kind: str = "num"            # "num" | "str" | "any"
+    const: Union[float, str, None] = None  # exact value when fully known
+
+    @staticmethod
+    def number(value: float) -> "AbstractValue":
+        return AbstractValue(lo=value, hi=value, kind="num", const=value)
+
+    @staticmethod
+    def string(value: str) -> "AbstractValue":
+        return AbstractValue(kind="str", const=value)
+
+    @staticmethod
+    def interval(lo: float, hi: float) -> "AbstractValue":
+        return AbstractValue(lo=lo, hi=hi, kind="num")
+
+    @staticmethod
+    def top() -> "AbstractValue":
+        return AbstractValue(kind="any")
+
+    @property
+    def is_const_num(self) -> bool:
+        return self.kind == "num" and isinstance(self.const, float)
+
+    @property
+    def is_str(self) -> bool:
+        return self.kind == "str"
+
+    def truth(self) -> str:
+        """Tri-state truthiness (the evaluator's ``_truthy``)."""
+        if self.const is not None:
+            if isinstance(self.const, str):
+                return TRUE if self.const else FALSE
+            return TRUE if self.const != 0.0 else FALSE
+        if self.kind == "num" and (self.lo > 0.0 or self.hi < 0.0):
+            return TRUE
+        return UNKNOWN
+
+    def describe(self) -> str:
+        if self.const is not None:
+            return repr(self.const) if isinstance(self.const, str) else _fmt(self.const)
+        if self.kind == "str":
+            return "a string"
+        if self.kind == "num" and (self.lo, self.hi) != (-INF, INF):
+            return f"[{_fmt(self.lo)}, {_fmt(self.hi)}]"
+        return "unknown"
+
+
+def _fmt(x: float) -> str:
+    if x == INF:
+        return "inf"
+    if x == -INF:
+        return "-inf"
+    if x == int(x) and abs(x) < 1e15:
+        return str(int(x))
+    return f"{x:g}"
+
+
+def _iadd(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    return AbstractValue.interval(_safe(a.lo + b.lo, -INF), _safe(a.hi + b.hi, INF))
+
+
+def _isub(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    return AbstractValue.interval(_safe(a.lo - b.hi, -INF), _safe(a.hi - b.lo, INF))
+
+
+def _safe(x: float, default: float) -> float:
+    return default if math.isnan(x) else x
+
+
+def _imul(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    products = []
+    for x in (a.lo, a.hi):
+        for y in (b.lo, b.hi):
+            p = x * y
+            products.append(0.0 if math.isnan(p) else p)
+    return AbstractValue.interval(min(products), max(products))
+
+
+def _idiv(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    if b.lo <= 0.0 <= b.hi:
+        return AbstractValue.interval(-INF, INF)
+    recip = AbstractValue.interval(*sorted((1.0 / b.lo, 1.0 / b.hi)))
+    return _imul(a, recip)
+
+
+def _close_match(name: str, candidates) -> Optional[str]:
+    hits = difflib.get_close_matches(name, list(candidates), n=1, cutoff=0.8)
+    return hits[0] if hits else None
+
+
+# ---------------------------------------------------------------------------
+# the analyzer
+# ---------------------------------------------------------------------------
+
+@dataclass
+class AnalysisResult:
+    """Outcome of :func:`analyze` on one requirement program."""
+
+    #: the original parse
+    program: Program
+    #: constant-folded copy, safe to evaluate in place of ``program``
+    folded: Program
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: parse errors recovered line-by-line (yacc ``error '\n'`` style)
+    parse_errors: list[ParseError] = field(default_factory=list)
+    #: (source line, tri-state truth) per logical statement
+    statement_truths: list[tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.is_error]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if not d.is_error]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors and not self.parse_errors
+
+    @property
+    def unsatisfiable(self) -> bool:
+        """True when some logical statement can never hold — no server can
+        ever qualify, so the request can be rejected without a DB scan."""
+        return any(truth == FALSE for _, truth in self.statement_truths)
+
+
+class _Analyzer:
+    def __init__(self) -> None:
+        self.diagnostics: list[Diagnostic] = []
+        #: temp-variable bindings in evaluation order
+        self.temps: dict[str, AbstractValue] = {}
+        #: per-statement: did a REQ102 already explain the falseness?
+        self._stmt_branch_error = False
+        #: per-statement: a subexpression faults at runtime (EvalError)
+        self._stmt_faulted = False
+
+    # -- helpers ------------------------------------------------------------
+    def _emit(self, code: str, message: str, node: Node) -> None:
+        self.diagnostics.append(make(code, message, line=node.line, col=node.col))
+
+    def _var_value(self, name: str) -> Optional[AbstractValue]:
+        """Mirror ``Environment.lookup`` order: temps, server, user, consts."""
+        if name in self.temps:
+            return self.temps[name]
+        if name in VAR_INTERVALS:
+            return AbstractValue.interval(*VAR_INTERVALS[name])
+        if name in USER_SIDE_VARS:
+            return AbstractValue.top()
+        if name in CONSTANTS:
+            return AbstractValue.number(CONSTANTS[name])
+        return None
+
+    def _check_var_name(self, node: Var, *, assign_rhs: bool) -> None:
+        """REQ001/REQ002 for names outside registry, temps and constants."""
+        suggestion = _close_match(
+            node.name, set(ALL_PREDEFINED) | set(CONSTANTS))
+        if suggestion is not None and suggestion != node.name:
+            self._emit(
+                "REQ002",
+                f"undefined variable {node.name!r}; did you mean {suggestion!r}?",
+                node,
+            )
+            return
+        if assign_rhs:
+            return  # hostname idiom: user_denied_host1 = telesto
+        self._emit(
+            "REQ001",
+            f"undefined variable {node.name!r} (reads as undefined at runtime; "
+            f"a logical statement using it evaluates false)",
+            node,
+        )
+
+    # -- recursive walk -----------------------------------------------------
+    def walk(self, node: Node, *, assign_rhs: bool = False
+             ) -> tuple[AbstractValue, Node]:
+        """Return ``(abstract value, constant-folded node)``."""
+        if isinstance(node, Num):
+            return AbstractValue.number(node.value), node
+        if isinstance(node, Addr):
+            return AbstractValue.string(node.value), node
+        if isinstance(node, Paren):
+            return self.walk(node.inner, assign_rhs=assign_rhs)
+        if isinstance(node, Var):
+            return self._walk_var(node, assign_rhs=assign_rhs)
+        if isinstance(node, Neg):
+            return self._walk_neg(node, assign_rhs=assign_rhs)
+        if isinstance(node, Assign):
+            return self._walk_assign(node)
+        if isinstance(node, Call):
+            return self._walk_call(node, assign_rhs=assign_rhs)
+        if isinstance(node, BinOp):
+            return self._walk_binop(node, assign_rhs=assign_rhs)
+        if isinstance(node, Compare):
+            return self._walk_compare(node, assign_rhs=assign_rhs)
+        if isinstance(node, Logic):
+            return self._walk_logic(node, assign_rhs=assign_rhs)
+        return AbstractValue.top(), node
+
+    def _walk_var(self, node: Var, *, assign_rhs: bool
+                  ) -> tuple[AbstractValue, Node]:
+        value = self._var_value(node.name)
+        if value is None:
+            self._check_var_name(node, assign_rhs=assign_rhs)
+            if assign_rhs:
+                # reads as the hostname string at runtime
+                return AbstractValue.string(node.name), node
+            return AbstractValue.top(), node
+        if value.is_const_num and node.name not in USER_SIDE_VARS:
+            # constants (PI) and constant temps fold to literals
+            return value, Num(float(value.const), line=node.line, col=node.col)
+        return value, node
+
+    def _walk_neg(self, node: Neg, *, assign_rhs: bool
+                  ) -> tuple[AbstractValue, Node]:
+        value, folded = self.walk(node.operand, assign_rhs=assign_rhs)
+        if value.is_str and not assign_rhs:
+            self._emit(
+                "REQ006",
+                f"arithmetic on address/hostname {value.describe()}", node)
+            self._stmt_faulted = True
+            return AbstractValue.top(), Neg(folded, line=node.line, col=node.col)
+        if value.is_const_num:
+            result = -float(value.const)
+            return (AbstractValue.number(result),
+                    Num(result, line=node.line, col=node.col))
+        out = AbstractValue.interval(-value.hi, -value.lo)
+        return out, Neg(folded, line=node.line, col=node.col)
+
+    def _walk_assign(self, node: Assign) -> tuple[AbstractValue, Node]:
+        if node.name in _READ_ONLY:
+            self._emit(
+                "REQ005",
+                f"assignment to read-only predefined variable {node.name!r}",
+                node,
+            )
+        value, folded_rhs = self.walk(node.value, assign_rhs=True)
+        if node.name not in USER_SIDE_VARS:
+            self.temps[node.name] = value
+        folded = Assign(node.name, folded_rhs, line=node.line, col=node.col)
+        return value, folded
+
+    def _walk_call(self, node: Call, *, assign_rhs: bool
+                   ) -> tuple[AbstractValue, Node]:
+        arg_values: list[AbstractValue] = []
+        folded_args: list[Node] = []
+        for arg in node.args:
+            value, folded = self.walk(arg, assign_rhs=assign_rhs)
+            if value.is_str and not assign_rhs:
+                self._emit(
+                    "REQ006",
+                    f"function argument is an address/hostname "
+                    f"({value.describe()})", arg)
+                self._stmt_faulted = True
+                value = AbstractValue.top()
+            arg_values.append(value)
+            folded_args.append(folded)
+        folded_call = Call(node.func, folded_args, line=node.line, col=node.col)
+        entry = BUILTINS.get(node.func)
+        if entry is None:
+            suggestion = _close_match(node.func, BUILTINS)
+            hint = f"; did you mean {suggestion!r}?" if suggestion else ""
+            self._emit("REQ003", f"unknown function {node.func!r}{hint}", node)
+            self._stmt_faulted = True
+            return AbstractValue.top(), folded_call
+        arity, fn = entry
+        if len(node.args) != arity:
+            self._emit(
+                "REQ004",
+                f"{node.func} expects {arity} argument(s), got {len(node.args)}",
+                node,
+            )
+            self._stmt_faulted = True
+            return AbstractValue.top(), folded_call
+        if all(v.is_const_num for v in arg_values):
+            try:
+                result = fn(*[float(v.const) for v in arg_values])
+            except EvalError as exc:
+                self._emit("REQ008", f"constant expression faults: "
+                           f"{exc.message}", node)
+                self._stmt_faulted = True
+                return AbstractValue.top(), folded_call
+            return (AbstractValue.number(result),
+                    Num(result, line=node.line, col=node.col))
+        if node.func in _BUILTIN_RANGES:
+            return (AbstractValue.interval(*_BUILTIN_RANGES[node.func]),
+                    folded_call)
+        if node.func in ("min", "max"):
+            agg = min if node.func == "min" else max
+            lo = agg(v.lo for v in arg_values)
+            hi = agg(v.hi for v in arg_values)
+            return AbstractValue.interval(lo, hi), folded_call
+        if node.func in ("int", "floor", "ceil"):
+            a = arg_values[0]
+            return (AbstractValue.interval(
+                math.floor(a.lo) if a.lo > -INF else -INF,
+                math.ceil(a.hi) if a.hi < INF else INF), folded_call)
+        return AbstractValue.top(), folded_call
+
+    def _walk_binop(self, node: BinOp, *, assign_rhs: bool
+                    ) -> tuple[AbstractValue, Node]:
+        left, lfold = self.walk(node.left, assign_rhs=assign_rhs)
+        right, rfold = self.walk(node.right, assign_rhs=assign_rhs)
+        folded = BinOp(node.op, lfold, rfold, line=node.line, col=node.col)
+        if assign_rhs and (left.is_str or right.is_str):
+            # hostname idiom: titan-x re-joins at runtime; keep the original
+            return AbstractValue.top(), folded
+        bad = left if left.is_str else (right if right.is_str else None)
+        if bad is not None:
+            self._emit(
+                "REQ006",
+                f"arithmetic on address/hostname ({bad.describe()})", node)
+            self._stmt_faulted = True
+            return AbstractValue.top(), folded
+        if left.is_const_num and right.is_const_num:
+            return self._fold_const_binop(
+                node, float(left.const), float(right.const), folded)
+        ops = {
+            "+": _iadd, "-": _isub, "*": _imul, "/": _idiv,
+        }
+        if node.op in ops:
+            if node.op == "/" and right.lo <= 0.0 <= right.hi:
+                # may divide by zero at runtime -> value unknown
+                return AbstractValue.interval(-INF, INF), folded
+            return ops[node.op](left, right), folded
+        return AbstractValue.top(), folded  # ^ with non-constant operands
+
+    def _fold_const_binop(self, node: BinOp, left: float, right: float,
+                          folded: BinOp) -> tuple[AbstractValue, Node]:
+        try:
+            if node.op == "+":
+                result = left + right
+            elif node.op == "-":
+                result = left - right
+            elif node.op == "*":
+                result = left * right
+            elif node.op == "/":
+                if right == 0.0:
+                    raise ZeroDivisionError("division by 0")
+                result = left / right
+            elif node.op == "^":
+                result = float(left ** right)
+            else:  # pragma: no cover - parser only builds the five ops
+                return AbstractValue.top(), folded
+            if math.isnan(result) or isinstance(result, complex):
+                raise ValueError("domain error")
+        except (OverflowError, ZeroDivisionError, ValueError) as exc:
+            self._emit("REQ008", f"constant expression faults: {exc}", node)
+            self._stmt_faulted = True
+            return AbstractValue.top(), folded
+        return (AbstractValue.number(result),
+                Num(result, line=node.line, col=node.col))
+
+    # -- comparisons and logic ---------------------------------------------
+    @staticmethod
+    def _bare_unknown_var(node: Node) -> Optional[Var]:
+        while isinstance(node, Paren):
+            node = node.inner
+        if isinstance(node, Var) and node.name not in ALL_PREDEFINED \
+                and node.name not in CONSTANTS:
+            return node
+        return None
+
+    def _walk_compare(self, node: Compare, *, assign_rhs: bool
+                      ) -> tuple[AbstractValue, Node]:
+        # §6 string-attribute form: a bare unknown identifier in an
+        # equality test reads as a string literal at runtime — analyze the
+        # sides with that in mind so "host_machine_type == i386" is clean.
+        string_eq = node.op in ("==", "!=")
+        sides: list[tuple[AbstractValue, Node]] = []
+        for child in (node.left, node.right):
+            other = node.right if child is node.left else node.left
+            bare = self._bare_unknown_var(child)
+            if string_eq and bare is not None and bare.name not in self.temps:
+                other_bare = self._bare_unknown_var(other)
+                other_stringish = (
+                    other_bare is not None
+                    or isinstance(other, Addr)
+                    or self._could_be_string(other)
+                )
+                if other_stringish:
+                    # suppress REQ001 but still catch registry misspellings
+                    suggestion = _close_match(
+                        bare.name, set(ALL_PREDEFINED) | set(CONSTANTS))
+                    if suggestion is not None and suggestion != bare.name:
+                        self._emit(
+                            "REQ002",
+                            f"undefined variable {bare.name!r}; did you "
+                            f"mean {suggestion!r}?", bare)
+                    sides.append((AbstractValue.top(), child))
+                    continue
+            sides.append(self.walk(child, assign_rhs=assign_rhs))
+        (left, lfold), (right, rfold) = sides
+        folded = Compare(node.op, lfold, rfold, line=node.line, col=node.col)
+        self._check_units(node, left, right)
+        # ordering on a definite string faults at runtime (EvalError)
+        if node.op not in ("==", "!=") and (left.is_str or right.is_str):
+            bad = left if left.is_str else right
+            self._emit(
+                "REQ006",
+                f"ordering comparison on address/hostname "
+                f"({bad.describe()})", node)
+            self._stmt_faulted = True
+            return AbstractValue.interval(0.0, 0.0), folded
+        truth = self._compare_truth(node.op, left, right)
+        if truth == TRUE:
+            return AbstractValue.number(1.0), folded
+        if truth == FALSE:
+            return AbstractValue.number(0.0), folded
+        return AbstractValue.interval(0.0, 1.0), folded
+
+    def _could_be_string(self, node: Node) -> bool:
+        """Conservative: might this expression be a string at runtime?"""
+        while isinstance(node, Paren):
+            node = node.inner
+        if isinstance(node, Var):
+            value = self._var_value(node.name)
+            return value is None or value.kind in ("str", "any")
+        return isinstance(node, Addr)
+
+    @staticmethod
+    def _compare_truth(op: str, left: AbstractValue,
+                       right: AbstractValue) -> str:
+        if left.is_str or right.is_str:
+            if left.const is not None and right.const is not None \
+                    and op in ("==", "!="):
+                same = str(left.const) == str(right.const)
+                return TRUE if same == (op == "==") else FALSE
+            return UNKNOWN
+        if left.kind != "num" or right.kind != "num":
+            return UNKNOWN
+        a, b, c, d = left.lo, left.hi, right.lo, right.hi
+        if op == ">":
+            if a > d:
+                return TRUE
+            if b <= c:
+                return FALSE
+        elif op == ">=":
+            if a >= d:
+                return TRUE
+            if b < c:
+                return FALSE
+        elif op == "<":
+            if b < c:
+                return TRUE
+            if a >= d:
+                return FALSE
+        elif op == "<=":
+            if b <= c:
+                return TRUE
+            if a > d:
+                return FALSE
+        elif op == "==":
+            if b < c or d < a:
+                return FALSE
+            if a == b == c == d:
+                return TRUE
+        elif op == "!=":
+            if b < c or d < a:
+                return TRUE
+            if a == b == c == d:
+                return FALSE
+        return UNKNOWN
+
+    def _check_units(self, node: Compare, left: AbstractValue,
+                     right: AbstractValue) -> None:
+        """REQ204: MB-unit variable compared against a byte-sized constant."""
+        for side, other in ((node.left, right), (node.right, left)):
+            inner = side
+            while isinstance(inner, Paren):
+                inner = inner.inner
+            if (isinstance(inner, Var) and inner.name in MB_UNIT_VARS
+                    and other.kind == "num" and other.lo >= _MIB):
+                self._emit(
+                    "REQ204",
+                    f"{inner.name} is measured in MB (thesis unit quirk); "
+                    f"comparing against {other.describe()} looks like bytes",
+                    node,
+                )
+
+    def _walk_logic(self, node: Logic, *, assign_rhs: bool
+                    ) -> tuple[AbstractValue, Node]:
+        left, lfold = self.walk(node.left, assign_rhs=assign_rhs)
+        right, rfold = self.walk(node.right, assign_rhs=assign_rhs)
+        folded = Logic(node.op, lfold, rfold, line=node.line, col=node.col)
+        lt, rt = left.truth(), right.truth()
+        if node.op == "&&":
+            for truth, child in ((lt, node.left), (rt, node.right)):
+                if truth == FALSE:
+                    self._emit(
+                        "REQ102",
+                        "'&&' branch is always false — the conjunction can "
+                        "never hold", child)
+                    self._stmt_branch_error = True
+                elif truth == TRUE:
+                    self._emit(
+                        "REQ203",
+                        "'&&' branch is always true — it never filters "
+                        "anything", child)
+            if FALSE in (lt, rt):
+                return AbstractValue.number(0.0), folded
+            if lt == rt == TRUE:
+                return AbstractValue.number(1.0), folded
+            return AbstractValue.interval(0.0, 1.0), folded
+        # "||"
+        for truth, child in ((lt, node.left), (rt, node.right)):
+            if truth == FALSE:
+                self._emit(
+                    "REQ202",
+                    "dead '||' branch: always false, never selected", child)
+        if TRUE in (lt, rt):
+            return AbstractValue.number(1.0), folded
+        if lt == rt == FALSE:
+            return AbstractValue.number(0.0), folded
+        return AbstractValue.interval(0.0, 1.0), folded
+
+    # -- statements ---------------------------------------------------------
+    def run(self, program: Program) -> tuple[Program, list[tuple[int, str]]]:
+        folded_program = Program(errors=list(program.errors))
+        truths: list[tuple[int, str]] = []
+        for stmt in program.statements:
+            self._stmt_branch_error = False
+            self._stmt_faulted = False
+            value, folded = self.walk(stmt)
+            folded_program.statements.append(folded)
+            if not is_logical(stmt):
+                if not _contains_assign(stmt):
+                    self._emit(
+                        "REQ007",
+                        "statement has no effect (not a constraint, not an "
+                        "assignment)", stmt)
+                continue
+            truth = value.truth()
+            if self._stmt_faulted:
+                # a runtime fault in a logical statement makes it false
+                truth = FALSE
+            truths.append((stmt.line, truth))
+            if truth == FALSE and not self._stmt_branch_error:
+                self._emit(
+                    "REQ101",
+                    "statement is always false — no server can ever satisfy "
+                    "it", stmt)
+            elif truth == TRUE:
+                self._emit(
+                    "REQ201",
+                    "statement is always true — it never filters anything",
+                    stmt)
+        return folded_program, truths
+
+
+def _contains_assign(node: Node) -> bool:
+    if isinstance(node, Assign):
+        return True
+    if isinstance(node, Paren):
+        return _contains_assign(node.inner)
+    if isinstance(node, (BinOp, Compare, Logic)):
+        return _contains_assign(node.left) or _contains_assign(node.right)
+    if isinstance(node, Neg):
+        return _contains_assign(node.operand)
+    if isinstance(node, Call):
+        return any(_contains_assign(a) for a in node.args)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+
+def analyze(source: Union[str, Program], *, recover: bool = True
+            ) -> AnalysisResult:
+    """Run the full static-analysis pipeline on requirement text or AST."""
+    if isinstance(source, Program):
+        program = source
+    else:
+        program = parse(source, recover=recover)
+    analyzer = _Analyzer()
+    folded, truths = analyzer.run(program)
+    return AnalysisResult(
+        program=program,
+        folded=folded,
+        diagnostics=analyzer.diagnostics,
+        parse_errors=list(program.errors),
+        statement_truths=truths,
+    )
+
+
+@dataclass(frozen=True)
+class CompiledRequirement:
+    """Cacheable unit: analyzed + folded requirement, ready to evaluate."""
+
+    source: str
+    folded: Program
+    diagnostics: tuple[Diagnostic, ...]
+    unsatisfiable: bool
+    parse_failed: bool = False
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.is_error)
+
+
+def compile_requirement(text: str) -> CompiledRequirement:
+    """Parse (with recovery) + analyze + fold one requirement text."""
+    try:
+        result = analyze(text, recover=True)
+    except LangError:
+        # even recovery failed (lexer-level garbage): unevaluable program
+        return CompiledRequirement(
+            source=text, folded=Program(), diagnostics=(),
+            unsatisfiable=False, parse_failed=True,
+        )
+    return CompiledRequirement(
+        source=text,
+        folded=result.folded,
+        diagnostics=tuple(result.diagnostics),
+        unsatisfiable=result.unsatisfiable,
+    )
+
+
+class CompileCache:
+    """LRU cache of :class:`CompiledRequirement` keyed by requirement text.
+
+    The wizard consults it once per request: repeated requirements (the
+    common case — one application sends the same spec for every job) skip
+    lexing, parsing and analysis entirely and evaluate the folded AST.
+    """
+
+    def __init__(self, maxsize: int = 256):
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[str, CompiledRequirement] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get_or_compile(self, text: str) -> CompiledRequirement:
+        entry = self._entries.get(text)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(text)
+            return entry
+        self.misses += 1
+        entry = compile_requirement(text)
+        self._entries[text] = entry
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return entry

@@ -62,13 +62,22 @@ CONSTANTS: dict[str, float] = {
 }
 
 
-def call_builtin(name: str, args: list[float], line: int = 0) -> float:
+def call_builtin(name: str, args: list[float], line: int = 0,
+                 col: int = 0) -> float:
     entry = BUILTINS.get(name)
     if entry is None:
-        raise EvalError(f"unknown function {name!r}", line=line)
+        raise EvalError(f"unknown function {name!r}", line=line, col=col)
     arity, fn = entry
     if len(args) != arity:
         raise EvalError(
-            f"{name} expects {arity} argument(s), got {len(args)}", line=line
+            f"{name} expects {arity} argument(s), got {len(args)}",
+            line=line, col=col,
         )
-    return fn(*args)
+    try:
+        return fn(*args)
+    except EvalError as exc:
+        if not exc.line and line:
+            # the _checked wrappers cannot know source positions: re-raise
+            # with the call site's span so diagnostics stay clickable
+            raise EvalError(exc.message, line=line, col=col) from exc
+        raise

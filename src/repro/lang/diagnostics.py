@@ -1,0 +1,106 @@
+"""Typed diagnostics for the requirement-language static analyzer.
+
+Every problem the analyzer can report has a stable code so clients, the
+wizard's NAK replies and golden-file tests can match on it:
+
+===========  ========  =====================================================
+code         severity  meaning
+===========  ========  =====================================================
+``REQ001``   warning   undefined variable (reads as undefined/string at
+                       runtime; a logical statement using it is false)
+``REQ002``   error     misspelled predefined variable (did-you-mean)
+``REQ003``   error     unknown function
+``REQ004``   error     wrong argument count for a builtin function
+``REQ005``   error     assignment to a read-only predefined variable or
+                       builtin constant
+``REQ006``   error     type mismatch (arithmetic/ordering on an
+                       address/hostname string)
+``REQ007``   warning   statement has no effect (non-logical, no assignment)
+``REQ008``   error     constant expression faults (division by zero, math
+                       domain error)
+``REQ101``   error     logical statement is always false (unsatisfiable)
+``REQ102``   error     ``&&`` branch is always false, making the whole
+                       conjunction unsatisfiable
+``REQ201``   warning   logical statement is always true (vacuous)
+``REQ202``   warning   dead ``||`` branch (always false, never selected)
+``REQ203``   warning   redundant ``&&`` branch (always true)
+``REQ204``   warning   unit suspicion: comparing an MB-unit variable against
+                       a byte-sized constant (thesis MB-vs-bytes quirk)
+===========  ========  =====================================================
+
+``REQ0xx`` come from the semantic pass, ``REQ1xx`` are satisfiability
+errors and ``REQ2xx`` are satisfiability warnings (see
+:mod:`repro.lang.analysis`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "DIAGNOSTIC_CODES",
+    "format_diagnostic",
+]
+
+
+class Severity:
+    ERROR = "error"
+    WARNING = "warning"
+
+
+#: code -> (default severity, short title) — the authoritative table
+DIAGNOSTIC_CODES: dict[str, tuple[str, str]] = {
+    "REQ001": (Severity.WARNING, "undefined variable"),
+    "REQ002": (Severity.ERROR, "misspelled predefined variable"),
+    "REQ003": (Severity.ERROR, "unknown function"),
+    "REQ004": (Severity.ERROR, "wrong argument count"),
+    "REQ005": (Severity.ERROR, "assignment to read-only variable"),
+    "REQ006": (Severity.ERROR, "type mismatch"),
+    "REQ007": (Severity.WARNING, "statement has no effect"),
+    "REQ008": (Severity.ERROR, "constant expression faults"),
+    "REQ101": (Severity.ERROR, "statement always false"),
+    "REQ102": (Severity.ERROR, "conjunction branch always false"),
+    "REQ201": (Severity.WARNING, "statement always true"),
+    "REQ202": (Severity.WARNING, "dead || branch"),
+    "REQ203": (Severity.WARNING, "redundant && branch"),
+    "REQ204": (Severity.WARNING, "unit suspicion (MB vs bytes)"),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding, anchored to a source span."""
+
+    code: str
+    severity: str
+    message: str
+    line: int = 0
+    col: int = 0
+
+    def __post_init__(self) -> None:
+        if self.code not in DIAGNOSTIC_CODES:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+        if self.severity not in (Severity.ERROR, Severity.WARNING):
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == Severity.ERROR
+
+    def render(self, filename: str = "<requirement>") -> str:
+        """``file:line:col: severity CODE: message`` (ruff/gcc style)."""
+        return (f"{filename}:{self.line}:{self.col}: "
+                f"{self.severity} {self.code}: {self.message}")
+
+
+def format_diagnostic(diag: Diagnostic, filename: str = "<requirement>") -> str:
+    return diag.render(filename)
+
+
+def make(code: str, message: str, line: int = 0, col: int = 0) -> Diagnostic:
+    """Build a diagnostic with the code's default severity."""
+    severity, _ = DIAGNOSTIC_CODES[code]
+    return Diagnostic(code=code, severity=severity, message=message,
+                      line=line, col=col)

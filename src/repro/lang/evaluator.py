@@ -108,9 +108,12 @@ def _truthy(value: Value) -> bool:
     return value != 0.0
 
 
-def _numeric(value: Value, line: int) -> float:
+def _numeric(value: Value, node: Node) -> float:
     if isinstance(value, str):
-        raise EvalError(f"arithmetic on address/hostname {value!r}", line=line)
+        raise EvalError(
+            f"arithmetic on address/hostname {value!r}",
+            line=node.line, col=node.col,
+        )
     return value
 
 
@@ -124,17 +127,17 @@ def _eval(node: Node, env: Environment) -> Value:
     if isinstance(node, Paren):
         return _eval(node.inner, env)
     if isinstance(node, Neg):
-        return -_numeric(_eval(node.operand, env), node.line)
+        return -_numeric(_eval(node.operand, env), node.operand)
     if isinstance(node, Assign):
         value = _eval_assign_rhs(node.value, env)
         env.assign(node.name, value)
         return value
     if isinstance(node, Call):
-        args = [_numeric(_eval(a, env), node.line) for a in node.args]
-        return call_builtin(node.func, args, line=node.line)
+        args = [_numeric(_eval(a, env), a) for a in node.args]
+        return call_builtin(node.func, args, line=node.line, col=node.col)
     if isinstance(node, BinOp):
-        left = _numeric(_eval(node.left, env), node.line)
-        right = _numeric(_eval(node.right, env), node.line)
+        left = _numeric(_eval(node.left, env), node.left)
+        right = _numeric(_eval(node.right, env), node.right)
         if node.op == "+":
             return left + right
         if node.op == "-":
@@ -143,14 +146,16 @@ def _eval(node: Node, env: Environment) -> Value:
             return left * right
         if node.op == "/":
             if right == 0.0:
-                raise EvalError("division by 0", line=node.line)
+                raise EvalError("division by 0", line=node.line, col=node.col)
             return left / right
         if node.op == "^":
             try:
                 return float(left ** right)
             except (OverflowError, ZeroDivisionError, ValueError) as exc:
-                raise EvalError(f"power: {exc}", line=node.line) from exc
-        raise EvalError(f"unknown operator {node.op!r}", line=node.line)
+                raise EvalError(f"power: {exc}", line=node.line,
+                                col=node.col) from exc
+        raise EvalError(f"unknown operator {node.op!r}",
+                        line=node.line, col=node.col)
     if isinstance(node, Compare):
         left, left_undef = _eval_compare_side(node.left, env)
         right, right_undef = _eval_compare_side(node.right, env)
@@ -173,7 +178,8 @@ def _eval(node: Node, env: Environment) -> Value:
             if node.op == "!=":
                 return 1.0 if str(left) != str(right) else 0.0
             raise EvalError(
-                f"ordering comparison on address/hostname", line=node.line
+                "ordering comparison on address/hostname",
+                line=node.line, col=node.col,
             )
         table = {
             ">": left > right,
@@ -193,7 +199,8 @@ def _eval(node: Node, env: Environment) -> Value:
             return 1.0 if (left and right) else 0.0
         right = _truthy(_eval(node.right, env))
         return 1.0 if (left or right) else 0.0
-    raise EvalError(f"cannot evaluate node {node!r}", line=getattr(node, "line", 0))
+    raise EvalError(f"cannot evaluate node {node!r}",
+                    line=getattr(node, "line", 0), col=getattr(node, "col", 0))
 
 
 def _eval_compare_side(node: Node, env: Environment):

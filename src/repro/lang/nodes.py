@@ -10,7 +10,6 @@ instead of via yacc's global ``logic`` flag.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Union
 
 __all__ = [
     "Node",
@@ -36,15 +35,17 @@ ARITH_OPS = {"+", "-", "*", "/", "^"}
 
 
 class Node:
-    """Base class; all nodes carry a source line for diagnostics."""
+    """Base class; all nodes carry a source line/column span for diagnostics."""
 
     line: int = 0
+    col: int = 0
 
 
 @dataclass
 class Num(Node):
     value: float
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -53,18 +54,21 @@ class Addr(Node):
 
     value: str
     line: int = 0
+    col: int = 0
 
 
 @dataclass
 class Var(Node):
     name: str
     line: int = 0
+    col: int = 0
 
 
 @dataclass
 class Neg(Node):
     operand: Node
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -75,6 +79,7 @@ class BinOp(Node):
     left: Node
     right: Node
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -85,6 +90,7 @@ class Compare(Node):
     left: Node
     right: Node
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -95,6 +101,7 @@ class Logic(Node):
     left: Node
     right: Node
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -102,6 +109,7 @@ class Assign(Node):
     name: str
     value: Node
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -109,12 +117,14 @@ class Call(Node):
     func: str
     args: list[Node]
     line: int = 0
+    col: int = 0
 
 
 @dataclass
 class Paren(Node):
     inner: Node
     line: int = 0
+    col: int = 0
 
 
 Statement = Node  # a statement is just a top-level expression/assignment

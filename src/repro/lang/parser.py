@@ -116,7 +116,7 @@ class Parser:
                     line=tok.line, col=tok.col,
                 )
             value = self.parse_assign()  # right associative: a = b = 3
-            return Assign(left.name, value, line=tok.line)
+            return Assign(left.name, value, line=tok.line, col=left.col or tok.col)
         return left
 
     def _binary_level(self, sub, ops, node_cls):
@@ -124,7 +124,7 @@ class Parser:
         while self.at_op(*ops):
             tok = self.advance()
             right = sub()
-            left = node_cls(tok.text, left, right, line=tok.line)
+            left = node_cls(tok.text, left, right, line=tok.line, col=tok.col)
         return left
 
     def parse_or(self) -> Node:
@@ -150,13 +150,13 @@ class Parser:
         if self.at_op("^"):
             tok = self.advance()
             right = self.parse_power()  # right associative
-            return BinOp("^", left, right, line=tok.line)
+            return BinOp("^", left, right, line=tok.line, col=tok.col)
         return left
 
     def parse_unary(self) -> Node:
         if self.at_op("-"):
             tok = self.advance()
-            return Neg(self.parse_unary(), line=tok.line)
+            return Neg(self.parse_unary(), line=tok.line, col=tok.col)
         if self.at_op("+"):
             self.advance()
             return self.parse_unary()
@@ -166,10 +166,10 @@ class Parser:
         tok = self.cur
         if tok.kind == TokenKind.NUMBER:
             self.advance()
-            return Num(float(tok.text), line=tok.line)
+            return Num(float(tok.text), line=tok.line, col=tok.col)
         if tok.kind == TokenKind.NETADDR:
             self.advance()
-            return Addr(tok.text, line=tok.line)
+            return Addr(tok.text, line=tok.line, col=tok.col)
         if tok.kind == TokenKind.IDENT:
             self.advance()
             if self.at_op("("):
@@ -179,13 +179,13 @@ class Parser:
                     self.advance()
                     args.append(self.parse_expr())
                 self.expect_op(")")
-                return Call(tok.text, args, line=tok.line)
-            return Var(tok.text, line=tok.line)
+                return Call(tok.text, args, line=tok.line, col=tok.col)
+            return Var(tok.text, line=tok.line, col=tok.col)
         if self.at_op("("):
             open_tok = self.advance()
             inner = self.parse_expr()
             self.expect_op(")")
-            return Paren(inner, line=open_tok.line)
+            return Paren(inner, line=open_tok.line, col=open_tok.col)
         raise ParseError(
             f"unexpected {tok.text or 'end of input'!r}",
             line=tok.line, col=tok.col,

@@ -7,7 +7,6 @@ import pytest
 from repro.apps import FileServer, MassdClient, shape_host_egress
 from repro.bench.experiments import _drive
 from repro.cluster import Cluster
-from repro.net import MBPS
 
 
 def make_world(server_specs):

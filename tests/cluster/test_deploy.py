@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cluster import Cluster, Deployment, build_testbed
+from repro.cluster import Cluster, Deployment
 from repro.core import Config, Mode
 from repro.core.records import MSG_NETDB, MSG_SECDB, MSG_SYSDB
 

@@ -104,7 +104,6 @@ class TestWanPaths:
     def test_path_base_rtts_match_table_3_2(self):
         """Ping-size probes should see roughly the published RTTs."""
         from repro.core import measure_rtt
-        from tests.conftest import run_process
 
         cluster, endpoints = build_wan_paths()
         results = {}

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.cluster import Cluster
 from repro.core import Config, ServerProbe, ServerStatusReport, SystemMonitor
 from repro.lang import evaluate, parse

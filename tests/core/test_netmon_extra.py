@@ -3,8 +3,6 @@ stale-reply discipline of the client library."""
 
 from __future__ import annotations
 
-import pytest
-
 from repro.cluster import Cluster
 from repro.core import Config, NetworkMonitor, pathload_estimate
 from repro.net import MBPS

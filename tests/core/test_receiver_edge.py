@@ -2,12 +2,9 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.cluster import Cluster, Deployment
-from repro.core import Config, Mode
+from repro.core import Config
 from repro.core.records import MSG_SYSDB
-from tests.conftest import run_process
 
 
 def world():

@@ -11,7 +11,6 @@ from repro.core import (
     SecurityMonitor,
 )
 from repro.host import Machine
-from repro.sim import Simulator
 
 
 class TestDummySecurityLog:

@@ -2,11 +2,8 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.cluster import Cluster
 from repro.core import (
-    Config,
     NetMetric,
     NetStatusRecord,
     SecurityRecord,
@@ -16,7 +13,6 @@ from repro.core import (
     WizardReply,
     WizardRequest,
 )
-from repro.sim import SharedMemory, Simulator
 
 
 def make_wizard(sim=None):

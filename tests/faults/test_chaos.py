@@ -16,7 +16,6 @@ import pytest
 from repro.faults import ChaosController, FaultPlan
 from tests.faults.conftest import (
     CHAOS_CONFIG,
-    CHAOS_REQUIREMENT,
     build_chaos_world,
     poll_replies,
 )

@@ -7,7 +7,6 @@ import math
 import pytest
 
 from repro.host import CPU
-from repro.sim import Simulator
 from tests.conftest import run_process
 
 

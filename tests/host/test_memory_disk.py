@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.host import BLOCK_BYTES, Disk, Memory, OutOfMemory
-from repro.sim import Simulator
 from tests.conftest import run_process
 
 

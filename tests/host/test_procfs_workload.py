@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.host import Machine, ProcFS, SuperPiWorkload, PeriodicDiskLoad
-from repro.sim import Simulator
 
 
 @pytest.fixture

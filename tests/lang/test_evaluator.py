@@ -2,10 +2,6 @@
 
 from __future__ import annotations
 
-import math
-
-import pytest
-
 from repro.lang import evaluate, parse
 
 

@@ -13,8 +13,6 @@ from repro.lang import (
     Neg,
     Paren,
     ParseError,
-    Num,
-    Var,
     is_logical,
     parse,
 )

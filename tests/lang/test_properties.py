@@ -7,16 +7,14 @@ import math
 from hypothesis import assume, given, settings, strategies as st
 
 from repro.lang import (
-    EvalError,
     LexError,
     ParseError,
     TokenKind,
     evaluate,
-    is_logical,
     parse,
     tokenize,
 )
-from repro.lang.evaluator import Environment, Undefined, _eval
+from repro.lang.evaluator import Environment, _eval
 
 # ---------------------------------------------------------------------------
 # strategies

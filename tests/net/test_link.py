@@ -9,7 +9,6 @@ import pytest
 from repro.net import Datagram, PROTO_UDP
 from repro.net.link import Channel
 from repro.net.packet import Frame
-from repro.sim import Simulator
 
 
 def frame_of(size=1000, proto=PROTO_UDP):

@@ -2,13 +2,8 @@
 
 from __future__ import annotations
 
-import random
-
-import pytest
-
 from repro.net import Network, NetworkStack
 from repro.net.node import REASSEMBLY_TIMEOUT
-from repro.sim import Simulator
 
 
 def make_pair(sim):

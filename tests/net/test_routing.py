@@ -4,8 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.net import Datagram, MBPS, Network, NetworkStack, PROTO_UDP
-from repro.sim import Simulator
+from repro.net import Datagram, Network, NetworkStack, PROTO_UDP
 
 
 def build_line(sim, n_routers=1, **link_kw):

@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.net import Network, NetworkStack, PortInUse
-from repro.sim import Simulator
 from tests.conftest import run_process
 
 

@@ -12,7 +12,6 @@ from repro.net import (
     NetworkStack,
     TokenBucket,
 )
-from repro.sim import Simulator
 from tests.conftest import run_process
 
 

@@ -7,7 +7,6 @@ import random
 import pytest
 
 from repro.net import MBPS, Network, NetworkStack
-from repro.sim import Simulator
 
 
 def make_pair(sim, rate_bps=100 * MBPS, delay=100e-6):

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.sim import AnyOf, Interrupt, SimulationError, Simulator, Store
+from repro.sim import Interrupt, SimulationError
 from tests.conftest import run_process
 
 

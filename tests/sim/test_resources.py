@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.sim import Resource, SharedMemory, SimulationError, Simulator, Store
+from repro.sim import Resource, SharedMemory, SimulationError, Store
 from tests.conftest import run_process
 
 

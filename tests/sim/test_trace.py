@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.net import Network, NetworkStack
-from repro.sim import Simulator, Tracer, attach_node_tap
+from repro.sim import Tracer, attach_node_tap
 
 
 class TestTracer:

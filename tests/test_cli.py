@@ -5,8 +5,6 @@ from __future__ import annotations
 import subprocess
 import sys
 
-import pytest
-
 from repro.__main__ import EXPERIMENTS, main
 
 
@@ -43,3 +41,54 @@ class TestCliSubprocess:
         )
         assert result.returncode == 0
         assert "tab5.3" in result.stdout
+
+
+class TestLint:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        req = tmp_path / "good.req"
+        req.write_text("host_cpu_free > 0.9\nhost_memory_free > 5\n")
+        assert main(["lint", str(req)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_errors_exit_one_with_spans(self, tmp_path, capsys):
+        req = tmp_path / "bad.req"
+        req.write_text("host_cpu_free > 0.5\nhost_cpu_fre > 0.9\n")
+        assert main(["lint", str(req)]) == 1
+        out = capsys.readouterr().out
+        assert f"{req}:2:1: error REQ002" in out
+        assert "did you mean 'host_cpu_free'" in out
+
+    def test_unsatisfiable_mentions_nak(self, tmp_path, capsys):
+        req = tmp_path / "unsat.req"
+        req.write_text("host_cpu_free > 2\n")
+        assert main(["lint", str(req)]) == 1
+        out = capsys.readouterr().out
+        assert "REQ101" in out
+        assert "NAK" in out
+
+    def test_warnings_alone_exit_zero_unless_strict(self, tmp_path, capsys):
+        req = tmp_path / "warn.req"
+        req.write_text("a > 0\n")
+        assert main(["lint", str(req)]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--strict", str(req)]) == 1
+
+    def test_missing_file_exits_two(self, capsys):
+        assert main(["lint", "/no/such/file.req"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_stdin_dash(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", "-"],
+            input="host_cpu_free > 2\n",
+            capture_output=True, text=True, timeout=60,
+        )
+        assert result.returncode == 1
+        assert "<stdin>:1:" in result.stdout
+        assert "REQ101" in result.stdout
+
+    def test_parse_error_rendered_with_span(self, tmp_path, capsys):
+        req = tmp_path / "broken.req"
+        req.write_text("* 3 +\n")
+        assert main(["lint", str(req)]) == 1
+        assert "error PARSE" in capsys.readouterr().out

@@ -6,8 +6,6 @@ benchmark harness — these tests pin that property at several levels.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.bench import rtt_vs_size
 from repro.bench.experiments import _drive
 from repro.cluster import Cluster, Deployment

@@ -6,9 +6,7 @@ all over the simulated network, in both operating modes.
 
 from __future__ import annotations
 
-import pytest
-
-from repro.apps import FileServer, MassdClient, MatMulMaster, MatMulWorker, shape_host_egress
+from repro.apps import MatMulMaster, MatMulWorker, shape_host_egress
 from repro.bench.experiments import _drive
 from repro.cluster import Deployment, build_testbed
 from repro.core import Config, Mode
