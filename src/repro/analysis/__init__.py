@@ -1,0 +1,36 @@
+"""Codebase static analysis: determinism + wire-protocol consistency.
+
+Sibling of :mod:`repro.lang.analysis` — that package checks requirement
+*texts*; this one checks the repo's own *Python source*, because the
+thesis' numbers are only reproducible while the simulation stays
+deterministic and the wire constants stay consistent with the variable
+registry.  Diagnostics reuse :class:`repro.lang.diagnostics.Diagnostic`
+under the ``REPROxxx`` namespace; run it with ``python -m repro check``
+or the ``repro-check`` entry point.
+"""
+
+from .engine import (
+    ANALYZER_CODES,
+    FileContext,
+    FileReport,
+    Rule,
+    all_rules,
+    check_file,
+    check_paths,
+    check_source,
+    rule,
+)
+from .cli import check_main
+
+__all__ = [
+    "ANALYZER_CODES",
+    "FileContext",
+    "FileReport",
+    "Rule",
+    "rule",
+    "all_rules",
+    "check_source",
+    "check_file",
+    "check_paths",
+    "check_main",
+]

@@ -1,0 +1,97 @@
+"""``repro-check`` — the codebase determinism/protocol analyzer CLI.
+
+Usage::
+
+    python -m repro check src              # the repo gate
+    repro-check src/repro/net/link.py      # one file
+    repro-check --strict src               # warnings fail too
+    repro-check --list-rules               # rule inventory
+
+Exit codes mirror ``repro lint``: 0 clean (warnings allowed), 1
+diagnostics at error severity (or any finding with ``--strict``),
+2 usage/IO problems.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .engine import ANALYZER_CODES, all_rules, check_paths
+
+__all__ = ["check_main", "check_entry"]
+
+
+def _display_path(path: Path) -> str:
+    """Repo/cwd-relative when possible (stable golden-file rendering)."""
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def check_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-check",
+        description="Statically analyze the codebase for determinism "
+                    "hazards (D-series REPRO1xx: bare random/wall-clock/"
+                    "entropy, unordered scheduling, float time equality) "
+                    "and wire-protocol drift (P-series REPRO2xx: message "
+                    "constants, record fields and byte accounting vs. the "
+                    "variable registry).",
+    )
+    parser.add_argument("paths", nargs="*",
+                        help="files and/or directories to check")
+    parser.add_argument("--strict", action="store_true",
+                        help="treat warnings as errors")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule inventory and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for r in all_rules():
+            severity, title = ANALYZER_CODES[r.code]
+            print(f"{r.code}  {severity:<7}  {r.name}: {title}")
+        return 0
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("repro-check: no paths given", file=sys.stderr)
+        return 2
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        for p in missing:
+            print(f"repro-check: no such path: {p}", file=sys.stderr)
+        return 2
+
+    reports = check_paths(paths)
+    findings = 0
+    errors = 0
+    suppressed = 0
+    for report in reports:
+        shown = _display_path(report.path)
+        if report.parse_error is not None:
+            print(f"{shown}:{report.parse_line}:{report.parse_col}: "
+                  f"error PARSE: {report.parse_error}")
+            findings += 1
+            errors += 1
+            continue
+        suppressed += report.suppressed
+        for diag in report.diagnostics:
+            print(diag.render(shown))
+            findings += 1
+            errors += diag.is_error
+    if findings == 0:
+        note = f", {suppressed} suppressed by noqa" if suppressed else ""
+        print(f"{len(reports)} file(s) clean "
+              f"({len(all_rules())} D/P rules{note})")
+    if errors or (args.strict and findings):
+        return 1
+    return 0
+
+
+def check_entry() -> None:
+    """Console-script entry point for ``repro-check``."""
+    raise SystemExit(check_main())

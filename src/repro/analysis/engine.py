@@ -1,0 +1,217 @@
+"""Plugin-style AST lint engine for the codebase itself.
+
+Where :mod:`repro.lang.analysis` statically checks *requirement texts*,
+this engine statically checks the *Python source of the repo* — the
+monitoring plane monitoring itself.  Rules are small classes registered
+with :func:`rule`; each gets a parsed :class:`FileContext` and yields
+:class:`~repro.lang.diagnostics.Diagnostic` objects (the same typed,
+span-carrying diagnostics the requirement analyzer emits, under the
+``REPROxxx`` code namespace registered here).
+
+Two rule families ship in sibling modules:
+
+* :mod:`repro.analysis.determinism` — **D-series** (``REPRO1xx``): no
+  wall-clock, OS entropy or bare ``random`` in simulated code paths, no
+  unordered iteration feeding the event scheduler, no float equality on
+  event times.
+* :mod:`repro.analysis.protocol` — **P-series** (``REPRO2xx``): wire
+  constants, record field lists and byte accounting in
+  ``core/records.py``/``core/probe.py`` must stay consistent with the
+  22+10 variable registry of :mod:`repro.lang.variables`.
+
+Suppression: a line carrying ``# repro: noqa[CODE]`` (comma-separated
+codes allowed) silences those codes on that line; a bare
+``# repro: noqa`` silences every code on the line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Type
+
+from ..lang.diagnostics import Diagnostic, Severity, register_codes
+
+__all__ = [
+    "ANALYZER_CODES",
+    "FileContext",
+    "FileReport",
+    "Rule",
+    "rule",
+    "all_rules",
+    "check_source",
+    "check_file",
+    "check_paths",
+    "iter_python_files",
+]
+
+#: the REPROxxx diagnostic table — D-series (1xx) determinism rules and
+#: P-series (2xx) protocol-consistency rules
+ANALYZER_CODES: dict[str, tuple[str, str]] = {
+    "REPRO101": (Severity.ERROR, "bare random module in simulated code"),
+    "REPRO102": (Severity.ERROR, "wall-clock read in simulated code"),
+    "REPRO103": (Severity.ERROR, "calendar/date read in simulated code"),
+    "REPRO104": (Severity.ERROR, "OS entropy source in simulated code"),
+    "REPRO105": (Severity.ERROR, "unordered iteration feeds event scheduling"),
+    "REPRO106": (Severity.WARNING, "float equality on event times"),
+    "REPRO201": (Severity.ERROR, "wire message constants inconsistent"),
+    "REPRO202": (Severity.ERROR, "WireDiagnostic drifted from lang Diagnostic"),
+    "REPRO203": (Severity.ERROR, "probe keys drifted from variable registry"),
+    "REPRO204": (Severity.ERROR, "server record byte accounting too small"),
+}
+
+register_codes(ANALYZER_CODES)
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s]+)\])?")
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs about one parsed source file."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    #: forward-slash path used for rule path-scoping (allowlists match on
+    #: suffix, so absolute vs relative does not matter)
+    posix: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.posix:
+            self.posix = self.path.as_posix()
+
+    def diag(self, code: str, message: str, node: ast.AST) -> Diagnostic:
+        """A diagnostic with the code's default severity, anchored at
+        ``node`` (1-based line, 0-based column, like the lang analyzer)."""
+        from ..lang.diagnostics import make
+        return make(code, message, line=getattr(node, "lineno", 0),
+                    col=getattr(node, "col_offset", 0))
+
+    def in_allowlist(self, suffixes: Iterable[str]) -> bool:
+        return any(self.posix.endswith(s) for s in suffixes)
+
+
+@dataclass
+class FileReport:
+    """Outcome of checking one file."""
+
+    path: Path
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: findings silenced by ``# repro: noqa[...]`` comments
+    suppressed: int = 0
+    #: syntax-error text when the file did not parse (no rules ran)
+    parse_error: Optional[str] = None
+    parse_line: int = 0
+    parse_col: int = 0
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for d in self.diagnostics if d.is_error) + (
+            1 if self.parse_error is not None else 0
+        )
+
+
+class Rule:
+    """Base class for one REPROxxx rule.
+
+    Subclasses set :attr:`code` and :attr:`name` and implement
+    :meth:`check`; registration happens via the :func:`rule` decorator so
+    rule modules are plugins — importing them is enough.
+    """
+
+    code: str = ""
+    name: str = ""
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, Type[Rule]] = {}
+
+
+def rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator registering a :class:`Rule` by its code."""
+    if not cls.code or cls.code not in ANALYZER_CODES:
+        raise ValueError(f"rule {cls.__name__} has unknown code {cls.code!r}")
+    if cls.code in _REGISTRY:
+        raise ValueError(f"duplicate rule for code {cls.code}")
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """One fresh instance of every registered rule, ordered by code."""
+    _load_rule_modules()
+    return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
+
+
+def _load_rule_modules() -> None:
+    # imported lazily so engine <-> rule-module imports cannot cycle
+    from . import determinism, protocol  # noqa: F401
+
+
+def _noqa_map(source: str) -> dict[int, Optional[frozenset[str]]]:
+    """line -> suppressed codes (``None`` means *all* codes)."""
+    out: dict[int, Optional[frozenset[str]]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        m = _NOQA_RE.search(text)
+        if not m:
+            continue
+        if m.group(1) is None:
+            out[lineno] = None
+        else:
+            codes = frozenset(
+                c.strip().upper() for c in m.group(1).split(",") if c.strip()
+            )
+            out[lineno] = codes or None
+    return out
+
+
+def check_source(source: str, path: Path,
+                 rules: Optional[list[Rule]] = None) -> FileReport:
+    """Run every rule over one source text."""
+    report = FileReport(path=path)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        report.parse_error = exc.msg or "syntax error"
+        report.parse_line = exc.lineno or 0
+        report.parse_col = (exc.offset or 1) - 1
+        return report
+    ctx = FileContext(path=path, source=source, tree=tree)
+    noqa = _noqa_map(source)
+    findings: list[Diagnostic] = []
+    for r in (rules if rules is not None else all_rules()):
+        for diag in r.check(ctx):
+            silenced = noqa.get(diag.line, frozenset())
+            if silenced is None or (silenced and diag.code in silenced):
+                report.suppressed += 1
+            else:
+                findings.append(diag)
+    findings.sort(key=lambda d: (d.line, d.col, d.code))
+    report.diagnostics = findings
+    return report
+
+
+def check_file(path: Path, rules: Optional[list[Rule]] = None) -> FileReport:
+    return check_source(path.read_text(encoding="utf-8"), path, rules=rules)
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted, de-duplicated file walk."""
+    seen: set[Path] = set()
+    for p in paths:
+        candidates = sorted(p.rglob("*.py")) if p.is_dir() else [p]
+        for c in candidates:
+            if c not in seen:
+                seen.add(c)
+                yield c
+
+
+def check_paths(paths: Iterable[Path],
+                rules: Optional[list[Rule]] = None) -> list[FileReport]:
+    """Check every ``*.py`` under ``paths``; one report per file."""
+    active = rules if rules is not None else all_rules()
+    return [check_file(p, rules=active) for p in iter_python_files(paths)]

@@ -262,9 +262,12 @@ def bandwidth_probe_table(groups: Sequence[tuple[int, int]] = PAPER_SIZE_GROUPS,
 
 def _testbed_world(config: Optional[Config] = None, seed: int = 0,
                    mode: Optional[str] = None,
-                   pool: Sequence[str] = TESTBED_SERVER_NAMES):
+                   pool: Sequence[str] = TESTBED_SERVER_NAMES,
+                   tie_break_seed: Optional[int] = None,
+                   trace_events: bool = False):
     """Testbed + one 'lab' group over ``pool``, matmul workers everywhere."""
-    cluster = build_testbed(seed=seed)
+    cluster = build_testbed(seed=seed, tie_break_seed=tie_break_seed,
+                            trace_events=trace_events)
     cfg = config or Config()
     dep = Deployment(cluster, wizard_host=cluster.host("dalmatian"),
                      config=cfg, mode=mode)
@@ -393,6 +396,8 @@ class MatmulArm:
     servers: list[str]
     elapsed: float
     blocks_per_server: dict[str, int] = field(default_factory=dict)
+    #: canonical kernel event trace (schedule-sanitizer runs only)
+    event_trace: Optional[tuple[str, ...]] = None
 
 
 def matmul_experiment(
@@ -406,6 +411,8 @@ def matmul_experiment(
     warmup: float = 60.0,
     seed: int = 0,
     pool: Sequence[str] = TESTBED_SERVER_NAMES,
+    tie_break_seed: Optional[int] = None,
+    trace_events: bool = False,
 ) -> list[MatmulArm]:
     """One thesis matmul comparison (Tables 5.3–5.6).
 
@@ -414,12 +421,16 @@ def matmul_experiment(
     arm asks the wizard with ``requirement``.  ``loaded_hosts`` get a
     SuperPI workload from t=0 (Table 5.6's non-zero-workload setup).
     ``pool`` restricts the monitored server group (Table 5.6 uses only the
-    seven P4-1.6–1.8 machines).
+    seven P4-1.6–1.8 machines).  ``tie_break_seed``/``trace_events`` arm
+    the schedule sanitizer: dual runs with different tie-break seeds must
+    produce identical ``event_trace`` tuples on every arm.
     """
     arms: list[MatmulArm] = []
 
     def run_arm(label: str, use_smart: bool):
-        cluster, dep, _ = _testbed_world(seed=seed, pool=pool)
+        cluster, dep, _ = _testbed_world(seed=seed, pool=pool,
+                                         tie_break_seed=tie_break_seed,
+                                         trace_events=trace_events)
         net = cluster.network
         for hname in loaded_hosts:
             SuperPiWorkload(cluster.sim, cluster.host(hname).machine).start()
@@ -453,6 +464,8 @@ def matmul_experiment(
             blocks_per_server={
                 net.hostname_of(a): c for a, c in result.blocks_per_server.items()
             },
+            event_trace=(tuple(cluster.event_trace.canonical_lines())
+                         if cluster.event_trace is not None else None),
         ))
 
     run_arm("random", use_smart=False)
@@ -516,6 +529,8 @@ class MassdArm:
     servers: list[str]
     throughput_kbps: float
     elapsed: float
+    #: canonical kernel event trace (schedule-sanitizer runs only)
+    event_trace: Optional[tuple[str, ...]] = None
 
 
 def massd_experiment(
@@ -528,12 +543,16 @@ def massd_experiment(
     blk_kb: int = 100,
     client_host: str = "sagit",
     seed: int = 0,
+    tie_break_seed: Optional[int] = None,
+    trace_events: bool = False,
 ) -> list[MassdArm]:
     """One thesis massd comparison (Tables 5.7/5.8/5.9).
 
     Six file servers in two rshaper-limited groups; each random arm uses a
     fixed server set from the thesis, the smart arm queries the wizard with
-    a ``monitor_network_bw`` requirement.
+    a ``monitor_network_bw`` requirement.  ``tie_break_seed``/
+    ``trace_events`` arm the schedule sanitizer (see
+    :func:`matmul_experiment`).
     """
     arms: list[MassdArm] = []
     all_arms: list[tuple[str, Optional[Sequence[str]]]] = [
@@ -542,7 +561,8 @@ def massd_experiment(
     all_arms.append(("smart", None))
 
     for label, fixed_servers in all_arms:
-        cluster = build_testbed(seed=seed)
+        cluster = build_testbed(seed=seed, tie_break_seed=tie_break_seed,
+                                trace_events=trace_events)
         net = cluster.network
         dep = Deployment(cluster, wizard_host=cluster.host("dalmatian"))
         # three groups: the client's own, and the two file-server groups,
@@ -592,5 +612,7 @@ def massd_experiment(
             servers=[net.hostname_of(a) for a in result.servers],
             throughput_kbps=result.throughput_kbps,
             elapsed=result.elapsed,
+            event_trace=(tuple(cluster.event_trace.canonical_lines())
+                         if cluster.event_trace is not None else None),
         ))
     return arms

@@ -12,22 +12,41 @@ from typing import Optional
 from ..host import Machine
 from ..net import ETHERNET_100, Network, Node
 from ..net.link import Link
-from ..sim import RandomStreams, Simulator
+from ..sim import EventTrace, RandomStreams, Simulator
 from .host import SmartHost
 
 __all__ = ["Cluster"]
 
 
 class Cluster:
-    """A simulated computing environment under construction."""
+    """A simulated computing environment under construction.
 
-    def __init__(self, sim: Optional[Simulator] = None, seed: int = 0):
+    ``tie_break_seed`` / ``trace_events`` arm the kernel's schedule
+    sanitizer (see :mod:`repro.sim.kernel`): with a tie-break seed, the
+    FIFO order of equal-timestamp events is deterministically shuffled;
+    with tracing, :attr:`event_trace` records a canonical event trace so
+    dual runs under different shuffle seeds can be diffed.
+    """
+
+    def __init__(self, sim: Optional[Simulator] = None, seed: int = 0,
+                 tie_break_seed: Optional[int] = None,
+                 trace_events: bool = False):
         self.sim = sim or Simulator()
         self.network = Network(self.sim)
         self.streams = RandomStreams(seed)
         self.hosts: dict[str, SmartHost] = {}
         self.switches: dict[str, Node] = {}
         self._finalized = False
+        self.event_trace: Optional[EventTrace] = None
+        if tie_break_seed is not None:
+            # the shuffle stream hangs off its own root seed so the
+            # simulation's own draws (self.streams) stay untouched
+            self.sim.enable_tie_shuffle(
+                RandomStreams(tie_break_seed).stream("schedule-tiebreak")
+            )
+        if trace_events:
+            self.event_trace = EventTrace()
+            self.sim.enable_event_trace(self.event_trace)
 
     # -- construction ---------------------------------------------------------
     def add_host(

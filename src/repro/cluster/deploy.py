@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..sim import Interrupt
 from ..core import (
     Config,
     DEFAULT_CONFIG,
@@ -29,7 +30,16 @@ from ..core import (
 from .builder import Cluster
 from .host import SmartHost
 
-__all__ = ["Deployment", "GroupDeployment"]
+__all__ = ["Deployment", "GroupDeployment", "BOOT_STAGGER"]
+
+#: gap between consecutive daemon starts.  A real init system brings
+#: daemons up sequentially, never in the same nanosecond; starting them
+#: all at exactly t=0 made "who wins the uplink for its first frame" an
+#: artifact of event-queue insertion order — exactly the tie-break
+#: dependence the schedule sanitizer (repro.sim.kernel) exists to catch.
+#: 1 ms is far below every monitor interval, and distinct sub-second
+#: phases mean two integer-second periodic timers can never collide.
+BOOT_STAGGER = 1e-3
 
 
 @dataclass
@@ -61,6 +71,7 @@ class Deployment:
         self.mode = mode or config.mode
         self.wizard_host = wizard_host
         self.groups: dict[str, GroupDeployment] = {}
+        self._boot_proc = None
         self.receiver = Receiver(cluster.sim, wizard_host.stack, wizard_host.shm, config)
         self.wizard = Wizard(
             cluster.sim,
@@ -140,25 +151,52 @@ class Deployment:
         return group
 
     # -- lifecycle ----------------------------------------------------------------
+    def _boot_sequence(self) -> list:
+        """Per-group daemon ``start`` callables in deterministic boot order.
+
+        The wizard-machine daemons (receiver, wizard) are not staggered:
+        they only *listen* at start, so they cannot contend for an uplink,
+        and callers reasonably expect them to exist as soon as
+        :meth:`start` returns (e.g. to kill one for a failure test).
+        """
+        seq = []
+        for group in self.groups.values():
+            seq.append(group.sysmon.start)
+            seq.append(group.secmon.start)
+            if group.netmon.peers:
+                seq.append(group.netmon.start)
+            seq.append(group.transmitter.start)
+            for probe in group.probes:
+                seq.append(probe.start)
+        return seq
+
+    def _boot(self):
+        """Process generator: bring daemons up one BOOT_STAGGER apart."""
+        try:
+            for i, daemon_start in enumerate(self._boot_sequence()):
+                if i:
+                    yield self.cluster.sim.timeout(BOOT_STAGGER)
+                if not self._started:  # stop() raced the boot: quiesce
+                    return
+                daemon_start()
+        except Interrupt:
+            pass
+
     def start(self) -> None:
         if self._started:
             raise RuntimeError("deployment already started")
         if not self.groups:
             raise RuntimeError("deploy at least one group before start()")
+        self._started = True
         if self.mode == Mode.CENTRALIZED:
             self.receiver.start()
         self.wizard.start()
-        for group in self.groups.values():
-            group.sysmon.start()
-            group.secmon.start()
-            if group.netmon.peers:
-                group.netmon.start()
-            group.transmitter.start()
-            for probe in group.probes:
-                probe.start()
-        self._started = True
+        self._boot_proc = self.cluster.sim.process(self._boot(), name="deploy-boot")
 
     def stop(self) -> None:
+        self._started = False
+        if self._boot_proc is not None and self._boot_proc.is_alive:
+            self._boot_proc.interrupt("stop")
         for group in self.groups.values():
             for probe in group.probes:
                 probe.stop()
@@ -168,7 +206,6 @@ class Deployment:
             group.transmitter.stop()
         self.receiver.stop()
         self.wizard.stop()
-        self._started = False
 
     # -- client access -----------------------------------------------------------
     def client_for(self, host: SmartHost, seed: int = 1) -> SmartClient:
@@ -194,4 +231,5 @@ class Deployment:
             + self.config.transmit_interval
             + max(1.0, self.config.netmon_interval)
             + 1.0
+            + BOOT_STAGGER * len(self._boot_sequence())
         )

@@ -88,13 +88,18 @@ def segment_partition_nodes(segment: str) -> tuple[str, str]:
     return ("dalmatian", f"sw-{segment}")
 
 
-def build_testbed(sim: Simulator | None = None, seed: int = 0) -> Cluster:
+def build_testbed(sim: Simulator | None = None, seed: int = 0,
+                  tie_break_seed: int | None = None,
+                  trace_events: bool = False) -> Cluster:
     """Construct the 11-machine testbed; returns a finalized cluster.
 
     Every segment is a switch; dalmatian has one NIC per lab segment (it is
     the gateway) plus one on the campus segment towards sagit.
+    ``tie_break_seed``/``trace_events`` arm the schedule sanitizer
+    (:class:`~repro.cluster.builder.Cluster`).
     """
-    cluster = Cluster(sim, seed=seed)
+    cluster = Cluster(sim, seed=seed, tie_break_seed=tie_break_seed,
+                      trace_events=trace_events)
     hosts: dict[str, SmartHost] = {}
     for spec in TESTBED_MACHINES:
         hosts[spec.name] = cluster.add_host(

@@ -32,13 +32,15 @@ Failure hardening (beyond the thesis):
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, TYPE_CHECKING
 
 from ..lang.analysis import CompileCache
 from ..net.tcp import ConnectError, TcpConnection
-from ..sim import Simulator
+from ..sim import RandomStreams, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    import random
 from .config import Config, DEFAULT_CONFIG
 from .records import REPLY_NAK
 from .wizard import WizardReply, WizardRequest
@@ -88,13 +90,15 @@ class SmartClient:
         stack,
         wizard_addr: str,
         config: Config = DEFAULT_CONFIG,
-        rng: Optional[random.Random] = None,
+        rng: Optional["random.Random"] = None,
     ):
         self.sim = sim
         self.stack = stack
         self.wizard_addr = wizard_addr
         self.config = config
-        self.rng = rng or random.Random(0x5EED)
+        # deployments hand in a per-client named stream; the standalone
+        # fallback derives one the same seeded way (never the global RNG)
+        self.rng = rng or RandomStreams(0x5EED).stream("smart-client")
         #: client-side compile cache for the pre-submit static check
         self.compile_cache = CompileCache(maxsize=config.compile_cache_size)
         self.requests_sent = 0

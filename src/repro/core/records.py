@@ -42,6 +42,14 @@ __all__ = [
 #: structure, which is 204 bytes long."
 SERVER_RECORD_BYTES = 204
 
+# Import-time mirror of the analyzer's REPRO204 rule: the record must hold
+# one 8-byte slot per server-side variable plus the 24-byte header, so
+# growing SERVER_SIDE_VARS without re-sizing the record fails immediately.
+assert SERVER_RECORD_BYTES >= 8 * len(SERVER_SIDE_VARS) + 24, (
+    f"SERVER_RECORD_BYTES={SERVER_RECORD_BYTES} cannot hold "
+    f"{len(SERVER_SIDE_VARS)} 8-byte variables + 24-byte header"
+)
+
 MSG_SYSDB = 1
 MSG_NETDB = 2
 MSG_SECDB = 3

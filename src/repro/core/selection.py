@@ -9,8 +9,12 @@ them freely.
 
 from __future__ import annotations
 
-import random
-from typing import Optional, Protocol, Sequence
+from typing import Optional, Protocol, Sequence, TYPE_CHECKING
+
+from ..sim import RandomStreams
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    import random
 
 __all__ = ["Selector", "RandomSelector", "RoundRobinSelector", "StaticSelector"]
 
@@ -24,11 +28,11 @@ class Selector(Protocol):
 class RandomSelector:
     """Uniform random choice without replacement (the paper's comparator)."""
 
-    def __init__(self, pool: Sequence[str], rng: Optional[random.Random] = None):
+    def __init__(self, pool: Sequence[str], rng: Optional["random.Random"] = None):
         if not pool:
             raise ValueError("empty server pool")
         self.pool = list(pool)
-        self.rng = rng or random.Random(42)
+        self.rng = rng or RandomStreams(42).stream("random-selector")
 
     def select(self, n: int) -> list[str]:
         if n > len(self.pool):

@@ -40,6 +40,7 @@ from typing import Optional
 
 from ..lang import evaluate
 from ..lang.analysis import CompileCache, CompiledRequirement
+from ..lang.errors import LangError
 from ..net.tcp import ConnectError, ConnectionClosed
 from ..sim import Interrupt, SharedMemory, Simulator
 from .config import Config, DEFAULT_CONFIG, Mode
@@ -194,9 +195,13 @@ class Wizard:
                     reply = yield from self._process(request, client_addr=dgram.src)
                 except Interrupt:
                     raise
-                except Exception:
-                    # never stall the requester: an empty-but-well-formed
-                    # reply lets the client fail fast or retry elsewhere
+                except (LangError, ValueError, KeyError):
+                    # expected per-request failures only — a malformed
+                    # requirement, an out-of-protocol field, a record that
+                    # does not parse.  Never stall the requester: an
+                    # empty-but-well-formed reply lets the client fail fast
+                    # or retry elsewhere.  Anything else (a kernel bug, a
+                    # broken daemon) propagates and fails the run loudly.
                     self.request_errors += 1
                     reply = WizardReply(seq=request.seq, servers=())
                 sock.sendto(dgram.src, dgram.sport, size=reply.wire_bytes, payload=reply)

@@ -26,9 +26,11 @@ Fault taxonomy (the ``kind`` field of :class:`FaultEvent`):
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Iterable, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    import random
 
 __all__ = ["FaultEvent", "FaultPlan", "FAULT_KINDS", "DAEMON_ROLES"]
 
@@ -175,7 +177,7 @@ class FaultPlan:
     @classmethod
     def random_plan(
         cls,
-        rng: random.Random,
+        rng: "random.Random",
         *,
         horizon: float,
         hosts: Iterable[str],

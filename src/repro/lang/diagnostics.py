@@ -42,6 +42,8 @@ __all__ = [
     "Diagnostic",
     "DIAGNOSTIC_CODES",
     "format_diagnostic",
+    "register_codes",
+    "code_info",
 ]
 
 
@@ -69,6 +71,32 @@ DIAGNOSTIC_CODES: dict[str, tuple[str, str]] = {
 }
 
 
+#: codes contributed by other analyzers (e.g. the ``REPROxxx`` codebase
+#: rules of :mod:`repro.analysis`) — same shape as :data:`DIAGNOSTIC_CODES`
+_EXTRA_CODES: dict[str, tuple[str, str]] = {}
+
+
+def register_codes(table: dict[str, tuple[str, str]]) -> None:
+    """Register an extra ``code -> (severity, title)`` table.
+
+    Lets sibling analyzers (the codebase determinism/protocol checker)
+    reuse :class:`Diagnostic` — spans, rendering, golden-file tooling —
+    without widening the requirement-language ``REQxxx`` namespace.
+    Re-registering an identical entry is a no-op; conflicts raise.
+    """
+    for code, entry in table.items():
+        existing = DIAGNOSTIC_CODES.get(code) or _EXTRA_CODES.get(code)
+        if existing is not None and existing != entry:
+            raise ValueError(f"diagnostic code {code!r} already registered")
+        if code not in DIAGNOSTIC_CODES:
+            _EXTRA_CODES[code] = entry
+
+
+def code_info(code: str) -> tuple[str, str] | None:
+    """``(default severity, title)`` for any registered code, else None."""
+    return DIAGNOSTIC_CODES.get(code) or _EXTRA_CODES.get(code)
+
+
 @dataclass(frozen=True)
 class Diagnostic:
     """One analyzer finding, anchored to a source span."""
@@ -80,7 +108,7 @@ class Diagnostic:
     col: int = 0
 
     def __post_init__(self) -> None:
-        if self.code not in DIAGNOSTIC_CODES:
+        if code_info(self.code) is None:
             raise ValueError(f"unknown diagnostic code {self.code!r}")
         if self.severity not in (Severity.ERROR, Severity.WARNING):
             raise ValueError(f"unknown severity {self.severity!r}")
@@ -101,6 +129,9 @@ def format_diagnostic(diag: Diagnostic, filename: str = "<requirement>") -> str:
 
 def make(code: str, message: str, line: int = 0, col: int = 0) -> Diagnostic:
     """Build a diagnostic with the code's default severity."""
-    severity, _ = DIAGNOSTIC_CODES[code]
+    info = code_info(code)
+    if info is None:
+        raise KeyError(f"unknown diagnostic code {code!r}")
+    severity, _ = info
     return Diagnostic(code=code, severity=severity, message=message,
                       line=line, col=col)

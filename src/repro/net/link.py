@@ -15,7 +15,6 @@ the TCP recovery tests) and tail-drop (bounded buffers) are both available.
 
 from __future__ import annotations
 
-import random
 from typing import Callable, Optional, TYPE_CHECKING
 
 from ..sim import Simulator
@@ -23,6 +22,8 @@ from .packet import Frame
 from .shaper import TokenBucket
 
 if TYPE_CHECKING:  # pragma: no cover
+    import random
+
     from .node import Node
 
 __all__ = ["Channel", "Link"]
@@ -52,9 +53,10 @@ class Channel:
         self.buffer_bytes = buffer_bytes
         self.name = name
         self.shaper: Optional[TokenBucket] = None
-        #: random frame loss probability (0 disables); seeded via loss_rng
+        #: random frame loss probability (0 disables); seeded via loss_rng,
+        #: which must come from a named RandomStreams substream
         self.loss_rate = 0.0
-        self.loss_rng: Optional[random.Random] = None
+        self.loss_rng: Optional["random.Random"] = None
         #: hard carrier switch: a downed channel drops every frame (used by
         #: the fault-injection plane for partitions and link flaps)
         self.up = True

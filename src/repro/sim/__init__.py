@@ -12,7 +12,7 @@ from .kernel import (
 )
 from .rand import RandomStreams
 from .resources import Resource, Segment, SharedMemory, Store
-from .trace import TraceRecord, Tracer, attach_node_tap
+from .trace import EventTrace, TraceRecord, Tracer, attach_node_tap, diff_traces
 
 __all__ = [
     "Simulator",
@@ -31,4 +31,6 @@ __all__ = [
     "Tracer",
     "TraceRecord",
     "attach_node_tap",
+    "EventTrace",
+    "diff_traces",
 ]

@@ -17,6 +17,34 @@ Simulated time is a ``float`` of seconds.  Events scheduled at equal times are
 ordered FIFO by a monotonically increasing sequence number so runs are fully
 deterministic.  There is no wall-clock coupling anywhere: a whole testbed
 experiment runs in milliseconds of real time.
+
+Schedule sanitizer
+------------------
+"No outcome depends on the FIFO tie-break" is an *invariant*, and the
+kernel can check it TSan-style instead of assuming it:
+
+* :meth:`Simulator.enable_tie_shuffle` inserts a seeded random draw
+  between the timestamp and the sequence number in the queue ordering,
+  so events at equal times are processed in a (deterministically)
+  shuffled order instead of FIFO;
+* :meth:`Simulator.enable_event_trace` records every processed event
+  into an :class:`~repro.sim.trace.EventTrace`.
+
+The shuffle only randomises *causally independent* simultaneous events:
+an event scheduled while another event is being processed is a causal
+successor (an ACK sent while handling a segment, a store hand-off, a
+frame pushed onto a link) and inherits its cause's tie key, so within
+one causal lineage program order survives at any shared timestamp.
+Shuffling inside a lineage would reorder cause before effect — e.g. a
+burst of same-delay loopback frames would arrive permuted, which is
+packet reordering, not a tie-break, and no simulation could (or should)
+be invariant under it.  Only root events — those scheduled from outside
+the event loop, i.e. genuinely concurrent origins — draw fresh keys.
+
+Running the same experiment twice with *different* shuffle seeds and
+diffing the canonical traces (order-insensitive within one timestamp)
+proves the execution is tie-break independent: any divergence would
+change downstream event times and show up in the diff.
 """
 
 from __future__ import annotations
@@ -331,10 +359,37 @@ class Simulator:
     """
 
     def __init__(self):
-        self._queue: list[tuple[float, int, Event]] = []
+        self._queue: list[tuple[float, float, int, Event]] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._active_proc: Optional[Process] = None
+        #: schedule-sanitizer hooks (both off by default, zero hot-path
+        #: cost beyond two ``is None`` checks)
+        self._tie_rng: Optional[Any] = None
+        self._event_trace: Optional[Any] = None
+        #: tie key of the event currently being processed (None outside
+        #: :meth:`step`); zero-delay descendants inherit it
+        self._current_tie: Optional[float] = None
+
+    # -- schedule sanitizer --------------------------------------------------
+    def enable_tie_shuffle(self, rng) -> None:
+        """Shuffle the processing order of equal-timestamp events.
+
+        ``rng`` must be a seeded stream (e.g.
+        ``RandomStreams(s).stream("schedule-tiebreak")``): each scheduled
+        event draws a tie-break key from it, replacing FIFO order among
+        events that share a timestamp while keeping the run fully
+        deterministic given the shuffle seed.  Dual runs with different
+        shuffle seeds + :meth:`enable_event_trace` turn "the simulation
+        does not depend on tie-break order" into a checked invariant.
+        """
+        self._tie_rng = rng
+
+    def enable_event_trace(self, trace) -> None:
+        """Record every processed event into ``trace`` (any object with a
+        ``record(when, event)`` method, canonically
+        :class:`~repro.sim.trace.EventTrace`)."""
+        self._event_trace = trace
 
     @property
     def now(self) -> float:
@@ -363,7 +418,22 @@ class Simulator:
 
     # -- scheduling ----------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
-        heapq.heappush(self._queue, (self._now + delay, next(self._seq), event))
+        # queue order: (time, tie, seq).  tie is 0.0 (pure FIFO) unless the
+        # schedule sanitizer shuffles equal-time events; seq keeps the
+        # order total so the Event objects are never compared
+        if self._tie_rng is None:
+            tie = 0.0
+        elif self._current_tie is not None:
+            # causal successor: keep the cause's tie key so program order
+            # within one causal lineage survives at any shared timestamp
+            # (seq breaks the tie FIFO).  Without this, a burst of frames
+            # scheduled back-to-back onto the same fixed-delay path would
+            # be *reordered* on arrival — that is packet reordering, not a
+            # tie-break, and go-back-N rightly reacts to it.
+            tie = self._current_tie
+        else:
+            tie = self._tie_rng.random()
+        heapq.heappush(self._queue, (self._now + delay, tie, next(self._seq), event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -377,9 +447,15 @@ class Simulator:
         loop — an uncaught crash inside a simulated daemon fails the run
         loudly instead of disappearing.
         """
-        when, _, event = heapq.heappop(self._queue)
+        when, tie, _, event = heapq.heappop(self._queue)
         self._now = when
-        event._process_callbacks()
+        if self._event_trace is not None:
+            self._event_trace.record(when, event)
+        self._current_tie = tie
+        try:
+            event._process_callbacks()
+        finally:
+            self._current_tie = None
         if not event._ok:
             raise event._value
 

@@ -1,0 +1,7 @@
+"""Clean under suppression: ``# repro: noqa[CODE]`` silences a finding."""
+
+import time
+
+
+def elapsed_wall_seconds(t0: float) -> float:
+    return time.time() - t0  # repro: noqa[REPRO102]

@@ -1,0 +1,7 @@
+"""Seeded REPRO101 violation: the process-global ``random`` module."""
+
+import random
+
+
+def jitter() -> float:
+    return random.random() * 0.5

@@ -1,0 +1,7 @@
+"""Seeded REPRO102 violation: reading the wall clock in simulated code."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()

@@ -1,0 +1,7 @@
+"""Seeded REPRO103 violation: calendar clock inside the simulation."""
+
+from datetime import datetime
+
+
+def record_started_at() -> str:
+    return datetime.now().isoformat()

@@ -1,0 +1,12 @@
+"""Seeded REPRO104 violation: OS entropy no seed can replay."""
+
+import os
+import uuid
+
+
+def session_token() -> bytes:
+    return os.urandom(8)
+
+
+def session_id() -> str:
+    return str(uuid.uuid4())

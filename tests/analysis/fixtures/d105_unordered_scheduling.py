@@ -1,0 +1,6 @@
+"""Seeded REPRO105 violation: set iteration feeding the event queue."""
+
+
+def fan_out(sim, delays):
+    for delay in set(delays):
+        sim.timeout(delay)

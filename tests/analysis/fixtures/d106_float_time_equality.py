@@ -1,0 +1,5 @@
+"""Seeded REPRO106 violation: exact float equality on event times."""
+
+
+def is_due(sim, deadline: float) -> bool:
+    return sim.now == deadline

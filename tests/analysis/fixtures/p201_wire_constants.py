@@ -1,0 +1,8 @@
+"""Seeded REPRO201 violations: colliding tags, unset tag, equal replies."""
+
+MSG_SYSDB = 1
+MSG_NETDB = 1
+MSG_PULL = 0
+
+REPLY_OK = 0
+REPLY_NAK = 0

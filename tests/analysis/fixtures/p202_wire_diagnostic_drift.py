@@ -1,0 +1,12 @@
+"""Seeded REPRO202 violation: NAK wire form missing a Diagnostic field."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WireDiagnostic:
+    code: str
+    severity: str
+    message: str
+    line: int = 0
+    # 'col' dropped: spans on the wire silently lose their column

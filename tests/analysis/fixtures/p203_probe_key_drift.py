@@ -1,0 +1,31 @@
+"""Seeded REPRO203 violation: probe report keys off the variable registry."""
+
+
+def scan() -> dict[str, float]:
+    values = {
+        "host_system_load1": 0.0,
+        "host_system_load5": 0.0,
+        "host_system_load15": 0.0,
+        "host_cpu_user": 0.0,
+        "host_cpu_nice": 0.0,
+        "host_cpu_system": 0.0,
+        "host_cpu_idle": 0.0,
+        "host_cpu_free": 0.0,
+        "host_cpu_bogomips": 0.0,
+        "host_memory_total": 0.0,
+        "host_memory_used": 0.0,
+        "host_memory_free": 0.0,
+        "host_disk_allreq": 0.0,
+        "host_disk_rreq": 0.0,
+        "host_disk_rblocks": 0.0,
+        "host_disk_wreq": 0.0,
+        "host_disk_wblocks": 0.0,
+        "host_network_rbytesps": 0.0,
+        "host_network_rpacketsps": 0.0,
+        "host_network_tbytesps": 0.0,
+        "host_network_tpacketsps": 0.0,
+        # drifted: a key the requirement language does not define, and
+        # host_security_level dropped
+        "host_gpu_teraflops": 0.0,
+    }
+    return values

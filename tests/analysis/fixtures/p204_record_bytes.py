@@ -1,0 +1,3 @@
+"""Seeded REPRO204 violation: record too small for the registry."""
+
+SERVER_RECORD_BYTES = 64

@@ -1,0 +1,113 @@
+"""Unit tests for the analyzer engine: noqa, registry, CLI plumbing."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import check_main
+from repro.analysis.engine import (
+    ANALYZER_CODES,
+    Rule,
+    all_rules,
+    check_source,
+    iter_python_files,
+    rule,
+)
+from repro.lang.diagnostics import register_codes
+
+
+class TestNoqa:
+    def test_targeted_code_is_suppressed(self):
+        src = "import time\n\nt = time.time()  # repro: noqa[REPRO102]\n"
+        report = check_source(src, Path("x.py"))
+        assert report.diagnostics == []
+        assert report.suppressed == 1
+
+    def test_bare_noqa_silences_every_code(self):
+        src = "import random  # repro: noqa\n\nrandom.seed(1)\n"
+        report = check_source(src, Path("x.py"))
+        assert [d.line for d in report.diagnostics] == [3]
+        assert report.suppressed == 1
+
+    def test_comma_separated_codes(self):
+        src = ("import os, uuid\n\n"
+               "x = (os.urandom(4), uuid.uuid4())"
+               "  # repro: noqa[REPRO104, REPRO101]\n")
+        report = check_source(src, Path("x.py"))
+        assert report.diagnostics == []
+        assert report.suppressed == 2
+
+    def test_wrong_code_does_not_suppress(self):
+        src = "import time\n\nt = time.time()  # repro: noqa[REPRO101]\n"
+        report = check_source(src, Path("x.py"))
+        assert [d.code for d in report.diagnostics] == ["REPRO102"]
+        assert report.suppressed == 0
+
+
+class TestEngine:
+    def test_parse_error_reported_not_raised(self):
+        report = check_source("def broken(:\n", Path("x.py"))
+        assert report.parse_error is not None
+        assert report.parse_line == 1
+        assert report.error_count == 1
+        assert report.diagnostics == []
+
+    def test_all_rules_cover_the_code_table(self):
+        assert sorted(r.code for r in all_rules()) == sorted(ANALYZER_CODES)
+
+    def test_rule_decorator_rejects_unknown_code(self):
+        with pytest.raises(ValueError, match="unknown code"):
+            @rule
+            class Bogus(Rule):
+                code = "REPRO999"
+                name = "bogus"
+
+    def test_rule_decorator_rejects_duplicate_code(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            @rule
+            class Duplicate(Rule):
+                code = "REPRO101"
+                name = "duplicate"
+
+    def test_register_codes_conflict_raises(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_codes({"REPRO101": ("warning", "different title")})
+
+    def test_register_codes_identical_is_noop(self):
+        register_codes({"REPRO101": ANALYZER_CODES["REPRO101"]})
+
+    def test_iter_python_files_dedups_and_sorts(self, tmp_path):
+        (tmp_path / "b.py").write_text("x = 1\n")
+        (tmp_path / "a.py").write_text("x = 1\n")
+        got = list(iter_python_files([tmp_path, tmp_path / "a.py"]))
+        assert got == [tmp_path / "a.py", tmp_path / "b.py"]
+
+    def test_type_checking_imports_are_exempt(self):
+        src = ("from typing import TYPE_CHECKING\n\n"
+               "if TYPE_CHECKING:\n"
+               "    import random\n")
+        report = check_source(src, Path("x.py"))
+        assert report.diagnostics == []
+
+    def test_allowlisted_file_skips_random_rule(self):
+        report = check_source("import random\n",
+                              Path("src/repro/sim/rand.py"))
+        assert report.diagnostics == []
+
+
+class TestCli:
+    def test_no_paths_is_usage_error(self, capsys):
+        assert check_main([]) == 2
+        assert "no paths given" in capsys.readouterr().err
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert check_main(["does/not/exist.py"]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_list_rules_prints_full_inventory(self, capsys):
+        assert check_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ANALYZER_CODES:
+            assert code in out

@@ -1,0 +1,84 @@
+"""Golden-file tests for ``repro check``: exact REPROxxx output.
+
+Each ``fixtures/<name>.py`` seeds exactly one rule's violation (plus a
+``clean_noqa_suppressed`` case proving the suppression path) and pins
+the analyzer's byte-exact output in ``fixtures/<name>.expected`` —
+the same pattern :mod:`tests.lang.test_golden` uses for the
+requirement-language analyzer.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import _display_path, check_main
+from repro.analysis.engine import ANALYZER_CODES
+
+REPO = Path(__file__).parent.parent.parent
+FIXTURES = Path(__file__).parent / "fixtures"
+CASES = sorted(p.stem for p in FIXTURES.glob("*.py"))
+
+#: fixtures whose worst finding is only a warning (exit 0 by default)
+WARNING_ONLY = {"d106_float_time_equality"}
+CLEAN = {"clean_noqa_suppressed"}
+
+
+def run_check(path: Path, capsys, *extra: str) -> tuple[int, str]:
+    code = check_main([str(path), *extra])
+    out = capsys.readouterr().out
+    # expected files are recorded with repo-relative paths; replace
+    # whatever the CLI rendered for this cwd with that stable form
+    shown = _display_path(path)
+    rel = path.relative_to(REPO).as_posix()
+    return code, out.replace(shown, rel)
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_golden_output_is_exact(name, capsys):
+    expected = (FIXTURES / f"{name}.expected").read_text()
+    _, out = run_check(FIXTURES / f"{name}.py", capsys)
+    assert out == expected
+
+
+@pytest.mark.parametrize(
+    "name", [n for n in CASES if n not in WARNING_ONLY | CLEAN])
+def test_error_fixtures_exit_one(name, capsys):
+    code, _ = run_check(FIXTURES / f"{name}.py", capsys)
+    assert code == 1
+
+
+@pytest.mark.parametrize("name", sorted(WARNING_ONLY))
+def test_warning_fixture_gates_only_under_strict(name, capsys):
+    code, _ = run_check(FIXTURES / f"{name}.py", capsys)
+    assert code == 0
+    code, _ = run_check(FIXTURES / f"{name}.py", capsys, "--strict")
+    assert code == 1
+
+
+def test_noqa_fixture_is_clean_but_counted(capsys):
+    code, out = run_check(FIXTURES / "clean_noqa_suppressed.py", capsys)
+    assert code == 0
+    assert "1 suppressed by noqa" in out
+
+
+def test_fixture_tree_exits_one(capsys):
+    code = check_main([str(FIXTURES)])
+    capsys.readouterr()
+    assert code == 1
+
+
+def test_repo_source_tree_is_clean(capsys):
+    """The gate the CI job runs: the repo's own code passes its analyzer."""
+    code = check_main([str(REPO / "src")])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "file(s) clean" in out
+
+
+def test_fixtures_pin_every_advertised_code():
+    """Every REPROxxx code in the table is exercised by a golden file."""
+    text = "\n".join(p.read_text() for p in FIXTURES.glob("*.expected"))
+    for code in ANALYZER_CODES:
+        assert code in text, f"{code} not exercised by golden fixtures"

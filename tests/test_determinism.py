@@ -7,10 +7,10 @@ benchmark harness — these tests pin that property at several levels.
 from __future__ import annotations
 
 from repro.bench import rtt_vs_size
-from repro.bench.experiments import _drive
+from repro.bench.experiments import _drive, massd_experiment, matmul_experiment
 from repro.cluster import Cluster, Deployment
 from repro.core import Config, estimate_bandwidth
-from repro.sim import RandomStreams
+from repro.sim import EventTrace, RandomStreams, Simulator, diff_traces
 
 
 class TestRandomStreams:
@@ -73,6 +73,113 @@ class TestExperimentDeterminism:
             return out
 
         assert run() == run()
+
+    def test_schedule_sanitizer_kernel_level(self):
+        """Equal-time roots are shuffled per seed, yet canonical traces and
+        results match — the kernel-level statement of the invariant."""
+
+        def run(tie_seed):
+            sim = Simulator()
+            if tie_seed is not None:
+                sim.enable_tie_shuffle(
+                    RandomStreams(tie_seed).stream("schedule-tiebreak")
+                )
+            trace = EventTrace()
+            sim.enable_event_trace(trace)
+            order = []
+
+            def worker(i):
+                yield sim.timeout(1.0)  # every worker: same deadline
+                order.append(i)
+                yield sim.timeout(0.5 * (i + 1))
+                order.append(i)
+
+            for i in range(6):
+                sim.process(worker(i), name=f"w{i}")
+            sim.run()
+            return order, trace
+
+        fifo_order, fifo_trace = run(None)
+        order1, trace1 = run(1)
+        order2, trace2 = run(2)
+        # the shuffle really permutes equal-time processing order...
+        assert fifo_order[:6] == [0, 1, 2, 3, 4, 5]
+        assert order1[:6] != order2[:6] or order1[:6] != fifo_order[:6]
+        # ...but the canonical trace is identical across seeds (and FIFO)
+        assert trace1.canonical_lines() == trace2.canonical_lines()
+        assert trace1.canonical_lines() == fifo_trace.canonical_lines()
+        assert trace1.digest() == trace2.digest()
+        assert not diff_traces(trace1.canonical_lines(), trace2.canonical_lines())
+
+    def test_schedule_sanitizer_causal_order_preserved(self):
+        """A burst scheduled back-to-back from one cause keeps program order
+        under the shuffle (tie-key inheritance): no packet reordering."""
+
+        def run(tie_seed):
+            sim = Simulator()
+            sim.enable_tie_shuffle(
+                RandomStreams(tie_seed).stream("schedule-tiebreak")
+            )
+            arrivals = []
+
+            def sender():
+                yield sim.timeout(1.0)
+                for i in range(5):  # five same-delay frames, back to back
+                    ev = sim.event()
+                    ev.add_callback(lambda _e, i=i: arrivals.append(i))
+                    ev.succeed(delay=0.25)
+
+            sim.process(sender())
+            sim.run()
+            return arrivals
+
+        for seed in (1, 2, 3):
+            assert run(seed) == [0, 1, 2, 3, 4]
+
+    def test_schedule_sanitizer_matmul_dual_run(self):
+        """Acceptance invariant: matmul 2v2 dual runs under different
+        shuffle seeds are trace-identical and pick identical servers."""
+        req = ("(host_cpu_bogomips > 4000) && (host_cpu_free > 0.9)"
+               " && (host_memory_free > 5)")
+
+        def run(tie_seed):
+            return matmul_experiment(
+                n_servers=2, blk=120, requirement=req,
+                random_servers=("lhost", "phoebe"), n=240,
+                tie_break_seed=tie_seed, trace_events=True,
+            )
+
+        a, b = run(1), run(2)
+        assert [arm.label for arm in a] == [arm.label for arm in b]
+        for arm_a, arm_b in zip(a, b):
+            assert arm_a.servers == arm_b.servers
+            assert arm_a.event_trace and arm_b.event_trace
+            assert diff_traces(arm_a.event_trace, arm_b.event_trace) == []
+            assert arm_a.event_trace == arm_b.event_trace  # byte-identical
+
+    def test_schedule_sanitizer_massd_dual_run(self):
+        """Acceptance invariant: massd 1v1 dual runs under different
+        shuffle seeds are trace-identical and pick identical servers."""
+
+        def run(tie_seed):
+            return massd_experiment(
+                group1_mbps=6.72, group2_mbps=1.33,
+                requirement="monitor_network_bw > 6",
+                n_servers=1, random_sets=[("pandora-x",)], data_kb=2000,
+                tie_break_seed=tie_seed, trace_events=True,
+            )
+
+        a, b = run(1), run(2)
+        for arm_a, arm_b in zip(a, b):
+            assert arm_a.servers == arm_b.servers
+            assert arm_a.event_trace and arm_b.event_trace
+            assert diff_traces(arm_a.event_trace, arm_b.event_trace) == []
+            assert arm_a.event_trace == arm_b.event_trace
+
+    def test_trace_untouched_when_sanitizer_off(self):
+        cluster = Cluster(seed=3)
+        assert cluster.event_trace is None
+        assert cluster.sim._tie_rng is None
 
     def test_bandwidth_estimate_reproducible(self):
         def run():

@@ -7,6 +7,7 @@ the baked-in toolchain.
 
 from __future__ import annotations
 
+import os
 import shutil
 import subprocess
 import sys
@@ -42,6 +43,33 @@ def test_pyproject_configures_both_gates():
     ci = (REPO / ".github" / "workflows" / "ci.yml").read_text()
     assert "ruff check" in ci
     assert "mypy src/repro" in ci
+
+
+def test_ci_runs_repro_check_gate():
+    ci = (REPO / ".github" / "workflows" / "ci.yml").read_text()
+    assert "repro check src" in ci
+
+
+def test_repro_check_clean_on_src():
+    """The repo's own analyzer gate: ``repro check src`` must exit 0."""
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "check", "src"],
+        capture_output=True, text=True, timeout=120, cwd=REPO,
+        env={**os.environ, "PYTHONPATH": "src"},
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "file(s) clean" in result.stdout
+
+
+def test_repro_check_flags_seeded_fixtures():
+    """...and it must still *fail* on the seeded-violation fixture tree
+    (a vacuously-green analyzer would pass both)."""
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "check", "tests/analysis/fixtures"],
+        capture_output=True, text=True, timeout=120, cwd=REPO,
+        env={**os.environ, "PYTHONPATH": "src"},
+    )
+    assert result.returncode == 1, result.stdout + result.stderr
 
 
 def test_no_syntax_errors_anywhere():
