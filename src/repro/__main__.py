@@ -15,9 +15,12 @@ Usage::
 
     python -m repro check src            # determinism/protocol analyzer
     repro-check --list-rules             # installed entry point
+    python -m repro check --sanitize matmul          # race detector, smoke world
+    python -m repro check --sanitize scenario.py     # ... on a run(sim) file
 
 Lint/check exit codes: 0 clean (warnings allowed), 1 diagnostics at
-error severity (or any finding with ``--strict``), 2 usage/IO problems.
+error severity (or any finding with ``--strict``; for ``--sanitize``,
+any detected race), 2 usage/IO problems.
 """
 
 from __future__ import annotations
@@ -254,8 +257,9 @@ def main(argv: list[str] | None = None) -> int:
                     "Distributed Computing' (ICPP 2005). Use "
                     "'python -m repro lint <file|->' to static-analyze a "
                     "requirement file, 'python -m repro check <paths>' to "
-                    "static-check the codebase for determinism/protocol "
-                    "violations.",
+                    "static-check the codebase for determinism/protocol/"
+                    "concurrency violations ('--sanitize' runs the dynamic "
+                    "race detector).",
     )
     parser.add_argument("experiment",
                         help="experiment id (see 'list'), 'list'/'all', "

@@ -1,15 +1,17 @@
-"""``repro-check`` — the codebase determinism/protocol analyzer CLI.
+"""``repro-check`` — the codebase determinism/protocol/concurrency analyzer.
 
 Usage::
 
     python -m repro check src              # the repo gate
     repro-check src/repro/net/link.py      # one file
     repro-check --strict src               # warnings fail too
-    repro-check --list-rules               # rule inventory
+    repro-check --list-rules               # rule inventory, by series
+    repro-check --sanitize matmul          # dynamic race detection
+    repro-check --sanitize scenario.py     # ... on a run(sim) scenario
 
 Exit codes mirror ``repro lint``: 0 clean (warnings allowed), 1
-diagnostics at error severity (or any finding with ``--strict``),
-2 usage/IO problems.
+diagnostics at error severity (or any finding with ``--strict``; for
+``--sanitize``, any detected race), 2 usage/IO problems.
 """
 
 from __future__ import annotations
@@ -22,6 +24,14 @@ from .engine import ANALYZER_CODES, all_rules, check_paths
 
 __all__ = ["check_main", "check_entry"]
 
+#: rule-series headers for ``--list-rules``, keyed by the code's hundreds
+#: digit: D (determinism, 1xx), P (protocol, 2xx), R (concurrency, 3xx)
+_SERIES: dict[str, str] = {
+    "1": "D-series (determinism)",
+    "2": "P-series (protocol consistency)",
+    "3": "R-series (concurrency)",
+}
+
 
 def _display_path(path: Path) -> str:
     """Repo/cwd-relative when possible (stable golden-file rendering)."""
@@ -31,15 +41,46 @@ def _display_path(path: Path) -> str:
         return path.as_posix()
 
 
+def _list_rules() -> None:
+    """Rule inventory sorted by code, grouped under series headers.
+
+    REPRO300 appears under the R-series header even though it has no
+    static rule — it is emitted by the dynamic sanitizer behind
+    ``--sanitize`` — so the printed inventory covers every code the
+    checker can produce.
+    """
+    from ..sim.hb import RACE_CODE
+    from ..lang.diagnostics import code_info
+
+    static = {r.code: r.name for r in all_rules()}
+    codes = dict(ANALYZER_CODES)
+    codes[RACE_CODE] = code_info(RACE_CODE)
+    last_series = ""
+    for code in sorted(codes):
+        series = _SERIES.get(code[len("REPRO")], "other")
+        if series != last_series:
+            if last_series:
+                print()
+            print(f"{series}:")
+            last_series = series
+        severity, title = codes[code]
+        name = static.get(code, "dynamic (--sanitize)")
+        print(f"  {code}  {severity:<7}  {name}: {title}")
+
+
 def check_main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-check",
         description="Statically analyze the codebase for determinism "
                     "hazards (D-series REPRO1xx: bare random/wall-clock/"
-                    "entropy, unordered scheduling, float time equality) "
-                    "and wire-protocol drift (P-series REPRO2xx: message "
+                    "entropy, unordered scheduling, float time equality), "
+                    "wire-protocol drift (P-series REPRO2xx: message "
                     "constants, record fields and byte accounting vs. the "
-                    "variable registry).",
+                    "variable registry) and concurrency hazards (R-series "
+                    "REPRO3xx: unguarded blocking receives, unhandled wire "
+                    "tags, untracked shared segments), or run a scenario "
+                    "under the dynamic happens-before race detector with "
+                    "--sanitize.",
     )
     parser.add_argument("paths", nargs="*",
                         help="files and/or directories to check")
@@ -47,13 +88,18 @@ def check_main(argv: list[str] | None = None) -> int:
                         help="treat warnings as errors")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule inventory and exit")
+    parser.add_argument("--sanitize", metavar="SCENARIO",
+                        help="run SCENARIO (matmul, massd, or a path to a "
+                             "run(sim) file) under the happens-before race "
+                             "detector; exits 1 if any race is detected")
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for r in all_rules():
-            severity, title = ANALYZER_CODES[r.code]
-            print(f"{r.code}  {severity:<7}  {r.name}: {title}")
+        _list_rules()
         return 0
+    if args.sanitize:
+        from .sanitizer import sanitize_main
+        return sanitize_main(args.sanitize)
     if not args.paths:
         parser.print_usage(sys.stderr)
         print("repro-check: no paths given", file=sys.stderr)
@@ -86,7 +132,7 @@ def check_main(argv: list[str] | None = None) -> int:
     if findings == 0:
         note = f", {suppressed} suppressed by noqa" if suppressed else ""
         print(f"{len(reports)} file(s) clean "
-              f"({len(all_rules())} D/P rules{note})")
+              f"({len(all_rules())} D/P/R rules{note})")
     if errors or (args.strict and findings):
         return 1
     return 0

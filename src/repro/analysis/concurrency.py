@@ -1,0 +1,333 @@
+"""R-series rules (``REPRO30x``): concurrency hygiene in simulated code.
+
+The dynamic happens-before sanitizer (:mod:`repro.sim.hb`) catches races
+that actually execute; these static rules catch the concurrency shapes
+that *lead* to them before any run:
+
+* a blocking ``recv``/``accept`` yield with no timeout composition and no
+  enclosing ``Interrupt`` guard hangs forever when the peer dies and
+  leaks on daemon shutdown (REPRO301);
+* a ``MSG_``/``REPLY_`` wire tag nobody handles is a protocol hole — the
+  send side works, the message vanishes (REPRO302, cross-checked against
+  the live :data:`repro.core.records.WIRE_TAG_HANDLERS` registry the way
+  the P-series checks the variable registry);
+* writing a shared-memory segment in a module that never touches
+  :func:`repro.sim.hb.shared` means the race detector is blind exactly
+  where daemons share state (REPRO303);
+* an event callback that mutates kernel internals corrupts the queue the
+  kernel is iterating (REPRO304);
+* a spawned :class:`~repro.sim.kernel.Process` whose handle is dropped
+  can never be joined, interrupted or error-checked (REPRO305);
+* ``except:`` around channel operations swallows ``Interrupt`` and the
+  kernel's own :class:`~repro.sim.kernel.SimulationError` (REPRO306).
+
+Path scoping: ``repro/sim/`` is the synchronisation layer itself and is
+exempt from REPRO303 (it implements the wrapper the rule demands).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional
+
+from ..lang.diagnostics import Diagnostic
+from .determinism import _root_name, _walk_runtime
+from .engine import FileContext, Rule, rule
+
+__all__ = [
+    "BLOCKING_RECV_ATTRS",
+    "CHANNEL_OP_ATTRS",
+    "SEGMENT_ALLOWLIST",
+    "INTERRUPT_CATCHERS",
+]
+
+#: attribute calls whose yielded event blocks until a peer acts
+BLOCKING_RECV_ATTRS: frozenset[str] = frozenset({"recv", "accept"})
+
+#: attribute calls that move data through sockets/channels (REPRO306)
+CHANNEL_OP_ATTRS: frozenset[str] = frozenset({
+    "recv", "accept", "send", "sendto", "connect", "transmit",
+})
+
+#: the IPC layer itself may write segments without the shared() wrapper
+SEGMENT_ALLOWLIST: tuple[str, ...] = ("repro/sim/resources.py",
+                                     "repro/sim/hb.py")
+
+#: exception names whose handler counts as covering an Interrupt
+INTERRUPT_CATCHERS: frozenset[str] = frozenset({
+    "Interrupt", "Exception", "BaseException",
+})
+
+#: simulator attributes no callback may assign or mutate (REPRO304)
+_SIM_INTERNALS: frozenset[str] = frozenset({
+    "_queue", "_now", "_seq", "_active_proc", "_current_tie",
+})
+
+
+def _handler_names(handler: ast.ExceptHandler) -> Iterator[str]:
+    t = handler.type
+    nodes = t.elts if isinstance(t, ast.Tuple) else [t] if t else []
+    for node in nodes:
+        if isinstance(node, ast.Name):
+            yield node.id
+        elif isinstance(node, ast.Attribute):
+            yield node.attr
+
+
+def _catches_interrupt(handler: ast.ExceptHandler) -> bool:
+    return any(n in INTERRUPT_CATCHERS for n in _handler_names(handler))
+
+
+@rule
+class BlockingRecvRule(Rule):
+    """REPRO301: ``yield x.recv()`` / ``yield x.accept()`` with neither a
+    timeout composition (``any_of`` with a :class:`Timeout`) nor a
+    lexically enclosing ``except Interrupt``.
+
+    Such a yield blocks its process forever if the peer never sends —
+    and a daemon ``stop()`` that interrupts the process crashes instead
+    of unwinding.  Either compose the event with a timeout
+    (``recv_timeout``) or guard the loop with ``except Interrupt``.
+    """
+
+    code = "REPRO301"
+    name = "blocking-recv"
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        yield from self._visit(ctx, ctx.tree, guarded=False)
+
+    def _visit(self, ctx: FileContext, node: ast.AST,
+               guarded: bool) -> Iterator[Diagnostic]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.Try):
+                body_guarded = guarded or any(
+                    _catches_interrupt(h) for h in child.handlers)
+                for stmt in child.body + child.orelse + child.finalbody:
+                    yield from self._visit(ctx, stmt, body_guarded)
+                for handler in child.handlers:
+                    yield from self._visit(ctx, handler, guarded)
+                continue
+            if isinstance(child, ast.Yield) and not guarded:
+                call = child.value
+                # unwrap `a, b = yield conn.recv()` style values
+                if (isinstance(call, ast.Call)
+                        and isinstance(call.func, ast.Attribute)
+                        and call.func.attr in BLOCKING_RECV_ATTRS):
+                    yield ctx.diag(
+                        self.code,
+                        f"`yield .{call.func.attr}()` blocks forever with "
+                        f"no timeout composition and no enclosing `except "
+                        f"Interrupt`; use a recv timeout or guard the loop "
+                        f"so shutdown can unwind it",
+                        call,
+                    )
+            yield from self._visit(ctx, child, guarded)
+
+
+@rule
+class UnhandledWireTagRule(Rule):
+    """REPRO302: a ``MSG_``/``REPLY_`` constant with no registered handler.
+
+    Cross-checked against the *live*
+    :data:`repro.core.records.WIRE_TAG_HANDLERS` registry: defining a new
+    wire tag without wiring a consumer means the send side type-checks
+    and the message silently disappears — the lint catches the hole the
+    moment the constant appears.
+    """
+
+    code = "REPRO302"
+    name = "unhandled-wire-tag"
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        from ..core.records import WIRE_TAG_HANDLERS
+
+        for node in _walk_runtime(ctx.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if not (isinstance(target, ast.Name)
+                        and target.id.startswith(("MSG_", "REPLY_"))):
+                    continue
+                if not isinstance(node.value, ast.Constant):
+                    continue
+                handlers = WIRE_TAG_HANDLERS.get(target.id)
+                if not handlers:
+                    yield ctx.diag(
+                        self.code,
+                        f"wire tag {target.id} has no handler in "
+                        f"WIRE_TAG_HANDLERS; a message sent with it would "
+                        f"be silently dropped — register the consumer in "
+                        f"core/records.py",
+                        node,
+                    )
+
+
+@rule
+class UntrackedSegmentWriteRule(Rule):
+    """REPRO303: ``.segment(...).write(...)`` in a module that never
+    references :func:`~repro.sim.hb.shared`.
+
+    Segments written by daemons are exactly the state the happens-before
+    sanitizer exists to watch; an unwrapped segment is invisible to it,
+    so a racing read would pass every sanitized run unnoticed.
+    """
+
+    code = "REPRO303"
+    name = "untracked-segment-write"
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        if ctx.in_allowlist(SEGMENT_ALLOWLIST):
+            return
+        uses_shared = any(
+            isinstance(n, ast.Name) and n.id == "shared"
+            for n in ast.walk(ctx.tree)
+        )
+        if uses_shared:
+            return
+        seg_names: set[str] = set()
+        for node in _walk_runtime(ctx.tree):
+            if isinstance(node, ast.Assign) and _is_segment_call(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        seg_names.add(target.id)
+        for node in _walk_runtime(ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "write"):
+                continue
+            base = node.func.value
+            direct = _is_segment_call(base)
+            via_name = isinstance(base, ast.Name) and base.id in seg_names
+            if direct or via_name:
+                yield ctx.diag(
+                    self.code,
+                    "segment written without shared() tracking: the "
+                    "happens-before sanitizer cannot see this state — "
+                    "wrap the segment with repro.sim.hb.shared(...)",
+                    node,
+                )
+
+
+def _is_segment_call(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "segment")
+
+
+@rule
+class CallbackMutatesSimRule(Rule):
+    """REPRO304: a callback passed to ``add_callback`` assigns simulator
+    internals (``sim._queue``, ``sim._now``, ...).
+
+    Callbacks run *inside* ``_process_callbacks`` while the kernel is
+    mid-``step``; mutating scheduler state there corrupts the very queue
+    being processed.  Schedule a new event instead.
+    """
+
+    code = "REPRO304"
+    name = "callback-mutates-sim"
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        funcs: dict[str, ast.AST] = {
+            n.name: n for n in ast.walk(ctx.tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        for node in _walk_runtime(ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "add_callback"
+                    and node.args):
+                continue
+            cb = node.args[0]
+            body: Optional[ast.AST] = None
+            if isinstance(cb, ast.Lambda):
+                body = cb.body
+            elif isinstance(cb, ast.Name) and cb.id in funcs:
+                body = funcs[cb.id]
+            if body is None:
+                continue
+            for bad in ast.walk(body):
+                if isinstance(bad, (ast.Assign, ast.AugAssign)):
+                    targets = (bad.targets
+                               if isinstance(bad, ast.Assign)
+                               else [bad.target])
+                    for t in targets:
+                        if (isinstance(t, ast.Attribute)
+                                and t.attr in _SIM_INTERNALS):
+                            yield ctx.diag(
+                                self.code,
+                                f"callback assigns `{t.attr}` while the "
+                                f"kernel is mid-step; schedule a new event "
+                                f"instead of mutating simulator state",
+                                bad,
+                            )
+
+
+@rule
+class UnjoinedProcessRule(Rule):
+    """REPRO305: ``sim.process(...)`` as a bare expression statement.
+
+    Dropping the :class:`~repro.sim.kernel.Process` handle makes the
+    process unjoinable and uninterruptible — shutdown paths cannot stop
+    it and nothing can observe its failure.  Keep the reference (even in
+    a list) or mark deliberate fire-and-forget with a noqa.
+    """
+
+    code = "REPRO305"
+    name = "unjoined-process"
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        for node in _walk_runtime(ctx.tree):
+            if not (isinstance(node, ast.Expr)
+                    and isinstance(node.value, ast.Call)
+                    and isinstance(node.value.func, ast.Attribute)
+                    and node.value.func.attr == "process"):
+                continue
+            root = _root_name(node.value.func)
+            if root in ("self", "sim", "cluster") or (
+                    isinstance(node.value.func.value, ast.Attribute)
+                    and node.value.func.value.attr == "sim"):
+                yield ctx.diag(
+                    self.code,
+                    "spawned process handle is discarded; keep the "
+                    "Process so it can be joined or interrupted (noqa "
+                    "for deliberate fire-and-forget daemons)",
+                    node,
+                )
+
+
+@rule
+class BareExceptChannelRule(Rule):
+    """REPRO306: ``except:`` with channel operations in the ``try`` body.
+
+    A bare except around ``send``/``recv``/``connect`` swallows
+    :class:`~repro.sim.kernel.Interrupt` (breaking daemon shutdown) and
+    :class:`~repro.sim.kernel.SimulationError` (hiding kernel misuse).
+    Catch the specific channel exceptions instead.
+    """
+
+    code = "REPRO306"
+    name = "bare-except-channel"
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        for node in _walk_runtime(ctx.tree):
+            if not isinstance(node, ast.Try):
+                continue
+            has_channel_op = any(
+                isinstance(n, ast.Call)
+                and isinstance(n.func, ast.Attribute)
+                and n.func.attr in CHANNEL_OP_ATTRS
+                for stmt in node.body for n in ast.walk(stmt)
+            )
+            if not has_channel_op:
+                continue
+            for handler in node.handlers:
+                if handler.type is None:
+                    yield ctx.diag(
+                        self.code,
+                        "bare `except:` around channel operations swallows "
+                        "Interrupt and SimulationError; catch the specific "
+                        "channel exceptions (ConnectionClosed, IcmpError "
+                        "timeouts, ...) instead",
+                        handler,
+                    )

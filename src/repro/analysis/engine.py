@@ -47,8 +47,10 @@ __all__ = [
     "iter_python_files",
 ]
 
-#: the REPROxxx diagnostic table — D-series (1xx) determinism rules and
-#: P-series (2xx) protocol-consistency rules
+#: the REPROxxx diagnostic table — D-series (1xx) determinism rules,
+#: P-series (2xx) protocol-consistency rules and R-series (3xx)
+#: concurrency rules (REPRO300 is emitted by the *dynamic* happens-before
+#: sanitizer in :mod:`repro.sim.hb`, not by a static rule)
 ANALYZER_CODES: dict[str, tuple[str, str]] = {
     "REPRO101": (Severity.ERROR, "bare random module in simulated code"),
     "REPRO102": (Severity.ERROR, "wall-clock read in simulated code"),
@@ -60,6 +62,14 @@ ANALYZER_CODES: dict[str, tuple[str, str]] = {
     "REPRO202": (Severity.ERROR, "WireDiagnostic drifted from lang Diagnostic"),
     "REPRO203": (Severity.ERROR, "probe keys drifted from variable registry"),
     "REPRO204": (Severity.ERROR, "server record byte accounting too small"),
+    "REPRO301": (Severity.ERROR, "blocking receive without timeout or "
+                                 "interrupt guard"),
+    "REPRO302": (Severity.ERROR, "wire tag defined but never handled"),
+    "REPRO303": (Severity.ERROR, "shared segment written without shared() "
+                                 "tracking"),
+    "REPRO304": (Severity.ERROR, "event callback mutates simulator state"),
+    "REPRO305": (Severity.WARNING, "spawned process is never joined or kept"),
+    "REPRO306": (Severity.ERROR, "bare except around channel operations"),
 }
 
 register_codes(ANALYZER_CODES)
@@ -149,7 +159,7 @@ def all_rules() -> list[Rule]:
 
 def _load_rule_modules() -> None:
     # imported lazily so engine <-> rule-module imports cannot cycle
-    from . import determinism, protocol  # noqa: F401
+    from . import concurrency, determinism, protocol  # noqa: F401
 
 
 def _noqa_map(source: str) -> dict[int, Optional[frozenset[str]]]:

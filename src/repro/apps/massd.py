@@ -153,24 +153,30 @@ class MassdClient:
         t0 = sim.now
 
         def fetch(conn):
-            while tasks:
-                block_id, nbytes = tasks.pop()
-                conn.send(("GET", block_id, nbytes), 16)
-                msg, got = yield conn.recv()
-                if msg[0] != "BLOCK" or msg[1] != block_id:
-                    raise RuntimeError(f"protocol violation: {msg[:2]}")
-                if got != nbytes:
-                    raise RuntimeError(
-                        f"short block {block_id}: {got} != {nbytes}"
-                    )
-                done_counts[conn.remote_addr] += 1
+            try:
+                while tasks:
+                    block_id, nbytes = tasks.pop()
+                    conn.send(("GET", block_id, nbytes), 16)
+                    msg, got = yield conn.recv()
+                    if msg[0] != "BLOCK" or msg[1] != block_id:
+                        raise RuntimeError(f"protocol violation: {msg[:2]}")
+                    if got != nbytes:
+                        raise RuntimeError(
+                            f"short block {block_id}: {got} != {nbytes}"
+                        )
+                    done_counts[conn.remote_addr] += 1
+            except Interrupt:
+                return  # cancelled (e.g. server died); leave tasks to peers
             live["n"] -= 1
             if live["n"] == 0 and not finished.triggered:
                 finished.succeed()
 
-        for conn in conns:
+        fetchers = [
             sim.process(fetch(conn), name=f"massd-fetch-{conn.remote_addr}")
+            for conn in conns
+        ]
         yield finished
+        assert all(f.triggered for f in fetchers), "a fetcher never finished"
         return MassdResult(
             data_kb=data_kb,
             blk_kb=blk_kb,

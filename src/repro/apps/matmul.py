@@ -200,31 +200,38 @@ class MatMulMaster:
 
         def feed(conn):
             """One per-worker driver: send task, await result, repeat."""
-            while tasks:
-                block_id, (r0, rows, c0, cols) = tasks.pop()
-                if a is not None:
-                    a_stripe = a[r0:r0 + rows, :]
-                    b_stripe = b[:, c0:c0 + cols]
-                else:
-                    a_stripe = b_stripe = None
-                nbytes = (rows * n + n * cols) * DOUBLE_BYTES
-                conn.send(
-                    ("TASK", block_id, rows, cols, n, a_stripe, b_stripe), nbytes
-                )
-                msg, _ = yield conn.recv()
-                if msg[0] != "RESULT" or msg[1] != block_id:
-                    raise RuntimeError(f"protocol violation: {msg[:2]}")
-                if product is not None:
-                    product[r0:r0 + rows, c0:c0 + cols] = msg[2]
-                done_counts[conn.remote_addr] += 1
+            try:
+                while tasks:
+                    block_id, (r0, rows, c0, cols) = tasks.pop()
+                    if a is not None:
+                        a_stripe = a[r0:r0 + rows, :]
+                        b_stripe = b[:, c0:c0 + cols]
+                    else:
+                        a_stripe = b_stripe = None
+                    nbytes = (rows * n + n * cols) * DOUBLE_BYTES
+                    conn.send(
+                        ("TASK", block_id, rows, cols, n, a_stripe, b_stripe),
+                        nbytes,
+                    )
+                    msg, _ = yield conn.recv()
+                    if msg[0] != "RESULT" or msg[1] != block_id:
+                        raise RuntimeError(f"protocol violation: {msg[:2]}")
+                    if product is not None:
+                        product[r0:r0 + rows, c0:c0 + cols] = msg[2]
+                    done_counts[conn.remote_addr] += 1
+            except Interrupt:
+                return  # cancelled (e.g. worker died); leave tasks to peers
             outstanding["n"] -= 1
             if outstanding["n"] == 0 and not finished.triggered:
                 finished.succeed()
 
         outstanding["n"] = len(conns)
-        for conn in conns:
+        feeders = [
             sim.process(feed(conn), name=f"matmul-feed-{conn.remote_addr}")
+            for conn in conns
+        ]
         yield finished
+        assert all(f.triggered for f in feeders), "a feeder never finished"
         return MatMulResult(
             n=n,
             blk=blk,

@@ -103,9 +103,13 @@ def _lan_pair(mtu: int = 1500, rate_bps: float = ETHERNET_100,
 
 
 def _cross_traffic(cluster: Cluster, channels, utilisation: float,
-                   frame_bytes: int = 1500) -> None:
-    """Poisson cross traffic occupying each channel at the given fraction."""
+                   frame_bytes: int = 1500) -> list:
+    """Poisson cross traffic occupying each channel at the given fraction.
+
+    Returns the chatter processes so callers can keep (or interrupt) them.
+    """
     sim = cluster.sim
+    procs = []
     for i, channel in enumerate(channels):
         rng = cluster.streams.stream(f"cross-{i}")
         rate_fps = utilisation * channel.rate_bps / (frame_bytes * 8.0)
@@ -115,7 +119,8 @@ def _cross_traffic(cluster: Cluster, channels, utilisation: float,
                 yield sim.timeout(r.expovariate(fps))
                 ch.occupy(frame_bytes)
 
-        sim.process(chatter(), name=f"cross-{i}")
+        procs.append(sim.process(chatter(), name=f"cross-{i}"))
+    return procs
 
 
 def rtt_vs_size(mtu: int = 1500, sizes: Optional[Iterable[int]] = None,
@@ -264,10 +269,11 @@ def _testbed_world(config: Optional[Config] = None, seed: int = 0,
                    mode: Optional[str] = None,
                    pool: Sequence[str] = TESTBED_SERVER_NAMES,
                    tie_break_seed: Optional[int] = None,
-                   trace_events: bool = False):
+                   trace_events: bool = False,
+                   sanitize: bool = False):
     """Testbed + one 'lab' group over ``pool``, matmul workers everywhere."""
     cluster = build_testbed(seed=seed, tie_break_seed=tie_break_seed,
-                            trace_events=trace_events)
+                            trace_events=trace_events, sanitize=sanitize)
     cfg = config or Config()
     dep = Deployment(cluster, wizard_host=cluster.host("dalmatian"),
                      config=cfg, mode=mode)
@@ -321,7 +327,9 @@ def resource_usage(duration: float = 60.0, seed: int = 0) -> list[ResourceRow]:
             yield from client.request_servers("host_cpu_free > 0.1", 11)
             yield cluster.sim.timeout(2.0)
 
-    cluster.sim.process(requester(), name="resource-requester")
+    # deliberately fire-and-forget: the requester is an immortal load
+    # generator that dies with the world when _drive hits the horizon
+    cluster.sim.process(requester(), name="resource-requester")  # repro: noqa[REPRO305]
     horizon = cluster.sim.event()
     horizon.succeed(delay=duration)
     _drive(cluster, horizon, horizon=duration + 60)
@@ -380,9 +388,10 @@ def matrix_benchmark(n: int = MATMUL_N, blk: int = 200, seed: int = 0):
             yield host.machine.compute(flops_for(rows, cols, n), kind="matmul")
         times[host.name] = cluster.sim.now - t0
 
-    for name in TESTBED_SERVER_NAMES:
-        cluster.sim.process(bench(cluster.host(name)))
+    procs = [cluster.sim.process(bench(cluster.host(name)))
+             for name in TESTBED_SERVER_NAMES]
     cluster.run()
+    assert all(p.processed for p in procs), "a bench process never finished"
     return [(name, times[name]) for name in TESTBED_SERVER_NAMES]
 
 
@@ -398,6 +407,10 @@ class MatmulArm:
     blocks_per_server: dict[str, int] = field(default_factory=dict)
     #: canonical kernel event trace (schedule-sanitizer runs only)
     event_trace: Optional[tuple[str, ...]] = None
+    #: race reports + access count from the happens-before sanitizer
+    #: (``sanitize=True`` runs only)
+    races: Optional[tuple] = None
+    tracked_accesses: int = 0
 
 
 def matmul_experiment(
@@ -413,6 +426,7 @@ def matmul_experiment(
     pool: Sequence[str] = TESTBED_SERVER_NAMES,
     tie_break_seed: Optional[int] = None,
     trace_events: bool = False,
+    sanitize: bool = False,
 ) -> list[MatmulArm]:
     """One thesis matmul comparison (Tables 5.3–5.6).
 
@@ -423,14 +437,17 @@ def matmul_experiment(
     ``pool`` restricts the monitored server group (Table 5.6 uses only the
     seven P4-1.6–1.8 machines).  ``tie_break_seed``/``trace_events`` arm
     the schedule sanitizer: dual runs with different tie-break seeds must
-    produce identical ``event_trace`` tuples on every arm.
+    produce identical ``event_trace`` tuples on every arm.  ``sanitize``
+    runs each arm under the happens-before race detector and fills
+    ``races``/``tracked_accesses`` on the arm.
     """
     arms: list[MatmulArm] = []
 
     def run_arm(label: str, use_smart: bool):
         cluster, dep, _ = _testbed_world(seed=seed, pool=pool,
                                          tie_break_seed=tie_break_seed,
-                                         trace_events=trace_events)
+                                         trace_events=trace_events,
+                                         sanitize=sanitize)
         net = cluster.network
         for hname in loaded_hosts:
             SuperPiWorkload(cluster.sim, cluster.host(hname).machine).start()
@@ -466,6 +483,10 @@ def matmul_experiment(
             },
             event_trace=(tuple(cluster.event_trace.canonical_lines())
                          if cluster.event_trace is not None else None),
+            races=(tuple(cluster.sanitizer.races)
+                   if cluster.sanitizer is not None else None),
+            tracked_accesses=(cluster.sanitizer.accesses
+                              if cluster.sanitizer is not None else 0),
         ))
 
     run_arm("random", use_smart=False)
@@ -531,6 +552,10 @@ class MassdArm:
     elapsed: float
     #: canonical kernel event trace (schedule-sanitizer runs only)
     event_trace: Optional[tuple[str, ...]] = None
+    #: race reports + access count from the happens-before sanitizer
+    #: (``sanitize=True`` runs only)
+    races: Optional[tuple] = None
+    tracked_accesses: int = 0
 
 
 def massd_experiment(
@@ -545,6 +570,7 @@ def massd_experiment(
     seed: int = 0,
     tie_break_seed: Optional[int] = None,
     trace_events: bool = False,
+    sanitize: bool = False,
 ) -> list[MassdArm]:
     """One thesis massd comparison (Tables 5.7/5.8/5.9).
 
@@ -562,7 +588,7 @@ def massd_experiment(
 
     for label, fixed_servers in all_arms:
         cluster = build_testbed(seed=seed, tie_break_seed=tie_break_seed,
-                                trace_events=trace_events)
+                                trace_events=trace_events, sanitize=sanitize)
         net = cluster.network
         dep = Deployment(cluster, wizard_host=cluster.host("dalmatian"))
         # three groups: the client's own, and the two file-server groups,
@@ -614,5 +640,9 @@ def massd_experiment(
             elapsed=result.elapsed,
             event_trace=(tuple(cluster.event_trace.canonical_lines())
                          if cluster.event_trace is not None else None),
+            races=(tuple(cluster.sanitizer.races)
+                   if cluster.sanitizer is not None else None),
+            tracked_accesses=(cluster.sanitizer.accesses
+                              if cluster.sanitizer is not None else 0),
         ))
     return arms

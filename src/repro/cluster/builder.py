@@ -12,7 +12,7 @@ from typing import Optional
 from ..host import Machine
 from ..net import ETHERNET_100, Network, Node
 from ..net.link import Link
-from ..sim import EventTrace, RandomStreams, Simulator
+from ..sim import EventTrace, HBSanitizer, RandomStreams, Simulator
 from .host import SmartHost
 
 __all__ = ["Cluster"]
@@ -26,11 +26,15 @@ class Cluster:
     FIFO order of equal-timestamp events is deterministically shuffled;
     with tracing, :attr:`event_trace` records a canonical event trace so
     dual runs under different shuffle seeds can be diffed.
+    ``sanitize`` installs the happens-before race detector
+    (:mod:`repro.sim.hb`) on the simulator; detected races accumulate in
+    :attr:`sanitizer`.
     """
 
     def __init__(self, sim: Optional[Simulator] = None, seed: int = 0,
                  tie_break_seed: Optional[int] = None,
-                 trace_events: bool = False):
+                 trace_events: bool = False,
+                 sanitize: bool = False):
         self.sim = sim or Simulator()
         self.network = Network(self.sim)
         self.streams = RandomStreams(seed)
@@ -38,6 +42,7 @@ class Cluster:
         self.switches: dict[str, Node] = {}
         self._finalized = False
         self.event_trace: Optional[EventTrace] = None
+        self.sanitizer: Optional[HBSanitizer] = None
         if tie_break_seed is not None:
             # the shuffle stream hangs off its own root seed so the
             # simulation's own draws (self.streams) stay untouched
@@ -47,6 +52,8 @@ class Cluster:
         if trace_events:
             self.event_trace = EventTrace()
             self.sim.enable_event_trace(self.event_trace)
+        if sanitize:
+            self.sanitizer = self.sim.enable_sanitizer()
 
     # -- construction ---------------------------------------------------------
     def add_host(

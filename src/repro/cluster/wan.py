@@ -105,5 +105,6 @@ def _attach_jitter(cluster: Cluster, link, jitter_ms: float, rng) -> None:
                 burst += int(jitter_ms * 1e-3 * channel.rate_bps / 8 * rng.random())
             channel.occupy(burst)
 
-    sim.process(chatter(link.ab), name="wan-jitter-ab")
-    sim.process(chatter(link.ba), name="wan-jitter-ba")
+    # deliberately fire-and-forget: jitter daemons run until the horizon
+    sim.process(chatter(link.ab), name="wan-jitter-ab")  # repro: noqa[REPRO305]
+    sim.process(chatter(link.ba), name="wan-jitter-ba")  # repro: noqa[REPRO305]

@@ -28,7 +28,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..sim import Interrupt, SharedMemory, Simulator
+from ..sim import Interrupt, SharedMemory, Simulator, shared
 from .config import Config, DEFAULT_CONFIG
 from .records import NetMetric, NetStatusRecord
 
@@ -277,7 +277,8 @@ class NetworkMonitor:
         self._proc = None
         self.probes_done = 0
         self.probe_bytes = 0
-        self.shm.segment(self.segment_key).write(
+        shared(self.shm.segment(self.segment_key),
+               name=f"netdb@{group}").write(
             {group: NetStatusRecord(group=group)}
         )
 

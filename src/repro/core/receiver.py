@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..net.tcp import ConnectError, ConnectionClosed
-from ..sim import Interrupt, SharedMemory, Simulator
+from ..sim import Interrupt, SharedMemory, Simulator, shared
 from .config import Config, DEFAULT_CONFIG
 from .records import MSG_NETDB, MSG_SECDB, MSG_SYSDB, WireMessage
 
@@ -58,9 +58,10 @@ class Receiver:
         self.messages_received = 0
         self.pull_failures = 0
         self.pull_timeouts = 0
-        for key in (config.shm.wizard_system, config.shm.wizard_network,
-                    config.shm.wizard_security):
-            self.shm.segment(key).write({})
+        for key, db_name in ((config.shm.wizard_system, "wizard-sysdb"),
+                             (config.shm.wizard_network, "wizard-netdb"),
+                             (config.shm.wizard_security, "wizard-secdb")):
+            shared(self.shm.segment(key), name=db_name).write({})
 
     # -- lifecycle ------------------------------------------------------------
     def start(self) -> None:

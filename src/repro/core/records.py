@@ -36,6 +36,7 @@ __all__ = [
     "REPLY_OK",
     "REPLY_NAK",
     "SERVER_RECORD_BYTES",
+    "WIRE_TAG_HANDLERS",
 ]
 
 #: thesis §5.2: "Each probe message will be parsed into a server status
@@ -59,6 +60,26 @@ MSG_PULL = 4  # distributed-mode snapshot request
 #: carries the static-analysis diagnostics that rejected the request
 REPLY_OK = 0
 REPLY_NAK = 1
+
+#: live handler registry: every wire tag defined above names the dotted
+#: paths that consume it.  The REPRO302 analyzer rule cross-checks any
+#: ``MSG_``/``REPLY_`` constant against this table — a tag that is sent
+#: but never handled is a protocol hole, caught at lint time instead of
+#: as a silent hang in a chaos run.  tests/core verify the paths resolve.
+WIRE_TAG_HANDLERS: dict[str, tuple[str, ...]] = {
+    "MSG_SYSDB": ("repro.core.receiver.Receiver._apply",),
+    "MSG_NETDB": ("repro.core.receiver.Receiver._apply",),
+    "MSG_SECDB": ("repro.core.receiver.Receiver._apply",),
+    "MSG_PULL": ("repro.core.transmitter.Transmitter._session",
+                 "repro.core.receiver.Receiver.pull_all"),
+    "REPLY_OK": ("repro.core.client.SmartClient.request_servers",),
+    "REPLY_NAK": ("repro.core.client.SmartClient.request_servers",
+                  "repro.core.wizard.WizardReply.is_nak"),
+}
+
+assert set(WIRE_TAG_HANDLERS) == {
+    name for name in __all__ if name.startswith(("MSG_", "REPLY_"))
+}, "WIRE_TAG_HANDLERS drifted from the wire-tag constants"
 
 
 @dataclass(frozen=True)

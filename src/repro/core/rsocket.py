@@ -169,7 +169,13 @@ class ReliableSocket(_Endpoint):
             timeout=timeout,
         )
         conn.send(("RHELLO", self.session_id, self._recv_seq), ENVELOPE_BYTES)
-        msg, _ = yield conn.recv()
+        try:
+            msg, _ = yield conn.recv()
+        except Interrupt:
+            # cancelled mid-handshake (daemon shutdown): release the
+            # half-open transport instead of leaking it
+            conn.close()
+            raise SessionError("session handshake interrupted")
         if msg[0] != "RWELCOME" or msg[1] != self.session_id:
             raise SessionError(f"bad session handshake: {msg[:2]}")
         peer_recv_seq = msg[2]
@@ -251,6 +257,11 @@ class ReliableServer:
         try:
             msg, _ = yield conn.recv()
         except ConnectionClosed:
+            return
+        except Interrupt:
+            # server stop() interrupts greeters mid-handshake; unwind
+            # cleanly instead of crashing the process with a traceback
+            conn.close()
             return
         if msg[0] != "RHELLO":
             conn.close()

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Iterable, Protocol
 
-from ..sim import Interrupt, SharedMemory, Simulator
+from ..sim import Interrupt, SharedMemory, Simulator, shared
 from .config import Config, DEFAULT_CONFIG
 from .records import SecurityRecord
 
@@ -108,7 +108,7 @@ class SecurityMonitor:
         self._proc = None
         self.scans = 0
         self.errors = 0
-        self.shm.segment(self.segment_key).write({})
+        shared(self.shm.segment(self.segment_key), name="secdb").write({})
 
     def start(self) -> None:
         self._proc = self.sim.process(self._run(), name="secmon")

@@ -11,7 +11,7 @@ intervals — this is how servers leave (and later rejoin) the pool.
 from __future__ import annotations
 
 
-from ..sim import Interrupt, SharedMemory, Simulator
+from ..sim import Interrupt, SharedMemory, Simulator, shared
 from .config import Config, DEFAULT_CONFIG
 from .records import ServerStatusRecord, ServerStatusReport
 
@@ -41,8 +41,10 @@ class SystemMonitor:
         self.tcp_reports_received = 0
         self.parse_errors = 0
         self.expired = 0
-        # initialise the segment with an empty database
-        self.shm.segment(self.segment_key).write({})
+        # initialise the segment with an empty database; shared() names
+        # it for the happens-before sanitizer
+        shared(self.shm.segment(self.segment_key),
+               name=f"sysdb@{stack.node.name}").write({})
 
     # -- lifecycle ------------------------------------------------------------
     def start(self) -> None:

@@ -96,6 +96,11 @@ class Node:
             self.reassembly_failures += 1
 
     def deliver_local(self, dgram: Datagram) -> None:
+        hb = self.sim._hb
+        if hb is not None:
+            # message edge: the sender's clock (stamped in send()) joins
+            # the delivery context even across NIC queues and reassembly
+            hb.on_message(dgram)
         if self.tap is not None:
             self.tap(dgram, self)
         if self.stack is None:
@@ -122,6 +127,9 @@ class Node:
 
     def send(self, dgram: Datagram) -> bool:
         """Originate a datagram from this node (kernel -> NIC)."""
+        hb = self.sim._hb
+        if hb is not None:
+            hb.stamp(dgram)
         if self.is_local(dgram.dst):
             # Loopback: no physical interface, no init term, tiny constant
             # delay — reproduces the thesis' flat localhost curve (Fig 3.6f,

@@ -84,6 +84,9 @@ class Datagram:
     ref: Optional[int] = None
     #: nodes traversed, appended by each forwarding node (traceroute-ish)
     trace: list = field(default_factory=list)
+    #: sender's vector clock, stamped at origination when the
+    #: happens-before sanitizer is on (see :mod:`repro.sim.hb`)
+    hb_clock: Any = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.size < 0:

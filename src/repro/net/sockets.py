@@ -76,6 +76,9 @@ class UdpSocket:
         result = yield self.stack.sim.any_of([get, to])
         if get in result:
             return result[get]
+        # withdraw the pending get: an abandoned getter would swallow
+        # (and lose) the next datagram that arrives after the timeout
+        self.rx.cancel(get)
         return None
 
     def close(self) -> None:

@@ -10,11 +10,16 @@ from .kernel import (
     Simulator,
     Timeout,
 )
+from .hb import Access, HBSanitizer, RaceReport, shared
 from .rand import RandomStreams
 from .resources import Resource, Segment, SharedMemory, Store
 from .trace import EventTrace, TraceRecord, Tracer, attach_node_tap, diff_traces
 
 __all__ = [
+    "HBSanitizer",
+    "RaceReport",
+    "Access",
+    "shared",
     "Simulator",
     "Event",
     "Timeout",

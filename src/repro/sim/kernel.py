@@ -45,6 +45,16 @@ Running the same experiment twice with *different* shuffle seeds and
 diffing the canonical traces (order-insensitive within one timestamp)
 proves the execution is tie-break independent: any divergence would
 change downstream event times and show up in the diff.
+
+Concurrency sanitizer
+---------------------
+:meth:`Simulator.enable_sanitizer` installs a happens-before race
+detector (:class:`~repro.sim.hb.HBSanitizer`).  The kernel feeds it the
+causal skeleton — every event capture on ``succeed``/``fail``, every
+process resume, every :class:`AnyOf`/:class:`AllOf` join — while the
+resource and network layers add lock, channel and message edges.  All
+hooks are behind single ``is None`` checks, so the detector costs
+nothing when off.
 """
 
 from __future__ import annotations
@@ -100,7 +110,8 @@ class Event:
     the simulator processes it.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_state", "__weakref__")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_state", "_hb",
+                 "__weakref__")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -108,6 +119,8 @@ class Event:
         self._value: Any = None
         self._ok: bool = True
         self._state = PENDING
+        #: vector clock captured at trigger time (sanitizer only)
+        self._hb: Any = None
 
     # -- state inspection -------------------------------------------------
     @property
@@ -234,6 +247,9 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         self.sim._active_proc = self
+        hb = self.sim._hb
+        if hb is not None:
+            hb.begin_process(self, event)
         try:
             while True:
                 try:
@@ -279,6 +295,8 @@ class Process(Event):
             self._state = PENDING
             self.fail(exc)
         finally:
+            if hb is not None:
+                hb.end_process()
             self.sim._active_proc = None
 
     def _proceed(self, event: Event) -> None:
@@ -325,6 +343,9 @@ class AnyOf(_Condition):
             event._ok = True
         else:
             self.succeed(self._collect())
+        hb = self.sim._hb
+        if hb is not None:
+            hb.join_condition(self)
 
 
 class AllOf(_Condition):
@@ -343,6 +364,9 @@ class AllOf(_Condition):
         self._done += 1
         if self._done == len(self.events):
             self.succeed(self._collect())
+            hb = self.sim._hb
+            if hb is not None:
+                hb.join_condition(self)
 
 
 class Simulator:
@@ -370,6 +394,8 @@ class Simulator:
         #: tie key of the event currently being processed (None outside
         #: :meth:`step`); zero-delay descendants inherit it
         self._current_tie: Optional[float] = None
+        #: happens-before sanitizer (None = off, zero hot-path cost)
+        self._hb: Optional[Any] = None
 
     # -- schedule sanitizer --------------------------------------------------
     def enable_tie_shuffle(self, rng) -> None:
@@ -390,6 +416,22 @@ class Simulator:
         ``record(when, event)`` method, canonically
         :class:`~repro.sim.trace.EventTrace`)."""
         self._event_trace = trace
+
+    def enable_sanitizer(self, sanitizer=None):
+        """Install a happens-before race detector and return it.
+
+        ``sanitizer`` defaults to a fresh
+        :class:`~repro.sim.hb.HBSanitizer`.  Only state wrapped with
+        :func:`~repro.sim.hb.shared` is tracked; detected races end up
+        in ``sanitizer.races`` as
+        :class:`~repro.sim.hb.RaceReport` objects.
+        """
+        if sanitizer is None:
+            from .hb import HBSanitizer
+            sanitizer = HBSanitizer()
+        sanitizer.attach(self)
+        self._hb = sanitizer
+        return sanitizer
 
     @property
     def now(self) -> float:
@@ -433,6 +475,8 @@ class Simulator:
             tie = self._current_tie
         else:
             tie = self._tie_rng.random()
+        if self._hb is not None:
+            self._hb.on_schedule(event)
         heapq.heappush(self._queue, (self._now + delay, tie, next(self._seq), event))
 
     def peek(self) -> float:
@@ -452,10 +496,15 @@ class Simulator:
         if self._event_trace is not None:
             self._event_trace.record(when, event)
         self._current_tie = tie
+        hb = self._hb
+        if hb is not None:
+            hb.begin_event(event)
         try:
             event._process_callbacks()
         finally:
             self._current_tie = None
+            if hb is not None:
+                hb.end_event()
         if not event._ok:
             raise event._value
 

@@ -45,6 +45,9 @@ class Store:
         self.items: list[Any] = []
         self._getters: list[Event] = []
         self.dropped = 0  # datagrams lost to a full buffer
+        #: putter clocks for buffered items (happens-before sanitizer);
+        #: parallel to ``items`` while the sanitizer is enabled
+        self._hb_clocks: list[Any] = []
 
     def __len__(self) -> int:
         return len(self.items)
@@ -63,6 +66,11 @@ class Store:
                 return False
             raise StoreFull(f"store at capacity {self.capacity}")
         self.items.append(item)
+        hb = self.sim._hb
+        if hb is not None:
+            # a buffered item carries its putter's clock so the eventual
+            # getter inherits the edge even without a direct hand-off
+            self._hb_clocks.append(hb._capture())
         return True
 
     def get(self) -> Event:
@@ -70,13 +78,32 @@ class Store:
         ev = self.sim.event()
         if self.items:
             ev.succeed(self.items.pop(0))
+            hb = self.sim._hb
+            if hb is not None and self._hb_clocks:
+                hb.join_event(ev, self._hb_clocks.pop(0))
         else:
             self._getters.append(ev)
         return ev
 
     def try_get(self) -> Optional[Any]:
         """Non-blocking get; ``None`` when empty."""
-        return self.items.pop(0) if self.items else None
+        if not self.items:
+            return None
+        item = self.items.pop(0)
+        hb = self.sim._hb
+        if hb is not None and self._hb_clocks:
+            hb._join_frame(self._hb_clocks.pop(0))
+        return item
+
+    def cancel(self, getter: Event) -> None:
+        """Withdraw a pending :meth:`get` (e.g. its timeout won the race).
+
+        Without this, an abandoned getter silently consumes the next
+        ``put`` — for a socket that means a datagram is lost after every
+        receive timeout.
+        """
+        if getter in self._getters:
+            self._getters.remove(getter)
 
 
 class Resource:
@@ -96,12 +123,18 @@ class Resource:
         self.capacity = capacity
         self.in_use = 0
         self._waiters: list[Event] = []
+        #: accumulated releaser clock (happens-before sanitizer): joins
+        #: into every later grant so critical sections are totally ordered
+        self._hb_clock: Optional[Any] = None
 
     def acquire(self) -> Event:
         ev = self.sim.event()
         if self.in_use < self.capacity:
             self.in_use += 1
             ev.succeed(self)
+            hb = self.sim._hb
+            if hb is not None and self._hb_clock is not None:
+                hb.join_event(ev, self._hb_clock)
         else:
             self._waiters.append(ev)
         return ev
@@ -109,6 +142,9 @@ class Resource:
     def release(self) -> None:
         if self.in_use <= 0:
             raise SimulationError("release() without matching acquire()")
+        hb = self.sim._hb
+        if hb is not None:
+            self._hb_clock = hb._merged(self._hb_clock, hb._capture())
         while self._waiters:
             waiter = self._waiters.pop(0)
             if waiter.triggered:
@@ -123,21 +159,35 @@ class Resource:
 
 
 class Segment:
-    """One keyed shared-memory segment: a value slot plus its semaphore."""
+    """One keyed shared-memory segment: a value slot plus its semaphore.
+
+    Wrapping a segment with :func:`repro.sim.hb.shared` names it for the
+    happens-before sanitizer; every :meth:`read`/:meth:`write` is then a
+    tracked access while a sanitizer is enabled on the simulator.
+    """
 
     def __init__(self, sim: Simulator, key: int):
+        self.sim = sim
         self.key = key
         self.value: Any = None
         self.lock = Resource(sim, capacity=1)
         self.writes = 0
         self.reads = 0
+        #: sanitizer tracking name; set by :func:`repro.sim.hb.shared`
+        self.hb_name: Optional[str] = None
 
     def write(self, value: Any) -> None:
         """Unlocked write (caller holds the semaphore)."""
+        hb = self.sim._hb
+        if hb is not None and self.hb_name is not None:
+            hb.on_access(self, "write")
         self.value = value
         self.writes += 1
 
     def read(self) -> Any:
+        hb = self.sim._hb
+        if hb is not None and self.hb_name is not None:
+            hb.on_access(self, "read")
         self.reads += 1
         return self.value
 

@@ -70,10 +70,14 @@ class Tracer:
         ]
 
     def format(self, category: Optional[str] = None, last: int = 0) -> str:
-        records = self.select(category)
-        if last:
-            records = records[-last:]
+        selected = self.select(category)
+        records = selected[-last:] if last else selected
         lines = [str(r) for r in records]
+        # make every truncation visible: an elided head when `last` cuts
+        # the selection, a dropped-tail footer when the buffer capped out
+        if len(records) < len(selected):
+            lines.insert(
+                0, f"... showing last {len(records)} of {len(selected)} records")
         if self.dropped:
             lines.append(f"... {self.dropped} records dropped (max_records)")
         return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""Clean under suppression: every R-series rule silenced by its noqa."""
+
+MSG_GHOST = 9  # repro: noqa[REPRO302]
+
+
+def fetch(conn):
+    msg, _ = yield conn.recv()  # repro: noqa[REPRO301]
+    return msg
+
+
+def forget(shm, key):
+    shm.segment(key).write(None)  # repro: noqa[REPRO303]
+
+
+def hijack(sim, event):
+    def jump(ev):
+        sim._now = 0.0  # repro: noqa[REPRO304]
+
+    event.add_callback(jump)
+
+
+def spawn(sim, job):
+    sim.process(job)  # repro: noqa[REPRO305]
+
+
+def shield(conn):
+    try:
+        conn.send(b"ping", 4)
+    except:  # repro: noqa[REPRO306]  # noqa: E722
+        pass

@@ -1,0 +1,26 @@
+"""Seeded REPRO300 *dynamic* race: run with ``repro check --sanitize``.
+
+Two processes touch one shared segment at the same simulated instant with
+no happens-before edge between them (no lock, no message, no join).  The
+static R-series rules are all satisfied — only the runtime detector can
+see this one.
+"""
+
+from repro.sim import SharedMemory, shared
+
+
+def run(sim):
+    db = shared(SharedMemory(sim).segment(1), name="db")
+
+    def writer():
+        yield sim.timeout(1.0)
+        db.write({"x": 1})
+
+    def reader():
+        yield sim.timeout(1.0)
+        db.read()
+
+    w = sim.process(writer(), name="writer")
+    r = sim.process(reader(), name="reader")
+    sim.run()
+    assert w.triggered and r.triggered

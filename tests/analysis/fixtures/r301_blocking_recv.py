@@ -1,0 +1,21 @@
+"""Seeded REPRO301 violation: an unguarded blocking receive."""
+
+from repro.sim import Interrupt
+
+
+def fetch_forever(conn):
+    while True:
+        msg, _ = yield conn.recv()
+        if msg is None:
+            return
+
+
+def fetch_guarded(conn):
+    """Negative case: the enclosing Interrupt handler satisfies the rule."""
+    try:
+        while True:
+            msg, _ = yield conn.recv()
+            if msg is None:
+                return
+    except Interrupt:
+        return

@@ -1,0 +1,6 @@
+"""Seeded REPRO302 violation: a wire tag with no registered handler."""
+
+MSG_ROGUE = 7
+
+#: negative case: a registered tag is fine anywhere it is re-declared
+MSG_PULL = 4

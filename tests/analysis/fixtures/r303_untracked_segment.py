@@ -1,0 +1,10 @@
+"""Seeded REPRO303 violation: a segment write invisible to the sanitizer."""
+
+
+def forget_status(shm, key):
+    seg = shm.segment(key)
+    seg.write({})
+
+
+def forget_status_chained(shm, key):
+    shm.segment(key).write(None)

@@ -1,0 +1,9 @@
+"""Seeded REPRO304 violation: an event callback rewinding the clock."""
+
+
+def hijack(sim, event):
+    def jump(ev):
+        sim._now = 0.0
+
+    event.add_callback(jump)
+    event.add_callback(lambda ev: setattr(ev, "note", sim.now))  # negative

@@ -1,0 +1,10 @@
+"""Seeded REPRO305 violation: a spawned process whose handle is dropped."""
+
+
+def spawn_and_forget(sim, job):
+    sim.process(job)
+
+
+def spawn_and_keep(sim, job):
+    """Negative case: keeping the handle satisfies the rule."""
+    return sim.process(job)

@@ -1,0 +1,16 @@
+"""Seeded REPRO306 violation: a bare except swallowing channel errors."""
+
+
+def shield(conn):
+    try:
+        conn.send(b"ping", 4)
+    except:  # noqa: E722
+        pass
+
+
+def shield_specific(conn):
+    """Negative case: a typed handler around channel ops is fine."""
+    try:
+        conn.send(b"ping", 4)
+    except ValueError:
+        pass

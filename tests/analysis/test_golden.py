@@ -1,10 +1,15 @@
 """Golden-file tests for ``repro check``: exact REPROxxx output.
 
-Each ``fixtures/<name>.py`` seeds exactly one rule's violation (plus a
-``clean_noqa_suppressed`` case proving the suppression path) and pins
-the analyzer's byte-exact output in ``fixtures/<name>.expected`` —
-the same pattern :mod:`tests.lang.test_golden` uses for the
-requirement-language analyzer.
+Each ``fixtures/<name>.py`` seeds exactly one rule's violation (plus
+``clean_noqa_suppressed``/``clean_r_noqa`` cases proving the suppression
+path) and pins the analyzer's byte-exact output in
+``fixtures/<name>.expected`` — the same pattern
+:mod:`tests.lang.test_golden` uses for the requirement-language analyzer.
+
+``r300_seeded_race`` is special: its ``.expected`` pins the output of the
+*dynamic* happens-before detector (``repro check --sanitize <file>``);
+statically the file is clean, which is the point — only the runtime
+detector can see that race.
 """
 
 from __future__ import annotations
@@ -21,8 +26,10 @@ FIXTURES = Path(__file__).parent / "fixtures"
 CASES = sorted(p.stem for p in FIXTURES.glob("*.py"))
 
 #: fixtures whose worst finding is only a warning (exit 0 by default)
-WARNING_ONLY = {"d106_float_time_equality"}
-CLEAN = {"clean_noqa_suppressed"}
+WARNING_ONLY = {"d106_float_time_equality", "r305_unjoined_process"}
+CLEAN = {"clean_noqa_suppressed", "clean_r_noqa"}
+#: fixtures exercised with ``--sanitize`` (dynamic scenario, not static)
+SANITIZE = {"r300_seeded_race"}
 
 
 def run_check(path: Path, capsys, *extra: str) -> tuple[int, str]:
@@ -35,7 +42,14 @@ def run_check(path: Path, capsys, *extra: str) -> tuple[int, str]:
     return code, out.replace(shown, rel)
 
 
-@pytest.mark.parametrize("name", CASES)
+def run_sanitize(path: Path, capsys) -> tuple[int, str]:
+    # sanitize output renders file basenames only, so it is already
+    # cwd-independent — no path normalisation needed
+    code = check_main(["--sanitize", str(path)])
+    return code, capsys.readouterr().out
+
+
+@pytest.mark.parametrize("name", [n for n in CASES if n not in SANITIZE])
 def test_golden_output_is_exact(name, capsys):
     expected = (FIXTURES / f"{name}.expected").read_text()
     _, out = run_check(FIXTURES / f"{name}.py", capsys)
@@ -43,7 +57,7 @@ def test_golden_output_is_exact(name, capsys):
 
 
 @pytest.mark.parametrize(
-    "name", [n for n in CASES if n not in WARNING_ONLY | CLEAN])
+    "name", [n for n in CASES if n not in WARNING_ONLY | CLEAN | SANITIZE])
 def test_error_fixtures_exit_one(name, capsys):
     code, _ = run_check(FIXTURES / f"{name}.py", capsys)
     assert code == 1
@@ -57,10 +71,30 @@ def test_warning_fixture_gates_only_under_strict(name, capsys):
     assert code == 1
 
 
-def test_noqa_fixture_is_clean_but_counted(capsys):
-    code, out = run_check(FIXTURES / "clean_noqa_suppressed.py", capsys)
+@pytest.mark.parametrize("name,suppressed", [
+    ("clean_noqa_suppressed", 1),
+    ("clean_r_noqa", 6),
+])
+def test_noqa_fixtures_are_clean_but_counted(name, suppressed, capsys):
+    code, out = run_check(FIXTURES / f"{name}.py", capsys)
     assert code == 0
-    assert "1 suppressed by noqa" in out
+    assert f"{suppressed} suppressed by noqa" in out
+
+
+def test_seeded_race_fixture_is_statically_clean(capsys):
+    """The dynamic-race scenario slips past every static rule."""
+    code, out = run_check(FIXTURES / "r300_seeded_race.py", capsys)
+    assert code == 0
+    assert "file(s) clean" in out
+
+
+def test_seeded_race_detected_dynamically(capsys):
+    """``--sanitize`` on the scenario flags the race, byte-for-byte."""
+    expected = (FIXTURES / "r300_seeded_race.expected").read_text()
+    code, out = run_sanitize(FIXTURES / "r300_seeded_race.py", capsys)
+    assert code == 1
+    assert out == expected
+    assert "REPRO300" in out
 
 
 def test_fixture_tree_exits_one(capsys):
@@ -82,3 +116,5 @@ def test_fixtures_pin_every_advertised_code():
     text = "\n".join(p.read_text() for p in FIXTURES.glob("*.expected"))
     for code in ANALYZER_CODES:
         assert code in text, f"{code} not exercised by golden fixtures"
+    # the dynamic-only race code is pinned by the sanitize golden
+    assert "REPRO300" in text

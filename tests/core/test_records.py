@@ -108,3 +108,40 @@ class TestWireMessages:
     def test_negative_size_rejected(self):
         with pytest.raises(ValueError):
             WireMessage(MSG_SYSDB, -1, None)
+
+
+class TestWireTagHandlers:
+    """The REPRO302 cross-check registry must itself stay honest."""
+
+    def test_every_wire_tag_has_a_handler(self):
+        from repro.core import records
+
+        tags = {name for name in records.__all__
+                if name.startswith(("MSG_", "REPLY_"))}
+        assert set(records.WIRE_TAG_HANDLERS) == tags
+        assert all(records.WIRE_TAG_HANDLERS[t] for t in tags)
+
+    def test_handler_paths_resolve_to_live_code(self):
+        """Every dotted path names an importable attribute, so the table
+        cannot drift into pointing at renamed or deleted handlers."""
+        import importlib
+
+        from repro.core.records import WIRE_TAG_HANDLERS
+
+        for tag, paths in WIRE_TAG_HANDLERS.items():
+            for dotted in paths:
+                # split module vs class.method: import the longest module
+                # prefix, then getattr the rest
+                parts = dotted.split(".")
+                for split in range(len(parts) - 1, 0, -1):
+                    try:
+                        obj = importlib.import_module(".".join(parts[:split]))
+                    except ImportError:
+                        continue
+                    break
+                else:
+                    raise AssertionError(f"{tag}: cannot import {dotted}")
+                for name in parts[split:]:
+                    assert hasattr(obj, name), (
+                        f"{tag}: {dotted} does not resolve at {name!r}")
+                    obj = getattr(obj, name)

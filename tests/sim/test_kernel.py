@@ -208,3 +208,70 @@ class TestEvents:
 
 def iter_timeout(sim, delay):
     yield sim.timeout(delay)
+
+
+class TestConditionsUnderTieShuffle:
+    """AnyOf/AllOf resolution is seed-stable under the schedule shuffle.
+
+    Equal-delay events created back-to-back by one process inherit one
+    tie key (causal tie-key inheritance), so shuffling equal-timestamp
+    processing order must not change which member wins an ``any_of`` or
+    the member order of an ``all_of`` result — across any shuffle seed.
+    """
+
+    @staticmethod
+    def _any_of_run(tie_seed):
+        from repro.sim import Simulator
+        from repro.sim.rand import RandomStreams
+
+        sim = Simulator()
+        if tie_seed is not None:
+            sim.enable_tie_shuffle(
+                RandomStreams(tie_seed).stream("schedule-tiebreak"))
+        outcome = {}
+
+        def waiter():
+            # three same-deadline timeouts: the tie is as hard as it gets
+            events = [sim.timeout(1.0, value=f"t{i}") for i in range(3)]
+            fired = yield sim.any_of(events)
+            outcome["winners"] = sorted(fired.values())
+            outcome["now"] = sim.now
+
+        sim.process(waiter(), name="waiter")
+        sim.run()
+        return outcome
+
+    @staticmethod
+    def _all_of_run(tie_seed):
+        from repro.sim import Simulator
+        from repro.sim.rand import RandomStreams
+
+        sim = Simulator()
+        if tie_seed is not None:
+            sim.enable_tie_shuffle(
+                RandomStreams(tie_seed).stream("schedule-tiebreak"))
+        outcome = {}
+
+        def waiter():
+            events = [sim.timeout(1.0, value=f"t{i}") for i in range(4)]
+            values = yield sim.all_of(events)
+            outcome["values"] = list(values.values())
+            outcome["now"] = sim.now
+
+        sim.process(waiter(), name="waiter")
+        sim.run()
+        return outcome
+
+    def test_any_of_winner_stable_across_shuffle_seeds(self):
+        fifo = self._any_of_run(None)
+        results = [self._any_of_run(seed) for seed in (1, 2, 3)]
+        for res in results:
+            assert res == fifo
+
+    def test_all_of_result_order_stable_across_shuffle_seeds(self):
+        fifo = self._all_of_run(None)
+        results = [self._all_of_run(seed) for seed in (1, 2, 3)]
+        for res in results:
+            assert res == fifo
+        # all_of preserves creation order of its members in the result
+        assert fifo["values"] == ["t0", "t1", "t2", "t3"]

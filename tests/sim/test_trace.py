@@ -58,6 +58,25 @@ class TestTracer:
         out = tracer.format(last=2)
         assert "m8" in out and "m9" in out and "m7" not in out
 
+    def test_format_last_n_announces_elided_head(self, sim):
+        tracer = Tracer(sim)
+        for i in range(10):
+            tracer.log("x", f"m{i}")
+        out = tracer.format(last=2)
+        assert out.splitlines()[0] == "... showing last 2 of 10 records"
+        # no elision note when everything is shown
+        assert "showing last" not in tracer.format()
+        assert "showing last" not in tracer.format(last=10)
+
+    def test_format_combines_elision_and_drop_footer(self, sim):
+        tracer = Tracer(sim, max_records=4)
+        for i in range(6):
+            tracer.log("x", str(i))
+        lines = tracer.format(last=2).splitlines()
+        assert lines[0] == "... showing last 2 of 4 records"
+        assert lines[-1] == "... 2 records dropped (max_records)"
+        assert [ln.split()[-1] for ln in lines[1:-1]] == ["2", "3"]
+
     def test_clear(self, sim):
         tracer = Tracer(sim, max_records=1)
         tracer.log("x", "1")

@@ -50,6 +50,16 @@ def test_ci_runs_repro_check_gate():
     assert "repro check src" in ci
 
 
+def test_ci_runs_sanitize_job():
+    """The CI ``sanitize`` job drives both smoke worlds under the
+    happens-before detector (zero races required) and re-runs the
+    seeded-race fixture expecting it to fail."""
+    ci = (REPO / ".github" / "workflows" / "ci.yml").read_text()
+    assert "--sanitize matmul" in ci
+    assert "--sanitize massd" in ci
+    assert "r300_seeded_race.py" in ci
+
+
 def test_repro_check_clean_on_src():
     """The repo's own analyzer gate: ``repro check src`` must exit 0."""
     result = subprocess.run(
