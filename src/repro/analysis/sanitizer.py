@@ -80,11 +80,22 @@ def _run_massd() -> list:
     return [arm for arm in arms if arm.races is not None]
 
 
+def _run_failover() -> list:
+    from ..bench.experiments import failover_experiment
+
+    arms = [
+        failover_experiment(scenario=scenario, sanitize=True)
+        for scenario in ("wizard_kill", "server_kill")
+    ]
+    return [arm for arm in arms if arm.races is not None]
+
+
 #: named smoke scenarios: name -> zero-arg runner returning the arms that
 #: carried a sanitizer (each arm contributes its races/access count)
 NAMED_SCENARIOS: dict[str, Callable[[], list]] = {
     "matmul": _run_matmul,
     "massd": _run_massd,
+    "failover": _run_failover,
 }
 
 

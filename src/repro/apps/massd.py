@@ -9,6 +9,11 @@ throughput is the performance metric.
 The thesis drives it as ``massd (data, blk, bw)`` with sizes in KBytes and
 the *rshaper*-imposed bandwidth in KB/s — :class:`MassdClient.run` mirrors
 that parameterisation (we take sizes in KB too).
+
+Self-healing (HA extension): ``run`` accepts
+:class:`~repro.core.session.SmartSession` objects alongside plain
+connections — a fetcher whose server dies requeues only the in-flight
+block and fails over to a replacement file server.
 """
 
 from __future__ import annotations
@@ -24,6 +29,16 @@ __all__ = ["FileServer", "MassdClient", "MassdResult", "shape_host_egress"]
 
 MASSD_PORT = 9000
 KB = 1024
+
+
+def _is_session(entry) -> bool:
+    """Duck-typed check for :class:`~repro.core.session.SmartSession`
+    (kept structural so the apps stay import-independent of core)."""
+    return hasattr(entry, "failover")
+
+
+def _addr_of(entry) -> str:
+    return entry.addr if _is_session(entry) else entry.remote_addr
 
 
 def shape_host_egress(host: SmartHost, rate_mbps: float,
@@ -95,7 +110,10 @@ class FileServer:
                     yield self.host.machine.disk.read(nbytes)
                 self.blocks_served += 1
                 self.bytes_served += nbytes
-                conn.send(("BLOCK", block_id), nbytes)
+                try:
+                    conn.send(("BLOCK", block_id), nbytes)
+                except ConnectionClosed:
+                    return  # downloader died mid-read; drop the block
         except Interrupt:
             conn.close()
 
@@ -109,6 +127,10 @@ class MassdResult:
     servers: list[str]
     elapsed: float
     blocks_per_server: dict[str, int] = field(default_factory=dict)
+    #: blocks requeued after a connection died mid-fetch (checkpoints)
+    requeued_blocks: int = 0
+    #: successful server replacements across all session slots
+    failovers: int = 0
 
     @property
     def total_bytes(self) -> int:
@@ -147,24 +169,41 @@ class MassdClient:
         sizes = [blk_kb * KB] * n_blocks + ([rem * KB] if rem else [])
         tasks = list(enumerate(sizes))
         tasks.reverse()
-        done_counts: dict[str, int] = {c.remote_addr: 0 for c in conns}
+        done_counts: dict[str, int] = {_addr_of(c): 0 for c in conns}
+        stats = {"requeued": 0, "failovers": 0}
         finished = sim.event()
         live = {"n": len(conns)}
         t0 = sim.now
 
-        def fetch(conn):
+        def fetch(entry):
+            session = entry if _is_session(entry) else None
+            conn = session.conn if session is not None else entry
             try:
                 while tasks:
-                    block_id, nbytes = tasks.pop()
-                    conn.send(("GET", block_id, nbytes), 16)
-                    msg, got = yield conn.recv()
+                    task = tasks.pop()
+                    block_id, nbytes = task
+                    try:
+                        conn.send(("GET", block_id, nbytes), 16)
+                        msg, got = yield conn.recv()
+                    except ConnectionClosed:
+                        # checkpoint: only the lost shard goes back
+                        tasks.append(task)
+                        stats["requeued"] += 1
+                        if session is None:
+                            break  # plain socket: retire, peers absorb
+                        conn = yield from session.failover()
+                        if conn is None:
+                            break  # slot lost for good
+                        stats["failovers"] += 1
+                        continue
                     if msg[0] != "BLOCK" or msg[1] != block_id:
                         raise RuntimeError(f"protocol violation: {msg[:2]}")
                     if got != nbytes:
                         raise RuntimeError(
                             f"short block {block_id}: {got} != {nbytes}"
                         )
-                    done_counts[conn.remote_addr] += 1
+                    addr = conn.remote_addr
+                    done_counts[addr] = done_counts.get(addr, 0) + 1
             except Interrupt:
                 return  # cancelled (e.g. server died); leave tasks to peers
             live["n"] -= 1
@@ -172,15 +211,21 @@ class MassdClient:
                 finished.succeed()
 
         fetchers = [
-            sim.process(fetch(conn), name=f"massd-fetch-{conn.remote_addr}")
-            for conn in conns
+            sim.process(fetch(entry), name=f"massd-fetch-{_addr_of(entry)}")
+            for entry in conns
         ]
         yield finished
         assert all(f.triggered for f in fetchers), "a fetcher never finished"
+        if tasks:
+            raise RuntimeError(
+                f"{len(tasks)} blocks undone: every server slot died"
+            )
         return MassdResult(
             data_kb=data_kb,
             blk_kb=blk_kb,
-            servers=[c.remote_addr for c in conns],
+            servers=[_addr_of(c) for c in conns],
             elapsed=sim.now - t0,
             blocks_per_server=done_counts,
+            requeued_blocks=stats["requeued"],
+            failovers=stats["failovers"],
         )

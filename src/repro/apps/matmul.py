@@ -17,6 +17,14 @@ Cost model: multiplying an ``r×n`` stripe by an ``n×c`` stripe is
 machine's ``matmul`` speed.  Transfers are real simulated TCP messages of
 ``8`` bytes per matrix entry, so communication overhead (which the thesis
 blames for the shrinking 6v6 gain) emerges from the network model.
+
+Self-healing (HA extension): ``run`` accepts
+:class:`~repro.core.session.SmartSession` objects alongside plain
+connections.  A feeder whose connection dies mid-block *checkpoints* by
+requeueing only the in-flight block, then asks its session for a
+replacement server; if failover succeeds the feeder resumes on the new
+worker, otherwise it retires and its remaining work drains to the peers.
+The run fails loudly only when every slot died with blocks left undone.
 """
 
 from __future__ import annotations
@@ -43,6 +51,16 @@ __all__ = [
 
 DOUBLE_BYTES = 8
 MATMUL_PORT = 9000
+
+
+def _is_session(entry) -> bool:
+    """Duck-typed check for :class:`~repro.core.session.SmartSession`
+    (kept structural so the apps stay import-independent of core)."""
+    return hasattr(entry, "failover")
+
+
+def _addr_of(entry) -> str:
+    return entry.addr if _is_session(entry) else entry.remote_addr
 
 
 def flops_for(rows: int, cols: int, inner: int) -> float:
@@ -144,10 +162,13 @@ class MatMulWorker:
                 else:
                     block = None
                 self.blocks_done += 1
-                conn.send(
-                    ("RESULT", block_id, block),
-                    max(1, rows * cols * DOUBLE_BYTES),
-                )
+                try:
+                    conn.send(
+                        ("RESULT", block_id, block),
+                        max(1, rows * cols * DOUBLE_BYTES),
+                    )
+                except ConnectionClosed:
+                    return  # master died mid-compute; drop the result
         except Interrupt:
             conn.close()
 
@@ -162,6 +183,10 @@ class MatMulResult:
     elapsed: float
     blocks_per_server: dict[str, int] = field(default_factory=dict)
     product: Optional[np.ndarray] = None
+    #: blocks requeued after a connection died mid-multiply (checkpoints)
+    requeued_blocks: int = 0
+    #: successful server replacements across all session slots
+    failovers: int = 0
 
     @property
     def total_flops(self) -> float:
@@ -193,32 +218,52 @@ class MatMulMaster:
         tasks = list(enumerate(block_grid(n, blk)))
         tasks.reverse()  # pop() takes them in natural order
         product = np.zeros((n, n), dtype=float) if a is not None else None
-        done_counts: dict[str, int] = {c.remote_addr: 0 for c in conns}
+        done_counts: dict[str, int] = {_addr_of(c): 0 for c in conns}
+        stats = {"requeued": 0, "failovers": 0}
         t0 = sim.now
         finished = sim.event()
         outstanding = {"n": 0}
 
-        def feed(conn):
-            """One per-worker driver: send task, await result, repeat."""
+        def feed(entry):
+            """One per-slot driver: send task, await result, repeat.  A
+            session-backed slot survives its worker: the in-flight block
+            is requeued (the checkpoint) and the slot fails over."""
+            session = entry if _is_session(entry) else None
+            conn = session.conn if session is not None else entry
             try:
                 while tasks:
-                    block_id, (r0, rows, c0, cols) = tasks.pop()
+                    task = tasks.pop()
+                    block_id, (r0, rows, c0, cols) = task
                     if a is not None:
                         a_stripe = a[r0:r0 + rows, :]
                         b_stripe = b[:, c0:c0 + cols]
                     else:
                         a_stripe = b_stripe = None
                     nbytes = (rows * n + n * cols) * DOUBLE_BYTES
-                    conn.send(
-                        ("TASK", block_id, rows, cols, n, a_stripe, b_stripe),
-                        nbytes,
-                    )
-                    msg, _ = yield conn.recv()
+                    try:
+                        conn.send(
+                            ("TASK", block_id, rows, cols, n,
+                             a_stripe, b_stripe),
+                            nbytes,
+                        )
+                        msg, _ = yield conn.recv()
+                    except ConnectionClosed:
+                        # checkpoint: only the lost shard goes back
+                        tasks.append(task)
+                        stats["requeued"] += 1
+                        if session is None:
+                            break  # plain socket: retire, peers absorb
+                        conn = yield from session.failover()
+                        if conn is None:
+                            break  # slot lost for good
+                        stats["failovers"] += 1
+                        continue
                     if msg[0] != "RESULT" or msg[1] != block_id:
                         raise RuntimeError(f"protocol violation: {msg[:2]}")
                     if product is not None:
                         product[r0:r0 + rows, c0:c0 + cols] = msg[2]
-                    done_counts[conn.remote_addr] += 1
+                    addr = conn.remote_addr
+                    done_counts[addr] = done_counts.get(addr, 0) + 1
             except Interrupt:
                 return  # cancelled (e.g. worker died); leave tasks to peers
             outstanding["n"] -= 1
@@ -227,16 +272,22 @@ class MatMulMaster:
 
         outstanding["n"] = len(conns)
         feeders = [
-            sim.process(feed(conn), name=f"matmul-feed-{conn.remote_addr}")
-            for conn in conns
+            sim.process(feed(entry), name=f"matmul-feed-{_addr_of(entry)}")
+            for entry in conns
         ]
         yield finished
         assert all(f.triggered for f in feeders), "a feeder never finished"
+        if tasks:
+            raise RuntimeError(
+                f"{len(tasks)} blocks undone: every server slot died"
+            )
         return MatMulResult(
             n=n,
             blk=blk,
-            servers=[c.remote_addr for c in conns],
+            servers=[_addr_of(c) for c in conns],
             elapsed=sim.now - t0,
             blocks_per_server=done_counts,
             product=product,
+            requeued_blocks=stats["requeued"],
+            failovers=stats["failovers"],
         )

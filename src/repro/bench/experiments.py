@@ -53,6 +53,9 @@ __all__ = [
     "shaper_calibration",
     "massd_experiment",
     "MassdArm",
+    "failover_experiment",
+    "FailoverArm",
+    "FAILOVER_SCENARIOS",
     "TESTBED_SERVER_NAMES",
 ]
 
@@ -492,6 +495,162 @@ def matmul_experiment(
     run_arm("random", use_smart=False)
     run_arm("smart", use_smart=True)
     return arms
+
+
+# ---------------------------------------------------------------------------
+# HA failover — recovery latency under wizard / server kills
+# ---------------------------------------------------------------------------
+
+#: fault modes of :func:`failover_experiment`
+FAILOVER_SCENARIOS = ("none", "wizard_kill", "server_kill")
+
+
+@dataclass
+class FailoverArm:
+    """One failover run: elapsed wall time plus the recovery telemetry."""
+
+    label: str
+    seed: int
+    elapsed: float
+    failovers: int
+    requeued_blocks: int
+    wizard_failovers: int
+    stale_rejections: int
+    lease_expiries: int
+    blocks_per_server: dict[str, int] = field(default_factory=dict)
+    #: race reports + access count (``sanitize=True`` runs only)
+    races: Optional[tuple] = None
+    tracked_accesses: int = 0
+
+
+def _failover_world(seed: int, sanitize: bool = False):
+    """The HA star (same shape as the chaos test world): a two-replica
+    wizard fleet, two 3-server groups with slow matmul CPUs (~2 s per
+    80x80 block), workers + lease responders on every server."""
+    from ..core import LeaseResponder
+
+    config = Config(
+        probe_interval=1.0, probe_miss_limit=3, transmit_interval=1.0,
+        netmon_interval=1.0, client_timeout=1.0, client_retries=2,
+        client_backoff_base=0.1, client_backoff_cap=1.0,
+        transmit_backoff_cap=2.0, transmit_stall_limit=3.0,
+        quarantine_period=5.0, wizard_staleness_limit=4.0,
+        wizard_quarantine_period=5.0, lease_interval=0.5,
+        lease_timeout=2.0, session_retries=3,
+    )
+    cluster = Cluster(seed=seed, sanitize=sanitize)
+    wiz = cluster.add_host("wiz")
+    wiz2 = cluster.add_host("wiz2")
+    cli = cluster.add_host("cli")
+    mon1 = cluster.add_host("mon1")
+    mon2 = cluster.add_host("mon2")
+    core = cluster.add_switch("core")
+    sw1 = cluster.add_switch("sw-g1")
+    sw2 = cluster.add_switch("sw-g2")
+    cluster.link(wiz, core, subnet="10.0.0")
+    cluster.link(wiz2, core, subnet="10.0.4")
+    cluster.link(cli, core, subnet="10.0.3")
+    cluster.link(mon1, sw1, subnet="10.0.1")
+    cluster.link(sw1, core, subnet="10.0.1")
+    cluster.link(mon2, sw2, subnet="10.0.2")
+    cluster.link(sw2, core, subnet="10.0.2")
+    servers = []
+    for i in range(6):
+        s = cluster.add_host(f"s{i}", speeds={"matmul": 1.5e6})
+        cluster.link(s, sw1 if i < 3 else sw2,
+                     subnet="10.0.1" if i < 3 else "10.0.2")
+        servers.append(s)
+    cluster.finalize()
+    dep = Deployment(cluster, config=config, wizard_hosts=[wiz, wiz2])
+    dep.add_group("g1", mon1, servers[:3])
+    dep.add_group("g2", mon2, servers[3:])
+    dep.start()
+    services, responders = {}, {}
+    for s in servers:
+        worker = MatMulWorker(s, port=SERVICE_PORT, mss=BULK_MSS)
+        worker.start()
+        services[s.name] = worker
+        responder = LeaseResponder(s, config)
+        responder.start()
+        responders[s.name] = responder
+    return cluster, dep, servers, services, responders
+
+
+def failover_experiment(
+    scenario: str = "server_kill",
+    seed: int = 0,
+    n: int = 240,
+    blk: int = 80,
+    sanitize: bool = False,
+) -> FailoverArm:
+    """One self-healing matmul run (2 sessions) under a fault mode:
+    ``none`` (baseline), ``wizard_kill`` (primary wizard replica killed
+    just before the first request) or ``server_kill`` (the first chosen
+    worker power-failed 2.5 s into the stream).  The arm's ``elapsed``
+    minus the same-seed baseline's is the recovery latency.
+    """
+    from ..faults import ChaosController, FaultPlan
+
+    if scenario not in FAILOVER_SCENARIOS:
+        raise ValueError(f"unknown failover scenario {scenario!r}")
+    requirement = "host_cpu_free > 0.1\nhost_status_age < 10"
+    request_at = 6.0
+    cluster, dep, servers, services, responders = _failover_world(
+        seed, sanitize=sanitize)
+    name_of = {s.addr: s.name for s in servers}
+    out: dict = {}
+
+    def arm_chaos(plan):
+        chaos = ChaosController(dep, plan)
+        for sname, worker in services.items():
+            chaos.register_daemon(sname, "worker", worker)
+        for sname, responder in responders.items():
+            chaos.register_daemon(sname, "lease", responder)
+        chaos.start()
+
+    if scenario == "wizard_kill":
+        arm_chaos(FaultPlan().kill_wizard_during_request(
+            request_at - 0.2, "wiz"))
+
+    def driver():
+        from ..core import smart_sessions
+
+        yield cluster.sim.timeout(request_at)
+        client = dep.client_for(cluster.host("cli"))
+        out["client"] = client
+        sessions = yield from smart_sessions(
+            client, requirement, 2, service_port=SERVICE_PORT, mss=BULK_MSS)
+        out["sessions"] = sessions
+        if scenario == "server_kill":
+            arm_chaos(FaultPlan().kill_server_mid_stream(
+                cluster.sim.now + 2.5, name_of[sessions[0].addr]))
+        prog = MatMulMaster(cluster.host("cli"))
+        result = yield from prog.run(sessions, n=n, blk=blk)
+        for session in sessions:
+            session.close()
+        out["result"] = result
+
+    proc = cluster.sim.process(driver(), name="failover-driver")
+    _drive(cluster, proc)
+    result, client = out["result"], out["client"]
+    return FailoverArm(
+        label=scenario,
+        seed=seed,
+        elapsed=result.elapsed,
+        failovers=result.failovers,
+        requeued_blocks=result.requeued_blocks,
+        wizard_failovers=client.wizard_failovers,
+        stale_rejections=client.stale_rejections,
+        lease_expiries=sum(s.lease_expiries for s in out["sessions"]),
+        blocks_per_server={
+            name_of.get(a, a): c
+            for a, c in result.blocks_per_server.items()
+        },
+        races=(tuple(cluster.sanitizer.races)
+               if cluster.sanitizer is not None else None),
+        tracked_accesses=(cluster.sanitizer.accesses
+                          if cluster.sanitizer is not None else 0),
+    )
 
 
 # ---------------------------------------------------------------------------

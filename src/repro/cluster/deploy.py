@@ -5,6 +5,15 @@ the system/network/security monitors plus a transmitter; the *wizard
 machine* runs the receiver and the wizard; probes run on every server.
 Both operating modes are supported — centralized (transmitters push) and
 distributed (wizard pulls per request).
+
+High availability (beyond the thesis): pass ``wizard_hosts=[...]`` to run
+a *replica set* — every listed host gets its own receiver + wizard pair,
+every group's transmitter fans its snapshots out to all replicas, and
+:meth:`Deployment.client_for` hands clients the ranked replica list so
+they fail over when a replica dies or answers stale.  The single
+``wizard_host`` form stays the thesis' one-wizard deployment, and
+:attr:`Deployment.wizard` / :attr:`Deployment.receiver` keep naming the
+primary replica.
 """
 
 from __future__ import annotations
@@ -30,7 +39,7 @@ from ..core import (
 from .builder import Cluster
 from .host import SmartHost
 
-__all__ = ["Deployment", "GroupDeployment", "BOOT_STAGGER"]
+__all__ = ["Deployment", "GroupDeployment", "WizardReplica", "BOOT_STAGGER"]
 
 #: gap between consecutive daemon starts.  A real init system brings
 #: daemons up sequentially, never in the same nanosecond; starting them
@@ -40,6 +49,15 @@ __all__ = ["Deployment", "GroupDeployment", "BOOT_STAGGER"]
 #: 1 ms is far below every monitor interval, and distinct sub-second
 #: phases mean two integer-second periodic timers can never collide.
 BOOT_STAGGER = 1e-3
+
+
+@dataclass
+class WizardReplica:
+    """One wizard machine of the replica set: its receiver + wizard pair."""
+
+    host: SmartHost
+    receiver: Receiver
+    wizard: Wizard
 
 
 @dataclass
@@ -62,25 +80,39 @@ class Deployment:
     def __init__(
         self,
         cluster: Cluster,
-        wizard_host: SmartHost,
+        wizard_host: Optional[SmartHost] = None,
         config: Config = DEFAULT_CONFIG,
         mode: Optional[str] = None,
+        wizard_hosts: Optional[list[SmartHost]] = None,
     ):
         self.cluster = cluster
         self.config = config
         self.mode = mode or config.mode
-        self.wizard_host = wizard_host
+        hosts = list(wizard_hosts) if wizard_hosts else []
+        if not hosts and wizard_host is not None:
+            hosts = [wizard_host]
+        if not hosts:
+            raise ValueError("Deployment needs at least one wizard host")
+        self.wizard_hosts: list[SmartHost] = hosts
+        self.wizard_host = hosts[0]
         self.groups: dict[str, GroupDeployment] = {}
         self._boot_proc = None
-        self.receiver = Receiver(cluster.sim, wizard_host.stack, wizard_host.shm, config)
-        self.wizard = Wizard(
-            cluster.sim,
-            wizard_host.stack,
-            wizard_host.shm,
-            config,
-            mode=self.mode,
-            receiver=self.receiver,
-        )
+        #: the wizard replica set — one receiver + wizard pair per host
+        self.replicas: list[WizardReplica] = []
+        for host in hosts:
+            receiver = Receiver(cluster.sim, host.stack, host.shm, config)
+            wizard = Wizard(
+                cluster.sim,
+                host.stack,
+                host.shm,
+                config,
+                mode=self.mode,
+                receiver=receiver,
+            )
+            self.replicas.append(WizardReplica(host, receiver, wizard))
+        # the primary replica keeps the thesis-era attribute names
+        self.receiver = self.replicas[0].receiver
+        self.wizard = self.replicas[0].wizard
         self._started = False
 
     # -- construction ---------------------------------------------------------
@@ -106,7 +138,7 @@ class Deployment:
             sim,
             monitor_host.stack,
             monitor_host.shm,
-            receiver_addr=self.wizard_host.addr,
+            receiver_addrs=[h.addr for h in self.wizard_hosts],
             config=cfg,
             mode=self.mode,
         )
@@ -131,22 +163,25 @@ class Deployment:
                 security_level=levels.get(server.name, 1),
             )
             group.probes.append(probe)
-            # register the server's /24 with the wizard
+            # register the server's /24 with every wizard replica
             prefix = server.addr.rsplit(".", 1)[0]
-            self.wizard.register_group(prefix, name)
+            for replica in self.replicas:
+                replica.wizard.register_group(prefix, name)
         # the monitor sits inside its group's network: clients on that
         # subnet belong to this group even when the group serves nothing
         # (a monitor-only group, e.g. the client side of the massd runs);
         # never override a prefix some group's *servers* already claimed
-        self.wizard.group_prefixes.setdefault(
-            monitor_host.addr.rsplit(".", 1)[0], name
-        )
+        for replica in self.replicas:
+            replica.wizard.group_prefixes.setdefault(
+                monitor_host.addr.rsplit(".", 1)[0], name
+            )
         # peer the network monitors all-to-all
         for other in self.groups.values():
             other.netmon.add_peer(name, monitor_host.addr)
             netmon.add_peer(other.name, other.monitor_host.addr)
         if self.mode == Mode.DISTRIBUTED:
-            self.receiver.add_transmitter(monitor_host.addr)
+            for replica in self.replicas:
+                replica.receiver.add_transmitter(monitor_host.addr)
         self.groups[name] = group
         return group
 
@@ -188,9 +223,10 @@ class Deployment:
         if not self.groups:
             raise RuntimeError("deploy at least one group before start()")
         self._started = True
-        if self.mode == Mode.CENTRALIZED:
-            self.receiver.start()
-        self.wizard.start()
+        for replica in self.replicas:
+            if self.mode == Mode.CENTRALIZED:
+                replica.receiver.start()
+            replica.wizard.start()
         self._boot_proc = self.cluster.sim.process(self._boot(), name="deploy-boot")
 
     def stop(self) -> None:
@@ -204,8 +240,9 @@ class Deployment:
             group.netmon.stop()
             group.secmon.stop()
             group.transmitter.stop()
-        self.receiver.stop()
-        self.wizard.stop()
+        for replica in self.replicas:
+            replica.receiver.stop()
+            replica.wizard.stop()
 
     # -- client access -----------------------------------------------------------
     def client_for(self, host: SmartHost, seed: int = 1) -> SmartClient:
@@ -213,9 +250,9 @@ class Deployment:
         return SmartClient(
             self.cluster.sim,
             host.stack,
-            wizard_addr=self.wizard_host.addr,
             config=self.config,
             rng=rng,
+            wizard_addrs=[h.addr for h in self.wizard_hosts],
         )
 
     def all_servers(self) -> list[SmartHost]:

@@ -7,6 +7,7 @@ client library; plus the selection baselines used by the evaluation.
 
 from .client import (
     InsufficientServers,
+    Quarantine,
     RequirementRejected,
     SmartClient,
     SmartReply,
@@ -31,6 +32,7 @@ from .records import (
     MSG_SYSDB,
     REPLY_NAK,
     REPLY_OK,
+    REPLY_STALE,
     NetMetric,
     NetStatusRecord,
     SecurityRecord,
@@ -46,8 +48,9 @@ from .secmon import (
     SecuritySource,
 )
 from .selection import RandomSelector, RoundRobinSelector, Selector, StaticSelector
+from .session import LeaseResponder, SmartSession, smart_sessions
 from .sysmon import SystemMonitor
-from .transmitter import Transmitter
+from .transmitter import PushStats, Transmitter
 from .wizard import Candidate, Wizard, WizardReply, WizardRequest
 
 __all__ = [
@@ -71,8 +74,13 @@ __all__ = [
     "Candidate",
     "SmartClient",
     "SmartReply",
+    "Quarantine",
     "InsufficientServers",
     "RequirementRejected",
+    "SmartSession",
+    "LeaseResponder",
+    "smart_sessions",
+    "PushStats",
     "ReliableSocket",
     "ReliableServer",
     "ReliableSession",
@@ -89,6 +97,7 @@ __all__ = [
     "MSG_PULL",
     "REPLY_OK",
     "REPLY_NAK",
+    "REPLY_STALE",
     "WireDiagnostic",
     "measure_rtt",
     "rtt_curve",

@@ -28,6 +28,16 @@ Failure hardening (beyond the thesis):
   constraints raise :class:`RequirementRejected` locally with the full
   diagnostics instead of burning a wizard round trip (disable with
   ``precheck=False``); a wizard NAK reply is surfaced the same way.
+
+High availability (beyond the thesis): the client accepts a *ranked
+list* of wizard replicas.  Every attempt re-ranks the fleet — replicas
+under quarantine sort last, then by the freshest replica epoch seen in
+their replies, then by configured order — and sends to the best one.  A
+replica that times out or answers ``REPLY_STALE`` (its status feed died)
+is quarantined for ``config.wizard_quarantine_period`` seconds, so the
+retry (after the usual jittered backoff) lands on the next-best replica
+instead of hammering the dead one.  Both the server and the wizard
+quarantines share one TTL-decay mechanism (:class:`Quarantine`).
 """
 
 from __future__ import annotations
@@ -42,11 +52,44 @@ from ..sim import RandomStreams, Simulator
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     import random
 from .config import Config, DEFAULT_CONFIG
-from .records import REPLY_NAK
+from .records import REPLY_NAK, REPLY_STALE
 from .wizard import WizardReply, WizardRequest
 
-__all__ = ["SmartClient", "SmartReply", "InsufficientServers",
+__all__ = ["SmartClient", "SmartReply", "Quarantine", "InsufficientServers",
            "RequirementRejected"]
+
+
+class Quarantine(dict):
+    """TTL-decaying quarantine: ``addr -> sim time the sentence ends``.
+
+    A plain dict underneath (so tests and telemetry can inspect it), with
+    the decay policy attached: entries added via :meth:`add` serve
+    ``period`` seconds, :meth:`active` reports who is still serving, and
+    :meth:`decay` purges expired sentences.  Used for both dead *servers*
+    (failed TCP connects, expired health leases) and dead *wizard
+    replicas* (request timeouts, staleness NAKs).
+    """
+
+    def __init__(self, sim: Simulator, period: float):
+        super().__init__()
+        self.sim = sim
+        self.period = period
+
+    def add(self, addr: str, period: Optional[float] = None) -> None:
+        """Start (or restart) a sentence of ``period`` seconds."""
+        self[addr] = self.sim.now + (self.period if period is None else period)
+
+    def active(self) -> set[str]:
+        """Addresses currently serving a sentence (expired ones excluded)."""
+        now = self.sim.now
+        return {a for a, until in self.items() if until > now}
+
+    def decay(self) -> None:
+        """Purge entries whose sentence has ended."""
+        now = self.sim.now
+        for addr, until in list(self.items()):
+            if until <= now:
+                del self[addr]
 
 
 class InsufficientServers(Exception):
@@ -79,6 +122,12 @@ class SmartReply:
     nak: bool = False
     #: analyzer findings carried in a NAK reply
     diagnostics: list = field(default_factory=list)
+    #: True when every answering replica was stale (feed dead fleet-wide)
+    stale: bool = False
+    #: which replica answered ("" when every attempt timed out)
+    wizard: str = ""
+    #: replica epoch carried in the reply (freshness of its status view)
+    epoch: float = 0.0
 
 
 class SmartClient:
@@ -88,13 +137,22 @@ class SmartClient:
         self,
         sim: Simulator,
         stack,
-        wizard_addr: str,
+        wizard_addr: Optional[str] = None,
         config: Config = DEFAULT_CONFIG,
         rng: Optional["random.Random"] = None,
+        wizard_addrs: Optional[list[str]] = None,
     ):
         self.sim = sim
         self.stack = stack
-        self.wizard_addr = wizard_addr
+        #: ranked wizard replica fleet — the explicit list wins; the
+        #: single-address form is kept for one-wizard deployments
+        addrs = list(wizard_addrs) if wizard_addrs else []
+        if not addrs and wizard_addr is not None:
+            addrs = [wizard_addr]
+        if not addrs:
+            raise ValueError("SmartClient needs at least one wizard address")
+        self.wizard_addrs: list[str] = addrs
+        self.wizard_addr = addrs[0]
         self.config = config
         # deployments hand in a per-client named stream; the standalone
         # fallback derives one the same seeded way (never the global RNG)
@@ -106,10 +164,20 @@ class SmartClient:
         self.connect_failures = 0
         #: requirements rejected locally before any packet was sent
         self.precheck_rejections = 0
+        #: stale NAKs received (a replica turned us away, feed dead)
+        self.stale_rejections = 0
+        #: attempts that switched away from the previous replica
+        self.wizard_failovers = 0
         #: sleeps taken between retry attempts (for tests/telemetry)
         self.backoff_history: list[float] = []
         #: dead-server quarantine: addr -> sim time the sentence ends
-        self._quarantine: dict[str, float] = {}
+        self._quarantine = Quarantine(sim, config.quarantine_period)
+        #: dead-replica quarantine (timeouts / staleness NAKs)
+        self._wizard_quarantine = Quarantine(sim, config.wizard_quarantine_period)
+        #: freshest epoch each replica has advertised in a reply
+        self._wizard_epochs: dict[str, float] = {}
+        #: replica the previous attempt used (failover telemetry)
+        self.last_wizard: Optional[str] = None
 
     # -- pre-submit static check ---------------------------------------------
     def precheck_requirement(self, requirement: str) -> None:
@@ -126,6 +194,32 @@ class SmartClient:
                 diagnostics=compiled.errors or compiled.diagnostics,
             )
 
+    # -- wizard replica ranking ----------------------------------------------
+    def _rank_wizards(self) -> list[str]:
+        """Replicas in send preference order: non-quarantined first, then
+        by the freshest epoch each has advertised, then configured order
+        (a deterministic total order — no set iteration feeds this)."""
+        self._wizard_quarantine.decay()
+        active = self._wizard_quarantine.active()
+        return [
+            self.wizard_addrs[i]
+            for i in sorted(
+                range(len(self.wizard_addrs)),
+                key=lambda i: (
+                    self.wizard_addrs[i] in active,
+                    -self._wizard_epochs.get(self.wizard_addrs[i], 0.0),
+                    i,
+                ),
+            )
+        ]
+
+    def quarantined_wizards(self) -> set[str]:
+        """Replicas currently serving a quarantine sentence."""
+        return self._wizard_quarantine.active()
+
+    def _note_wizard_failure(self, addr: str) -> None:
+        self._wizard_quarantine.add(addr)
+
     # -- wizard round trip ---------------------------------------------------
     def request_servers(self, requirement: str, n: int, option: str = "",
                         precheck: bool = True):
@@ -135,6 +229,10 @@ class SmartClient:
         sequence number does not match is ignored (§3.6.2 step 3).  With
         ``precheck`` (the default) a statically-bad requirement raises
         :class:`RequirementRejected` before any packet is sent.
+
+        Every attempt is addressed to the best-ranked wizard replica
+        (:meth:`_rank_wizards`); a replica that times out or answers
+        ``REPLY_STALE`` is quarantined so the next attempt fails over.
         """
         if n <= 0:
             raise ValueError(f"server count must be positive, got {n}")
@@ -142,6 +240,8 @@ class SmartClient:
             self.precheck_requirement(requirement)
         sock = self.stack.udp_socket()
         backoff = self.config.client_backoff_base
+        stale_replies = 0
+        timed_out = 0
         try:
             for attempt in range(1 + self.config.client_retries):
                 if attempt > 0:
@@ -155,12 +255,16 @@ class SmartClient:
                     )
                     self.backoff_history.append(backoff)
                     yield self.sim.timeout(backoff)
+                target = self._rank_wizards()[0]
+                if self.last_wizard is not None and target != self.last_wizard:
+                    self.wizard_failovers += 1
+                self.last_wizard = target
                 seq = self.rng.randrange(1, 2**31)
                 request = WizardRequest(
                     seq=seq, server_num=n, option=option, detail=requirement
                 )
                 sock.sendto(
-                    self.wizard_addr,
+                    target,
                     self.config.ports.wizard,
                     size=request.wire_bytes,
                     payload=request,
@@ -172,18 +276,37 @@ class SmartClient:
                     fired = yield self.sim.any_of([get, deadline])
                     if get not in fired:
                         self.timeouts += 1
-                        break  # retry with a fresh sequence number
+                        timed_out += 1
+                        self._note_wizard_failure(target)
+                        # withdraw the pending getter: abandoned, it would
+                        # swallow the next attempt's reply
+                        sock.rx.cancel(get)
+                        break  # fail over with a fresh sequence number
                     dgram = fired[get]
                     reply = dgram.payload
-                    if isinstance(reply, WizardReply) and reply.seq == seq:
-                        return SmartReply(
-                            seq=seq, servers=list(reply.servers),
-                            attempts=attempt + 1,
-                            nak=reply.status == REPLY_NAK,
-                            diagnostics=list(reply.diagnostics),
-                        )
-                    # stale or foreign reply: keep waiting on the deadline
-            return SmartReply(seq=-1, servers=[], attempts=1 + self.config.client_retries)
+                    if not (isinstance(reply, WizardReply) and reply.seq == seq):
+                        continue  # late/foreign reply: keep waiting
+                    self._wizard_epochs[target] = max(
+                        self._wizard_epochs.get(target, 0.0), reply.epoch
+                    )
+                    if reply.status == REPLY_STALE:
+                        # this replica's status feed died: quarantine it
+                        # and retry against the next-freshest replica
+                        self.stale_rejections += 1
+                        stale_replies += 1
+                        self._note_wizard_failure(target)
+                        break
+                    return SmartReply(
+                        seq=seq, servers=list(reply.servers),
+                        attempts=attempt + 1,
+                        nak=reply.status == REPLY_NAK,
+                        diagnostics=list(reply.diagnostics),
+                        wizard=target, epoch=reply.epoch,
+                    )
+            return SmartReply(
+                seq=-1, servers=[], attempts=1 + self.config.client_retries,
+                stale=stale_replies > 0 and timed_out == 0,
+            )
         finally:
             sock.close()
 
@@ -237,19 +360,21 @@ class SmartClient:
     # -- dead-server quarantine ----------------------------------------------
     def _note_connect_failure(self, addr: str) -> None:
         self.connect_failures += 1
-        self._quarantine[addr] = self.sim.now + self.config.quarantine_period
+        self._quarantine.add(addr)
+
+    def quarantine_server(self, addr: str) -> None:
+        """Mark a server dead from outside the connect path — the session
+        layer calls this when a health lease expires or a peer resets, so
+        the very next ``smart_sockets`` round avoids the corpse."""
+        self._quarantine.add(addr)
 
     def quarantined(self) -> set[str]:
         """Addresses currently serving a quarantine sentence."""
-        now = self.sim.now
-        return {a for a, until in self._quarantine.items() if until > now}
+        return self._quarantine.active()
 
     def _deprioritise(self, servers: list[str]) -> list[str]:
         """Stable-sort a wizard reply so quarantined hosts connect last."""
-        now = self.sim.now
-        for addr, until in list(self._quarantine.items()):
-            if until <= now:
-                del self._quarantine[addr]
+        self._quarantine.decay()
         if not self._quarantine:
             return list(servers)
         return sorted(servers, key=lambda a: a in self._quarantine)

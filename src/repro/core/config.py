@@ -32,6 +32,9 @@ class Ports:
     #: application service port on every worker/file server (not in the
     #: thesis tables; the client library connects here, §3.6.2 step 4)
     service: int = 9000
+    #: health-lease port: the reliable-socket heartbeat responder every
+    #: self-healing session pings (beyond the thesis — HA extension)
+    lease: int = 9001
     #: closed port targeted by the one-way UDP probes so the peer answers
     #: with ICMP port-unreachable
     probe_target: int = 33434
@@ -93,6 +96,20 @@ class Config:
     #: wizard compile cache: distinct requirement texts kept as analyzed,
     #: constant-folded ASTs (LRU); repeated requests skip lex/parse/analyze
     compile_cache_size: int = 256
+    #: high availability: a wizard whose *freshest* status DB is older than
+    #: this NAKs with REPLY_STALE so clients fail over to a fresher replica
+    #: (``inf`` disables the check — single-wizard deployments)
+    wizard_staleness_limit: float = float("inf")
+    #: how long a client deprioritises a wizard replica after a timeout or
+    #: staleness NAK before giving it another chance
+    wizard_quarantine_period: float = 5.0
+    #: self-healing sessions: heartbeat period of the health lease
+    lease_interval: float = 0.5
+    #: a lease with no heartbeat answer for this long is expired — the
+    #: session declares the server dead and fails over
+    lease_timeout: float = 2.0
+    #: failover attempts a session makes before giving up its server slot
+    session_retries: int = 3
     mode: str = Mode.CENTRALIZED
 
 

@@ -99,6 +99,23 @@ class Receiver:
             return float("inf")
         return self.sim.now - last
 
+    def epoch(self) -> float:
+        """Sim time of the freshest applied snapshot (0 when none ever
+        arrived) — the replica-epoch clients use to prefer the wizard
+        replica with the most recent view of the world."""
+        return max(self._updated_at.values(), default=0.0)
+
+    def min_freshness_age(self) -> float:
+        """Age of the *freshest* database (``inf`` before any snapshot).
+
+        The wizard's staleness NAK keys off this: a replica whose newest
+        data is older than ``wizard_staleness_limit`` has lost its feed
+        entirely (receiver dead, all transmitters partitioned) and should
+        send clients to a healthier replica."""
+        if not self._updated_at:
+            return float("inf")
+        return self.sim.now - self.epoch()
+
     # -- merging ---------------------------------------------------------------
     def _apply(self, src: str, msg_type: int, data: dict):
         """Process generator: merge one snapshot into shared memory."""

@@ -35,6 +35,7 @@ __all__ = [
     "MSG_PULL",
     "REPLY_OK",
     "REPLY_NAK",
+    "REPLY_STALE",
     "SERVER_RECORD_BYTES",
     "WIRE_TAG_HANDLERS",
 ]
@@ -57,9 +58,12 @@ MSG_SECDB = 3
 MSG_PULL = 4  # distributed-mode snapshot request
 
 #: wizard reply status (Table 3.6 extension): OK carries servers, NAK
-#: carries the static-analysis diagnostics that rejected the request
+#: carries the static-analysis diagnostics that rejected the request, and
+#: STALE means this replica's status DBs exceeded the configured
+#: staleness limit — the client should fail over to a fresher replica
 REPLY_OK = 0
 REPLY_NAK = 1
+REPLY_STALE = 2
 
 #: live handler registry: every wire tag defined above names the dotted
 #: paths that consume it.  The REPRO302 analyzer rule cross-checks any
@@ -75,6 +79,8 @@ WIRE_TAG_HANDLERS: dict[str, tuple[str, ...]] = {
     "REPLY_OK": ("repro.core.client.SmartClient.request_servers",),
     "REPLY_NAK": ("repro.core.client.SmartClient.request_servers",
                   "repro.core.wizard.WizardReply.is_nak"),
+    "REPLY_STALE": ("repro.core.client.SmartClient.request_servers",
+                    "repro.core.wizard.WizardReply.is_stale"),
 }
 
 assert set(WIRE_TAG_HANDLERS) == {

@@ -1,0 +1,307 @@
+"""Self-healing smart sessions — the HA data plane (beyond the thesis).
+
+The thesis' smart socket picks good servers *once*, at connect time; a
+server that dies mid-job takes its share of the work down with it.  This
+module closes that gap with a session layer over the smart socket:
+
+* every server runs a :class:`LeaseResponder` — a tiny heartbeat service
+  on ``config.ports.lease`` built on the reliable-socket layer
+  (:mod:`repro.core.rsocket`), answering ``PING`` with ``PONG``;
+* a :class:`SmartSession` wraps one application connection plus a *health
+  lease* to the same server: a background process pings every
+  ``config.lease_interval`` seconds and declares the server dead when no
+  answer lands within ``config.lease_timeout``.  Death by RST (crashed
+  host) and death by silence (partition, wedged peer) converge on the
+  same signal: the session **aborts the application connection**, so the
+  application driver's pending ``recv()`` raises
+  :class:`~repro.net.tcp.ConnectionClosed` exactly as it would for a
+  reset — one failure path to handle, not two;
+* the driver then calls :meth:`SmartSession.failover`: the dead server
+  is quarantined in the owning :class:`~repro.core.client.SmartClient`
+  and *excluded* for the rest of the job (a set shared by every session
+  of the group, so two sessions never re-adopt each other's corpse), the
+  wizard fleet is re-queried, a replacement is connected, a fresh lease
+  is started and the application's ``on_resume`` hook fires.  The
+  application requeues only the in-flight shard — that is the whole
+  checkpoint.
+
+Everything is driven by simulator events and the client's seeded RNG:
+runs are bit-identical under ``repro check`` with failover enabled.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional
+
+from ..net.tcp import ConnectError, ConnectionClosed, TcpConnection
+from ..sim import Interrupt
+from .config import Config, DEFAULT_CONFIG
+from .rsocket import ReliableServer, ReliableSocket, SessionError
+
+__all__ = ["LeaseResponder", "SmartSession", "smart_sessions"]
+
+_session_ids = itertools.count(1)
+
+#: wire size of one PING/PONG heartbeat payload (seq + tag)
+HEARTBEAT_BYTES = 8
+
+
+class LeaseResponder:
+    """Per-server heartbeat service on ``config.ports.lease``.
+
+    Runs a :class:`~repro.core.rsocket.ReliableServer` so a lease
+    survives transport blips: only a server that is actually gone stops
+    answering.  Deployments start one next to every application service.
+    """
+
+    def __init__(self, host, config: Config = DEFAULT_CONFIG):
+        self.host = host
+        self.config = config
+        self.server = ReliableServer(host.stack, config.ports.lease)
+        self.pings_answered = 0
+        self._proc = None
+        self._workers: list = []
+
+    def start(self) -> None:
+        self.server.start()
+        self._proc = self.host.sim.process(
+            self._accept_loop(), name=f"lease-responder@{self.host.name}"
+        )
+
+    def stop(self) -> None:
+        for proc in [self._proc, *self._workers]:
+            if proc is not None and proc.is_alive:
+                proc.interrupt("stop")
+        self.server.stop()
+
+    def _accept_loop(self):
+        try:
+            while True:
+                session = yield self.server.accept()
+                self._workers[:] = [p for p in self._workers if p.is_alive]
+                self._workers.append(self.host.sim.process(
+                    self._answer(session),
+                    name=f"lease-answer@{self.host.name}",
+                ))
+        except Interrupt:
+            pass
+
+    def _answer(self, session):
+        try:
+            while True:
+                msg, _ = yield session.recv()
+                if msg[0] == "PING":
+                    session.send(("PONG", msg[1]), HEARTBEAT_BYTES)
+                    self.pings_answered += 1
+        except Interrupt:
+            pass
+
+
+class SmartSession:
+    """One application connection with a health lease and a failover path.
+
+    Drivers use :attr:`conn` exactly like a plain
+    :class:`~repro.net.tcp.TcpConnection`; when a send/recv raises
+    :class:`~repro.net.tcp.ConnectionClosed` they requeue the in-flight
+    shard and call ``conn = yield from session.failover()`` — ``None``
+    means the slot is lost for good (leave remaining work to the peers).
+    """
+
+    def __init__(
+        self,
+        client,
+        conn: TcpConnection,
+        requirement: str,
+        option: str = "",
+        service_port: Optional[int] = None,
+        mss: Optional[int] = None,
+        on_resume: Optional[Callable] = None,
+        excluded: Optional[set[str]] = None,
+    ):
+        self.client = client
+        self.sim = client.sim
+        self.config: Config = client.config
+        self.requirement = requirement
+        self.option = option
+        self.service_port = (service_port if service_port is not None
+                             else self.config.ports.service)
+        self.mss = mss
+        #: ``on_resume(session, old_addr, new_addr)`` — the application
+        #: resume hook, fired after a replacement server is connected
+        self.on_resume = on_resume
+        #: dead servers, shared by every session of the group: a server
+        #: that died once is never re-adopted within the job
+        self.excluded: set[str] = excluded if excluded is not None else set()
+        self.session_id = next(_session_ids)
+        self.conn = conn
+        self.addr = conn.remote_addr
+        #: every server this slot has used, in adoption order
+        self.history: list[str] = [self.addr]
+        self.failovers = 0
+        self.lease_expiries = 0
+        #: True once failover gave up: the slot is permanently lost
+        self.dead = False
+        self._lease_proc = None
+        self._siblings: list["SmartSession"] = [self]
+
+    # -- health lease --------------------------------------------------------
+    def start_lease(self) -> None:
+        self._lease_proc = self.sim.process(
+            self._lease_loop(self.conn, self.addr),
+            name=f"lease-{self.session_id}-{self.addr}",
+        )
+
+    def stop_lease(self) -> None:
+        if self._lease_proc is not None and self._lease_proc.is_alive:
+            self._lease_proc.interrupt("stop")
+        self._lease_proc = None
+
+    def close(self) -> None:
+        """Orderly end of the slot: stop the lease, close the connection."""
+        self.stop_lease()
+        if not (self.conn.closed or self.conn.reset):
+            self.conn.close()
+
+    def _lease_loop(self, conn: TcpConnection, addr: str):
+        """Heartbeat ``addr`` until the connection ends or the lease
+        expires; on expiry abort ``conn`` so the driver's pending recv
+        raises ConnectionClosed — silent death becomes loud death."""
+        rsock = ReliableSocket(self.client.stack, addr, self.config.ports.lease)
+        try:
+            try:
+                yield from rsock.connect(timeout=self.config.lease_timeout)
+            except (ConnectError, SessionError, ConnectionClosed):
+                self._declare_dead(conn, addr)
+                return
+            seq = 0
+            while True:
+                yield self.sim.timeout(self.config.lease_interval)
+                if conn.reset or conn.peer_closed or conn.closed:
+                    return  # the application path already knows
+                seq += 1
+                rsock.send(("PING", seq), HEARTBEAT_BYTES)
+                get = rsock.recv()
+                deadline = self.sim.timeout(self.config.lease_timeout)
+                fired = yield self.sim.any_of([get, deadline])
+                if get not in fired:
+                    # withdraw the abandoned getter, then declare death
+                    rsock.rx.cancel(get)
+                    self.lease_expiries += 1
+                    self._declare_dead(conn, addr)
+                    return
+        except Interrupt:
+            pass
+        finally:
+            rsock.suspend()  # release the lease transport
+
+    def _declare_dead(self, conn: TcpConnection, addr: str) -> None:
+        self.client.quarantine_server(addr)
+        if not conn.reset:
+            # wake the driver: its pending recv() raises ConnectionClosed
+            conn.abort()
+
+    # -- failover ------------------------------------------------------------
+    def _retire(self, addr: str) -> None:
+        """The server behind ``addr`` is dead: quarantine and exclude it."""
+        self.stop_lease()
+        self.client.quarantine_server(addr)
+        self.excluded.add(addr)
+        if not self.conn.reset:
+            self.conn.abort()
+
+    def _candidates(self, servers: list[str]) -> list[str]:
+        """Rank a wizard reply for adoption: excluded/quarantined servers
+        are dropped, servers a live sibling is already using sort last
+        (spread the load before doubling up)."""
+        usable = [
+            a for a in self.client._deprioritise(servers)
+            if a not in self.excluded and a not in self.client.quarantined()
+        ]
+        in_use = {
+            s.addr for s in self._siblings if s is not self and not s.dead
+        }
+        return sorted(usable, key=lambda a: a in in_use)
+
+    def failover(self):
+        """Process generator -> replacement connection, or ``None``.
+
+        Retries up to ``config.session_retries`` times with the client's
+        decorrelated-jitter backoff between rounds; each round re-queries
+        the wizard fleet (which itself fails over across replicas) and
+        tries every acceptable candidate in rank order.
+        """
+        old_addr = self.addr
+        self._retire(old_addr)
+        # ask for enough servers that the excluded ones leave us a spare
+        want = 1 + len(self.excluded) + max(0, len(self._siblings) - 1)
+        backoff = self.config.client_backoff_base
+        for attempt in range(max(1, self.config.session_retries)):
+            if attempt > 0:
+                backoff = min(
+                    self.config.client_backoff_cap,
+                    self.client.rng.uniform(
+                        self.config.client_backoff_base, backoff * 3.0
+                    ),
+                )
+                yield self.sim.timeout(backoff)
+            reply = yield from self.client.request_servers(
+                self.requirement, want, option=self.option, precheck=False,
+            )
+            for addr in self._candidates(reply.servers):
+                kwargs = {} if self.mss is None else {"mss": self.mss}
+                try:
+                    conn = yield from self.client.stack.tcp.connect(
+                        addr, self.service_port, **kwargs
+                    )
+                except ConnectError:
+                    self.client._note_connect_failure(addr)
+                    continue
+                self.conn = conn
+                self.addr = addr
+                self.history.append(addr)
+                self.failovers += 1
+                self.start_lease()
+                if self.on_resume is not None:
+                    self.on_resume(self, old_addr, addr)
+                return conn
+        self.dead = True
+        return None
+
+
+def smart_sessions(
+    client,
+    requirement: str,
+    n: int,
+    option: str = "",
+    service_port: Optional[int] = None,
+    mss: Optional[int] = None,
+    on_resume: Optional[Callable] = None,
+    strict: bool = False,
+    precheck: bool = True,
+):
+    """Process generator -> list of :class:`SmartSession`.
+
+    The self-healing analogue of
+    :meth:`~repro.core.client.SmartClient.smart_sockets`: same wizard
+    round-trip and connect fan-out, but each connection comes wrapped in
+    a session with a running health lease, and the whole group shares
+    one dead-server exclusion set.
+    """
+    conns = yield from client.smart_sockets(
+        requirement, n, option=option, service_port=service_port, mss=mss,
+        strict=strict, precheck=precheck,
+    )
+    excluded: set[str] = set()
+    sessions = [
+        SmartSession(
+            client, conn, requirement, option=option,
+            service_port=service_port, mss=mss, on_resume=on_resume,
+            excluded=excluded,
+        )
+        for conn in conns
+    ]
+    for session in sessions:
+        session._siblings = sessions
+        session.start_lease()
+    return sessions

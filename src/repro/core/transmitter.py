@@ -1,16 +1,24 @@
 """Transmitter: ships the three status databases to the wizard machine
-(thesis §3.5.1).
+(thesis §3.5.1), extended to a *replicated* control plane.
 
 Records cross in binary ``[type, size, data]`` messages over TCP.  Two
 behaviours:
 
 * **centralized** — actively pushes a snapshot of the three shared-memory
-  segments to the receiver every interval over a persistent connection;
+  segments to every receiver every interval over persistent connections;
 * **distributed** — passive: listens on its own port and answers each
   ``MSG_PULL`` with a fresh snapshot, so status only crosses the (wide
   area) network when a wizard actually needs it.
 
-The centralized push loop is failure-hardened: a send that hits a reset or
+High availability (beyond the thesis): the centralized transmitter *fans
+out* — it accepts a list of receiver addresses and runs one fully
+independent push loop per receiver, each with its own connection,
+reconnect backoff and stall watchdog.  A receiver that is down, wedged
+or partitioned costs only its own loop; snapshots keep flowing to the
+healthy replicas at the normal cadence (partial fan-out failure must
+never stall the others).
+
+Each push loop is failure-hardened: a send that hits a reset or
 locally-closed connection drops the connection instead of killing the
 daemon, reconnects back off exponentially (capped at
 ``config.transmit_backoff_cap``), and a snapshot whose bytes sit unacked
@@ -22,14 +30,29 @@ retransmission timer.
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
 
 from ..net.tcp import ConnectError, ConnectionClosed
 from ..sim import Interrupt, SharedMemory, Simulator
 from .config import Config, DEFAULT_CONFIG, Mode
 from .records import MSG_PULL, WireMessage
 
-__all__ = ["Transmitter"]
+__all__ = ["Transmitter", "PushStats"]
+
+
+@dataclass
+class PushStats:
+    """Per-receiver counters of one fan-out push loop."""
+
+    addr: str
+    snapshots_sent: int = 0
+    bytes_sent: int = 0
+    connects: int = 0
+    send_failures: int = 0
+    stalls: int = 0
+    #: sim time of the last snapshot fully handed to the TCP layer
+    last_push_at: float = field(default=-1.0)
 
 
 class Transmitter:
@@ -43,32 +66,78 @@ class Transmitter:
         receiver_addr: Optional[str] = None,
         config: Config = DEFAULT_CONFIG,
         mode: Optional[str] = None,
+        receiver_addrs: Optional[Sequence[str]] = None,
     ):
         self.sim = sim
         self.stack = stack
         self.shm = shm
-        self.receiver_addr = receiver_addr
         self.config = config
         self.mode = mode or config.mode
-        if self.mode == Mode.CENTRALIZED and receiver_addr is None:
+        #: fan-out targets: explicit list wins; the single-address form is
+        #: kept for the thesis' one-wizard deployments
+        addrs = list(receiver_addrs) if receiver_addrs else []
+        if not addrs and receiver_addr is not None:
+            addrs = [receiver_addr]
+        self.receiver_addrs: list[str] = addrs
+        self.receiver_addr = addrs[0] if addrs else None
+        if self.mode == Mode.CENTRALIZED and not addrs:
             raise ValueError("centralized transmitter needs a receiver address")
-        self._proc = None
-        self.snapshots_sent = 0
-        self.bytes_sent = 0
-        self.connects = 0
-        self.send_failures = 0
-        self.stalls = 0
+        self._procs: list = []
+        #: per-receiver counters, in fan-out order
+        self.push_stats: dict[str, PushStats] = {
+            addr: PushStats(addr) for addr in addrs
+        }
+        # distributed-mode (pull) counters, folded into the aggregates
+        self._pull_snapshots = 0
+        self._pull_bytes = 0
+        self._pull_send_failures = 0
+
+    # -- aggregate counters (back-compat with the single-receiver API) -------
+    @property
+    def snapshots_sent(self) -> int:
+        return sum(s.snapshots_sent for s in self.push_stats.values()) \
+            + self._pull_snapshots
+
+    @property
+    def bytes_sent(self) -> int:
+        return sum(s.bytes_sent for s in self.push_stats.values()) \
+            + self._pull_bytes
+
+    @property
+    def connects(self) -> int:
+        return sum(s.connects for s in self.push_stats.values())
+
+    @property
+    def send_failures(self) -> int:
+        return sum(s.send_failures for s in self.push_stats.values()) \
+            + self._pull_send_failures
+
+    @property
+    def stalls(self) -> int:
+        return sum(s.stalls for s in self.push_stats.values())
 
     # -- lifecycle ------------------------------------------------------------
     def start(self) -> None:
+        self._procs = []
         if self.mode == Mode.CENTRALIZED:
-            self._proc = self.sim.process(self._push_loop(), name="transmitter-push")
+            for addr in self.receiver_addrs:
+                self._procs.append(self.sim.process(
+                    self._push_loop(addr), name=f"transmitter-push-{addr}"
+                ))
         else:
-            self._proc = self.sim.process(self._serve_pulls(), name="transmitter-serve")
+            self._procs.append(self.sim.process(
+                self._serve_pulls(), name="transmitter-serve"
+            ))
 
     def stop(self) -> None:
-        if self._proc is not None and self._proc.is_alive:
-            self._proc.interrupt("stop")
+        for proc in self._procs:
+            if proc is not None and proc.is_alive:
+                proc.interrupt("stop")
+
+    @property
+    def _proc(self):
+        """First worker process (legacy single-loop accessor)."""
+        return self._procs[0] if self._procs else None
 
     # -- snapshotting ------------------------------------------------------------
     def snapshot(self):
@@ -90,16 +159,22 @@ class Transmitter:
             messages.append(builder(dict(data)))
         return messages
 
-    def _send_messages(self, conn, messages) -> None:
+    def _send_messages(self, conn, messages) -> int:
+        sent = 0
         for msg in messages:
             # [type, size] header first, then the binary body — the header
             # is what lets the receiver size its buffer (thesis §3.5.1)
             conn.send(("hdr", msg.type, msg.size), 8)
             conn.send(("body", msg.type, msg.data), max(1, msg.size))
-            self.bytes_sent += 8 + max(1, msg.size)
+            sent += 8 + max(1, msg.size)
+        return sent
 
     # -- centralized push ----------------------------------------------------------
-    def _push_loop(self):
+    def _push_loop(self, addr: str):
+        """One receiver's push loop — connection, backoff and stall
+        watchdog are all private to this loop, so a dead replica never
+        stalls the fan-out to the live ones."""
+        stats = self.push_stats[addr]
         conn = None
         backoff = self.config.transmit_interval
         acked_mark = 0
@@ -120,13 +195,13 @@ class Transmitter:
                         self.sim.now - progress_at
                         >= self.config.transmit_stall_limit
                     ):
-                        self.stalls += 1
+                        stats.stalls += 1
                         conn.abort()
                         conn = None
                 if conn is None:
                     try:
                         conn = yield from self.stack.tcp.connect(
-                            self.receiver_addr, self.config.ports.receiver
+                            addr, self.config.ports.receiver
                         )
                     except ConnectError:
                         yield self.sim.timeout(backoff)
@@ -134,20 +209,21 @@ class Transmitter:
                             backoff * 2.0, self.config.transmit_backoff_cap
                         )
                         continue
-                    self.connects += 1
+                    stats.connects += 1
                     backoff = self.config.transmit_interval
                     acked_mark = conn.bytes_acked
                     progress_at = self.sim.now
                 messages = yield from self.snapshot()
                 try:
-                    self._send_messages(conn, messages)
+                    stats.bytes_sent += self._send_messages(conn, messages)
                 except ConnectionClosed:
                     # connection died mid-snapshot: drop it and reconnect
                     # on the next pass instead of killing the daemon
-                    self.send_failures += 1
+                    stats.send_failures += 1
                     conn = None
                     continue
-                self.snapshots_sent += 1
+                stats.snapshots_sent += 1
+                stats.last_push_at = self.sim.now
                 yield self.sim.timeout(self.config.transmit_interval)
         except Interrupt:
             if conn is not None:
@@ -180,10 +256,10 @@ class Transmitter:
                 if isinstance(payload, WireMessage) and payload.type == MSG_PULL:
                     messages = yield from self.snapshot()
                     try:
-                        self._send_messages(conn, messages)
+                        self._pull_bytes += self._send_messages(conn, messages)
                     except ConnectionClosed:
-                        self.send_failures += 1
+                        self._pull_send_failures += 1
                         return
-                    self.snapshots_sent += 1
+                    self._pull_snapshots += 1
         except Interrupt:
             conn.close()

@@ -47,6 +47,7 @@ from .config import Config, DEFAULT_CONFIG, Mode
 from .records import (
     REPLY_NAK,
     REPLY_OK,
+    REPLY_STALE,
     NetStatusRecord,
     SecurityRecord,
     ServerStatusRecord,
@@ -78,22 +79,36 @@ class WizardRequest:
 
 @dataclass(frozen=True)
 class WizardReply:
-    """Wire format of Table 3.6, extended with a status byte.
+    """Wire format of Table 3.6, extended with a status byte and a
+    replica epoch.
 
     ``status == REPLY_NAK`` means the static analyzer proved the
     requirement unsatisfiable: no status DB was scanned, ``servers`` is
     empty and ``diagnostics`` carries the analyzer findings so the client
     can show *why* instead of retrying a hopeless spec.
+    ``status == REPLY_STALE`` means this replica's status feed died (its
+    freshest DB is older than ``config.wizard_staleness_limit``): the
+    client should fail over to a healthier replica instead of acting on
+    ancient data.  ``epoch`` is the sim time of the replica's freshest
+    applied snapshot — clients rank replicas by it so requests prefer
+    the wizard with the most recent view of the world.
     """
 
     seq: int
     servers: tuple[str, ...]
     status: int = REPLY_OK
     diagnostics: tuple[WireDiagnostic, ...] = ()
+    #: replica epoch: sim time of the freshest DB snapshot behind this
+    #: reply (0 when the wizard runs without a receiver)
+    epoch: float = 0.0
 
     @property
     def is_nak(self) -> bool:
         return self.status == REPLY_NAK
+
+    @property
+    def is_stale(self) -> bool:
+        return self.status == REPLY_STALE
 
     @property
     def server_num(self) -> int:
@@ -102,7 +117,8 @@ class WizardReply:
     @property
     def wire_bytes(self) -> int:
         # the status flag rides in the sign bit of the server_num header
-        # field (a NAK always has server_num == 0), so OK replies cost
+        # field (a NAK always has server_num == 0) and the epoch reuses
+        # the reserved half of the 8-byte header, so OK replies cost
         # exactly what the thesis' Table 3.6 format costs
         return (8 + sum(len(s) + 1 for s in self.servers)
                 + sum(d.wire_bytes for d in self.diagnostics))
@@ -154,6 +170,8 @@ class Wizard:
         self.pull_failures = 0
         #: requests NAKed by the static pre-flight (no DB scan performed)
         self.requests_rejected_static = 0
+        #: requests answered REPLY_STALE because the status feed died
+        self.requests_rejected_stale = 0
         self.bytes_in = 0
         self.bytes_out = 0
 
@@ -252,6 +270,22 @@ class Wizard:
         return WizardReply(seq=request.seq, servers=(), status=REPLY_NAK,
                            diagnostics=diags)
 
+    @property
+    def epoch(self) -> float:
+        """Replica epoch stamped on every reply: sim time of the freshest
+        DB snapshot this wizard's receiver applied (0 without one)."""
+        return self.receiver.epoch() if self.receiver is not None else 0.0
+
+    def _is_stale(self) -> bool:
+        """True when the whole status feed died: the freshest database is
+        older than ``config.wizard_staleness_limit``.  A single lagging
+        DB type does not trip this — only a replica that lost its
+        receiver or every transmitter path should turn clients away."""
+        limit = self.config.wizard_staleness_limit
+        if limit == float("inf") or self.receiver is None:
+            return False
+        return self.receiver.min_freshness_age() > limit
+
     def _process(self, request: WizardRequest, client_addr: str):
         # static pre-flight: a provably-unsatisfiable requirement is NAKed
         # with its diagnostics before the status DB is even read
@@ -259,10 +293,17 @@ class Wizard:
         if compiled.unsatisfiable:
             self.requests_rejected_static += 1
             return self._nak_reply(request, compiled)
+        # staleness pre-flight: a replica whose feed died sends the
+        # client to a fresher replica instead of serving ancient data
+        if self._is_stale():
+            self.requests_rejected_stale += 1
+            return WizardReply(seq=request.seq, servers=(),
+                               status=REPLY_STALE, epoch=self.epoch)
         sysdb, netdb, secdb = yield from self.databases()
         servers = self.match(request, client_addr, sysdb, netdb, secdb,
                              compiled=compiled)
-        return WizardReply(seq=request.seq, servers=tuple(servers))
+        return WizardReply(seq=request.seq, servers=tuple(servers),
+                           epoch=self.epoch)
 
     def match(
         self,

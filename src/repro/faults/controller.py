@@ -56,8 +56,9 @@ class ChaosController:
             reg.setdefault(host_name, []).append((role, daemon))
 
         dep = self.deployment
-        put(dep.wizard_host.name, "receiver", dep.receiver)
-        put(dep.wizard_host.name, "wizard", dep.wizard)
+        for replica in dep.replicas:
+            put(replica.host.name, "receiver", replica.receiver)
+            put(replica.host.name, "wizard", replica.wizard)
         for group in dep.groups.values():
             mon = group.monitor_host.name
             put(mon, "sysmon", group.sysmon)
@@ -73,6 +74,13 @@ class ChaosController:
             if r == role:
                 return d
         raise KeyError(f"no {role!r} daemon deployed on host {host!r}")
+
+    def register_daemon(self, host_name: str, role: str, daemon) -> None:
+        """Add an application-plane daemon (``worker``, ``fileserver``,
+        ``lease``, ...) to the registry so ``crash-host`` stops it and
+        ``restart-host``/``restart-daemon`` can bring it back.  The
+        daemon must expose ``start()``/``stop()``."""
+        self._daemons.setdefault(host_name, []).append((role, daemon))
 
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> None:

@@ -44,9 +44,12 @@ FAULT_KINDS: frozenset[str] = frozenset({
     "loss-burst",
 })
 
-#: daemon role names the controller can kill/restart individually
+#: daemon role names the controller can kill/restart individually —
+#: control-plane roles plus the application-plane roles deployments may
+#: register with :meth:`~repro.faults.controller.ChaosController.register_daemon`
 DAEMON_ROLES: tuple[str, ...] = (
     "probe", "sysmon", "netmon", "secmon", "transmitter", "receiver", "wizard",
+    "worker", "fileserver", "lease",
 )
 
 
@@ -153,6 +156,46 @@ class FaultPlan:
         return self.add(
             FaultEvent(at, "loss-burst", host, value=rate, duration=duration)
         )
+
+    # -- convenience scenarios (the HA acceptance faults) ------------------
+    def kill_wizard_during_request(
+        self, at: float, wizard_host: str,
+        restart_after: Optional[float] = None,
+    ) -> "FaultPlan":
+        """Take one wizard *replica* fully dark at ``at``: both its wizard
+        (so in-flight UDP requests time out) and its receiver (so the
+        replica would be stale even if revived).  Clients must fail over
+        to the surviving replicas.  With ``restart_after`` the replica
+        comes back that many seconds later — quarantine decay should then
+        let clients re-adopt it."""
+        self.kill_daemon(at, wizard_host, "wizard")
+        self.kill_daemon(at, wizard_host, "receiver")
+        if restart_after is not None:
+            if restart_after <= 0:
+                raise ValueError(
+                    f"restart_after must be > 0, got {restart_after}"
+                )
+            self.restart_daemon(at + restart_after, wizard_host, "receiver")
+            self.restart_daemon(at + restart_after, wizard_host, "wizard")
+        return self
+
+    def kill_server_mid_stream(
+        self, at: float, server_host: str,
+        restart_after: Optional[float] = None,
+    ) -> "FaultPlan":
+        """Power-fail an application server at ``at`` while connections
+        are streaming: TCP teardown with no FIN, so the client side sees
+        a reset (or a health-lease expiry) and the self-healing session
+        must requeue the in-flight shard and fail over to a replacement
+        server.  With ``restart_after`` the host restarts later."""
+        self.crash_host(at, server_host)
+        if restart_after is not None:
+            if restart_after <= 0:
+                raise ValueError(
+                    f"restart_after must be > 0, got {restart_after}"
+                )
+            self.restart_host(at + restart_after, server_host)
+        return self
 
     # -- reading ----------------------------------------------------------
     def events(self) -> list[FaultEvent]:

@@ -1,0 +1,131 @@
+"""Quarantine TTL decay (satellite of the HA work): the shared
+TTL-decay mechanism behind both the dead-server and the dead-wizard
+quarantines, plus the client-side wizard-quarantine behaviour."""
+
+from __future__ import annotations
+
+from repro.cluster import Cluster
+from repro.core import Config, Quarantine, SmartClient
+from repro.sim import Simulator
+from tests.conftest import run_process
+
+
+class TestQuarantineDecay:
+    def test_add_and_active(self):
+        sim = Simulator()
+        q = Quarantine(sim, period=5.0)
+        q.add("10.0.0.1")
+        assert q.active() == {"10.0.0.1"}
+        assert q == {"10.0.0.1": 5.0}
+
+    def test_sentence_expires_after_ttl(self):
+        sim = Simulator()
+        q = Quarantine(sim, period=2.0)
+        q.add("10.0.0.1")
+
+        def p():
+            yield sim.timeout(2.5)
+
+        run_process(sim, p(), until=10.0)
+        assert q.active() == set()
+        # expired entries linger in the dict until the next decay pass
+        assert "10.0.0.1" in q
+        q.decay()
+        assert q == {}
+
+    def test_decay_keeps_unexpired_sentences(self):
+        sim = Simulator()
+        q = Quarantine(sim, period=2.0)
+        q.add("early")
+
+        def p():
+            yield sim.timeout(1.5)
+            q.add("late")
+            yield sim.timeout(1.0)  # t=2.5: early expired, late not
+            q.decay()
+            return (set(q), q.active())
+
+        kept, active = run_process(sim, p(), until=10.0)
+        assert kept == {"late"}
+        assert active == {"late"}
+
+    def test_re_add_restarts_the_sentence(self):
+        sim = Simulator()
+        q = Quarantine(sim, period=2.0)
+        q.add("a")
+
+        def p():
+            yield sim.timeout(1.5)
+            q.add("a")  # re-offend at t=1.5: sentence now ends at 3.5
+            yield sim.timeout(1.0)  # t=2.5
+            return q.active()
+
+        assert run_process(sim, p(), until=10.0) == {"a"}
+
+    def test_custom_period_overrides_default(self):
+        sim = Simulator()
+        q = Quarantine(sim, period=100.0)
+        q.add("a", period=1.0)
+
+        def p():
+            yield sim.timeout(1.5)
+
+        run_process(sim, p(), until=10.0)
+        assert q.active() == set()
+
+
+def two_wizard_world(**config_kwargs):
+    """cli plus two (silent) wizard hosts — nothing listens on the wizard
+    port, so every request times out."""
+    cluster = Cluster(seed=13)
+    cli = cluster.add_host("cli")
+    w1 = cluster.add_host("w1")
+    w2 = cluster.add_host("w2")
+    sw = cluster.add_switch("sw")
+    for h in (cli, w1, w2):
+        cluster.link(h, sw)
+    cluster.finalize()
+    cfg = Config(client_timeout=0.5, client_retries=2,
+                 client_backoff_base=0.1, client_backoff_cap=0.5,
+                 **config_kwargs)
+    client = SmartClient(cluster.sim, cli.stack, config=cfg,
+                         wizard_addrs=[w1.addr, w2.addr])
+    return cluster, client, w1, w2
+
+
+class TestWizardQuarantine:
+    def test_timeouts_quarantine_and_fail_over(self):
+        cluster, client, w1, w2 = two_wizard_world(wizard_quarantine_period=5.0)
+
+        def p():
+            reply = yield from client.request_servers("host_cpu_free > 0", 1)
+            return reply, client.quarantined_wizards()
+
+        reply, quarantined = run_process(cluster.sim, p(), until=30.0)
+        assert reply.servers == []
+        # first attempt hits w1, quarantines it; the retry fails over
+        assert quarantined == {w1.addr, w2.addr}
+        assert client.wizard_failovers >= 1
+        assert client.timeouts == 3
+
+    def test_wizard_quarantine_decays(self):
+        cluster, client, w1, w2 = two_wizard_world(wizard_quarantine_period=2.0)
+
+        def p():
+            yield from client.request_servers("host_cpu_free > 0", 1)
+            yield cluster.sim.timeout(5.0)
+
+        run_process(cluster.sim, p(), until=30.0)
+        assert client.quarantined_wizards() == set()
+        # ranking decays the dict in place: expired sentences purged,
+        # configured order restored
+        assert client._rank_wizards() == [w1.addr, w2.addr]
+        assert client._wizard_quarantine == {}
+
+    def test_ranking_prefers_fresher_epoch(self):
+        cluster, client, w1, w2 = two_wizard_world()
+        client._wizard_epochs[w2.addr] = 7.5
+        assert client._rank_wizards() == [w2.addr, w1.addr]
+        # quarantine trumps freshness
+        client._note_wizard_failure(w2.addr)
+        assert client._rank_wizards() == [w1.addr, w2.addr]

@@ -1,0 +1,239 @@
+"""The self-healing session layer: health leases (LeaseResponder +
+SmartSession lease loop) and server failover."""
+
+from __future__ import annotations
+
+from repro.cluster import Cluster, Deployment
+from repro.core import Config, LeaseResponder, SmartClient, SmartSession, smart_sessions
+from repro.sim import Interrupt
+from tests.conftest import run_process
+
+REQ = "host_cpu_free > 0"
+
+
+def sink_service(host, port=9000):
+    """Accept application connections and hold them open (no traffic)."""
+    def serve():
+        listener = host.stack.tcp.listen(port)
+        conns = []
+        try:
+            while True:
+                conn = yield listener.accept()
+                conns.append(conn)
+        except Interrupt:
+            listener.close()
+
+    return host.sim.process(serve(), name=f"sink@{host.name}")
+
+
+def lease_world(**config_kwargs):
+    """cli <-> sw <-> srv, with a sink service on srv.  No wizard: the
+    lease path never talks to one."""
+    cluster = Cluster(seed=7)
+    cli = cluster.add_host("cli")
+    srv = cluster.add_host("srv")
+    sw = cluster.add_switch("sw")
+    cluster.link(cli, sw)
+    cluster.link(srv, sw)
+    cluster.finalize()
+    cfg = Config(lease_interval=0.5, lease_timeout=1.5,
+                 quarantine_period=30.0, **config_kwargs)
+    sink_service(srv)
+    client = SmartClient(cluster.sim, cli.stack,
+                         wizard_addr=srv.addr, config=cfg)
+    return cluster, cfg, client, srv
+
+
+class TestHealthLease:
+    def test_responder_answers_pings_on_healthy_conn(self):
+        cluster, cfg, client, srv = lease_world()
+        responder = LeaseResponder(srv, cfg)
+        responder.start()
+
+        def p():
+            conn = yield from client.stack.tcp.connect(srv.addr, 9000)
+            session = SmartSession(client, conn, REQ)
+            session.start_lease()
+            yield cluster.sim.timeout(5.0)
+            state = (responder.pings_answered, session.lease_expiries,
+                     conn.reset)
+            session.close()
+            return state
+
+        answered, expiries, reset = run_process(cluster.sim, p(), until=30.0)
+        # one ping per lease_interval: ~10 in 5 s, minus startup slack
+        assert answered >= 8
+        assert expiries == 0
+        assert not reset
+
+    def test_no_responder_declares_server_dead(self):
+        cluster, cfg, client, srv = lease_world()  # responder never started
+
+        def p():
+            conn = yield from client.stack.tcp.connect(srv.addr, 9000)
+            session = SmartSession(client, conn, REQ)
+            session.start_lease()
+            yield cluster.sim.timeout(3.0)
+            return conn.reset, client.quarantined()
+
+        reset, quarantined = run_process(cluster.sim, p(), until=30.0)
+        assert reset  # lease connect failed -> conn aborted for the driver
+        assert srv.addr in quarantined
+
+    def test_silent_death_expires_the_lease(self):
+        """Partition (no RST ever arrives): only the lease can notice."""
+        cluster, cfg, client, srv = lease_world()
+        responder = LeaseResponder(srv, cfg)
+        responder.start()
+        links = [link for link in cluster.network.links
+                 if {link.a.name, link.b.name} == {"srv", "sw"}]
+
+        def p():
+            conn = yield from client.stack.tcp.connect(srv.addr, 9000)
+            session = SmartSession(client, conn, REQ)
+            session.start_lease()
+            yield cluster.sim.timeout(2.0)
+            for link in links:
+                link.set_up(False)
+            yield cluster.sim.timeout(cfg.lease_timeout + 2 * cfg.lease_interval + 0.5)
+            return session.lease_expiries, conn.reset, client.quarantined()
+
+        expiries, reset, quarantined = run_process(cluster.sim, p(), until=30.0)
+        assert expiries == 1
+        assert reset  # silent death surfaced as an abort to the driver
+        assert srv.addr in quarantined
+
+    def test_orderly_close_stops_the_lease(self):
+        cluster, cfg, client, srv = lease_world()
+        responder = LeaseResponder(srv, cfg)
+        responder.start()
+
+        def p():
+            conn = yield from client.stack.tcp.connect(srv.addr, 9000)
+            session = SmartSession(client, conn, REQ)
+            session.start_lease()
+            yield cluster.sim.timeout(2.0)
+            session.close()
+            answered_at_close = responder.pings_answered
+            yield cluster.sim.timeout(3.0)
+            return (conn.closed, session.lease_expiries,
+                    responder.pings_answered, answered_at_close,
+                    client.quarantined())
+
+        closed, expiries, after, at_close, quarantined = run_process(
+            cluster.sim, p(), until=30.0)
+        assert closed
+        assert expiries == 0
+        assert after == at_close  # no pings after close
+        assert quarantined == set()
+
+
+def failover_world(n_servers=3, **config_kwargs):
+    """A real deployment (wizard + probes) with sink services and lease
+    responders on every server."""
+    cluster = Cluster(seed=11)
+    wizard_host = cluster.add_host("wizard")
+    client_host = cluster.add_host("client")
+    cluster.link(client_host, wizard_host)
+    servers = []
+    for i in range(n_servers):
+        s = cluster.add_host(f"srv{i}")
+        cluster.link(s, wizard_host)
+        servers.append(s)
+    cluster.finalize()
+    cfg = Config(probe_interval=0.5, transmit_interval=0.5,
+                 client_timeout=1.0, client_retries=2,
+                 client_backoff_base=0.1, client_backoff_cap=0.5,
+                 lease_interval=0.5, lease_timeout=1.5,
+                 quarantine_period=30.0, **config_kwargs)
+    dep = Deployment(cluster, wizard_host=wizard_host, config=cfg)
+    dep.add_group("lab", monitor_host=wizard_host, servers=servers)
+    dep.start()
+    responders = {}
+    for s in servers:
+        sink_service(s)
+        responders[s.name] = LeaseResponder(s, cfg)
+        responders[s.name].start()
+    return cluster, dep, client_host, servers, responders
+
+
+def kill_server(cluster, host, responders):
+    """Power-fail one application server: abort every conn (peers see
+    RST), release its ports, stop its responder."""
+    for conn in list(host.stack.tcp.conns.values()):
+        conn.abort()
+    responders[host.name].stop()
+    for listener in list(host.stack.tcp.listeners.values()):
+        listener.close()
+
+
+class TestFailover:
+    def test_group_shares_one_exclusion_set(self):
+        cluster, dep, client_host, servers, responders = failover_world()
+        client = dep.client_for(client_host)
+
+        def p():
+            yield cluster.sim.timeout(dep.warm_up_seconds())
+            sessions = yield from smart_sessions(client, REQ, 2)
+            state = (len(sessions),
+                     sessions[0].excluded is sessions[1].excluded,
+                     sessions[0]._siblings is sessions[1]._siblings)
+            for s in sessions:
+                s.close()
+            return state
+
+        n, shared_excl, shared_sibs = run_process(cluster.sim, p(), until=60.0)
+        assert n == 2
+        assert shared_excl and shared_sibs
+
+    def test_failover_adopts_a_fresh_server(self):
+        cluster, dep, client_host, servers, responders = failover_world()
+        client = dep.client_for(client_host)
+        by_addr = {s.addr: s for s in servers}
+        resumes = []
+
+        def p():
+            yield cluster.sim.timeout(dep.warm_up_seconds())
+            sessions = yield from smart_sessions(
+                client, REQ, 2,
+                on_resume=lambda s, old, new: resumes.append((old, new)),
+            )
+            victim = sessions[0]
+            old_addr = victim.addr
+            sibling_addr = sessions[1].addr
+            kill_server(cluster, by_addr[old_addr], responders)
+            conn = yield from victim.failover()
+            state = (old_addr, sibling_addr, conn, victim)
+            for s in sessions:
+                s.close()
+            return state
+
+        old_addr, sibling_addr, conn, victim = run_process(
+            cluster.sim, p(), until=120.0)
+        assert conn is not None and conn is victim.conn
+        assert victim.failovers == 1 and not victim.dead
+        assert victim.addr != old_addr
+        assert old_addr in victim.excluded
+        assert victim.history == [old_addr, victim.addr]
+        # with a spare available, don't double up on the live sibling
+        assert victim.addr != sibling_addr
+        assert resumes == [(old_addr, victim.addr)]
+
+    def test_failover_exhaustion_marks_slot_dead(self):
+        cluster, dep, client_host, servers, responders = failover_world(
+            n_servers=1, session_retries=2)
+        client = dep.client_for(client_host)
+        by_addr = {s.addr: s for s in servers}
+
+        def p():
+            yield cluster.sim.timeout(dep.warm_up_seconds())
+            sessions = yield from smart_sessions(client, REQ, 1)
+            victim = sessions[0]
+            kill_server(cluster, by_addr[victim.addr], responders)
+            conn = yield from victim.failover()
+            return conn, victim
+
+        conn, victim = run_process(cluster.sim, p(), until=120.0)
+        assert conn is None
+        assert victim.dead
+        assert victim.failovers == 0
