@@ -90,12 +90,24 @@ def _run_failover() -> list:
     return [arm for arm in arms if arm.races is not None]
 
 
+def _run_grayfail() -> list:
+    from ..bench.experiments import grayfail_experiment
+
+    arms = [
+        grayfail_experiment(scenario=scenario, detector="adaptive",
+                            sanitize=True)
+        for scenario in ("slow_server", "degraded_link")
+    ]
+    return [arm for arm in arms if arm.races is not None]
+
+
 #: named smoke scenarios: name -> zero-arg runner returning the arms that
 #: carried a sanitizer (each arm contributes its races/access count)
 NAMED_SCENARIOS: dict[str, Callable[[], list]] = {
     "matmul": _run_matmul,
     "massd": _run_massd,
     "failover": _run_failover,
+    "grayfail": _run_grayfail,
 }
 
 

@@ -56,6 +56,10 @@ __all__ = [
     "failover_experiment",
     "FailoverArm",
     "FAILOVER_SCENARIOS",
+    "grayfail_experiment",
+    "GrayFailArm",
+    "GRAYFAIL_SCENARIOS",
+    "GRAYFAIL_DETECTORS",
     "TESTBED_SERVER_NAMES",
 ]
 
@@ -523,12 +527,25 @@ class FailoverArm:
     tracked_accesses: int = 0
 
 
-def _failover_world(seed: int, sanitize: bool = False):
+def _failover_world(seed: int, sanitize: bool = False,
+                    watchdog: bool = False):
     """The HA star (same shape as the chaos test world): a two-replica
     wizard fleet, two 3-server groups with slow matmul CPUs (~2 s per
-    80x80 block), workers + lease responders on every server."""
+    80x80 block), workers + lease responders on every server.
+
+    ``watchdog=True`` arms the sessions' throughput-floor watchdog (the
+    adaptive gray-failure detector); off, only the binary lease detector
+    runs — the two arms of :func:`grayfail_experiment`."""
     from ..core import LeaseResponder
 
+    extra = {}
+    if watchdog:
+        # min_samples=3: a matmul session only records ~1 progress gap
+        # per block cycle, so demanding more would leave the detector
+        # cold past the fault window of a short benchmark job
+        extra = dict(session_watchdog_interval=0.5,
+                     session_watchdog_min_samples=3,
+                     session_watchdog_phi=2.5)
     config = Config(
         probe_interval=1.0, probe_miss_limit=3, transmit_interval=1.0,
         netmon_interval=1.0, client_timeout=1.0, client_retries=2,
@@ -536,7 +553,7 @@ def _failover_world(seed: int, sanitize: bool = False):
         transmit_backoff_cap=2.0, transmit_stall_limit=3.0,
         quarantine_period=5.0, wizard_staleness_limit=4.0,
         wizard_quarantine_period=5.0, lease_interval=0.5,
-        lease_timeout=2.0, session_retries=3,
+        lease_timeout=2.0, session_retries=3, **extra,
     )
     cluster = Cluster(seed=seed, sanitize=sanitize)
     wiz = cluster.add_host("wiz")
@@ -646,6 +663,145 @@ def failover_experiment(
             name_of.get(a, a): c
             for a, c in result.blocks_per_server.items()
         },
+        races=(tuple(cluster.sanitizer.races)
+               if cluster.sanitizer is not None else None),
+        tracked_accesses=(cluster.sanitizer.accesses
+                          if cluster.sanitizer is not None else 0),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Gray failures — adaptive vs fixed-timeout detection under fail-slow faults
+# ---------------------------------------------------------------------------
+
+#: gray fault modes of :func:`grayfail_experiment`
+GRAYFAIL_SCENARIOS = ("none", "slow_server", "degraded_link")
+#: detector arms: the adaptive (watchdog) sessions vs the binary
+#: lease-only baseline
+GRAYFAIL_DETECTORS = ("adaptive", "fixed")
+
+
+@dataclass
+class GrayFailArm:
+    """One gray-failure run of the self-healing matmul."""
+
+    label: str
+    detector: str
+    seed: int
+    elapsed: float
+    #: sim time the gray fault started (-1 in the ``none`` baseline)
+    fault_at: float
+    #: sim time of the first proactive watchdog migration (-1 = never)
+    demote_at: float
+    slow_migrations: int
+    failovers: int
+    requeued_blocks: int
+    lease_expiries: int
+    #: race reports + access count (``sanitize=True`` runs only)
+    races: Optional[tuple] = None
+    tracked_accesses: int = 0
+
+    @property
+    def time_to_demote(self) -> float:
+        """Seconds from fault injection to the watchdog pulling the
+        session off the sick server (-1 when either never happened)."""
+        if self.fault_at < 0 or self.demote_at < 0:
+            return -1.0
+        return self.demote_at - self.fault_at
+
+
+def grayfail_experiment(
+    scenario: str = "slow_server",
+    detector: str = "adaptive",
+    seed: int = 0,
+    n: int = 400,
+    blk: int = 80,
+    sanitize: bool = False,
+) -> GrayFailArm:
+    """One self-healing matmul run (2 sessions) under a *gray* fault.
+
+    Unlike :func:`failover_experiment` the injected server never dies: in
+    ``slow_server`` its CPU is throttled 8x (it keeps heartbeating, so
+    the lease never expires); in ``degraded_link`` its access link gains
+    half a second of latency (sick but connected).  The ``detector`` arm picks
+    what catches it: ``adaptive`` sessions run the phi-accrual
+    throughput-floor watchdog, ``fixed`` sessions have only the binary
+    lease — they ride the sick server to the end of the job.  The
+    slowdown ratio between the arms (each against its own same-seed
+    ``none`` baseline) is the headline of ``BENCH_grayfail.json``.
+    """
+    from ..faults import ChaosController, FaultPlan
+
+    if scenario not in GRAYFAIL_SCENARIOS:
+        raise ValueError(f"unknown grayfail scenario {scenario!r}")
+    if detector not in GRAYFAIL_DETECTORS:
+        raise ValueError(f"unknown detector arm {detector!r}")
+    requirement = "host_cpu_free > 0.1\nhost_status_age < 10"
+    request_at = 6.0
+    cluster, dep, servers, services, responders = _failover_world(
+        seed, sanitize=sanitize, watchdog=(detector == "adaptive"))
+    name_of = {s.addr: s.name for s in servers}
+    out: dict = {}
+
+    def arm_chaos(plan):
+        chaos = ChaosController(dep, plan)
+        for sname, worker in services.items():
+            chaos.register_daemon(sname, "worker", worker)
+        for sname, responder in responders.items():
+            chaos.register_daemon(sname, "lease", responder)
+        chaos.start()
+
+    def driver():
+        from ..core import smart_sessions
+
+        yield cluster.sim.timeout(request_at)
+        client = dep.client_for(cluster.host("cli"))
+        out["client"] = client
+        sessions = yield from smart_sessions(
+            client, requirement, 2, service_port=SERVICE_PORT, mss=BULK_MSS)
+        out["sessions"] = sessions
+        if scenario != "none":
+            # ~2 healthy block cycles first, so the adaptive watchdog has
+            # a learned progress baseline before the gray fault lands
+            fault_at = cluster.sim.now + 8.0
+            victim = name_of[sessions[0].addr]
+            out["fault_at"] = fault_at
+            if scenario == "slow_server":
+                plan = FaultPlan().slow_host(
+                    fault_at, victim, factor=10.0, duration=3600.0)
+            else:  # degraded_link: the victim's access link goes sick.
+                # Pure latency, no loss: +500 ms of RTT collapses TCP
+                # throughput (the window over a 1 s RTT) while the lease
+                # heartbeat still answers well inside its 2 s timeout —
+                # loss would hand the binary detector an expiry and turn
+                # the gray fault black
+                sw = "sw-g1" if int(victim[1:]) < 3 else "sw-g2"
+                plan = FaultPlan().degrade_link(
+                    fault_at, victim, sw, duration=3600.0, latency=0.5)
+            arm_chaos(plan)
+        prog = MatMulMaster(cluster.host("cli"))
+        result = yield from prog.run(sessions, n=n, blk=blk)
+        for session in sessions:
+            session.close()
+        out["result"] = result
+
+    proc = cluster.sim.process(driver(), name="grayfail-driver")
+    _drive(cluster, proc)
+    result = out["result"]
+    watchdog_log = sorted(
+        entry for s in out["sessions"] for entry in s.watchdog_log
+    )
+    return GrayFailArm(
+        label=scenario,
+        detector=detector,
+        seed=seed,
+        elapsed=result.elapsed,
+        fault_at=out.get("fault_at", -1.0),
+        demote_at=watchdog_log[0][0] if watchdog_log else -1.0,
+        slow_migrations=sum(s.slow_migrations for s in out["sessions"]),
+        failovers=result.failovers,
+        requeued_blocks=result.requeued_blocks,
+        lease_expiries=sum(s.lease_expiries for s in out["sessions"]),
         races=(tuple(cluster.sanitizer.races)
                if cluster.sanitizer is not None else None),
         tracked_accesses=(cluster.sanitizer.accesses

@@ -100,7 +100,12 @@ class Deployment:
         #: the wizard replica set — one receiver + wizard pair per host
         self.replicas: list[WizardReplica] = []
         for host in hosts:
-            receiver = Receiver(cluster.sim, host.stack, host.shm, config)
+            # the receiver reads the *host's* wall clock to flag reporter
+            # disagreement (suspected_skew); freshness itself is judged on
+            # relative epochs, so a skew-clock fault on a wizard machine
+            # never makes its own data look stale
+            receiver = Receiver(cluster.sim, host.stack, host.shm, config,
+                                clock=host.clock)
             wizard = Wizard(
                 cluster.sim,
                 host.stack,
@@ -127,7 +132,8 @@ class Deployment:
             raise ValueError(f"group {name!r} already deployed")
         sim = self.cluster.sim
         cfg = self.config
-        sysmon = SystemMonitor(sim, monitor_host.stack, monitor_host.shm, cfg)
+        sysmon = SystemMonitor(sim, monitor_host.stack, monitor_host.shm, cfg,
+                               clock=monitor_host.clock)
         netmon = NetworkMonitor(sim, monitor_host.stack, monitor_host.shm, name, cfg)
         levels = security_levels or {s.name: 1 for s in servers}
         log = DummySecurityLog(
@@ -141,6 +147,7 @@ class Deployment:
             receiver_addrs=[h.addr for h in self.wizard_hosts],
             config=cfg,
             mode=self.mode,
+            clock=monitor_host.clock,
         )
         group = GroupDeployment(
             name=name,
@@ -161,6 +168,7 @@ class Deployment:
                 group=name,
                 config=cfg,
                 security_level=levels.get(server.name, 1),
+                clock=server.clock,
             )
             group.probes.append(probe)
             # register the server's /24 with every wizard replica

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from ..host import Machine, ProcFS
 from ..net import NetworkStack, Node
-from ..sim import SharedMemory, Simulator
+from ..sim import HostClock, SharedMemory, Simulator
 
 __all__ = ["SmartHost"]
 
@@ -27,6 +27,9 @@ class SmartHost:
         self.stack = NetworkStack(sim, node, network)
         self.procfs = ProcFS(machine, node.nics)
         self.shm = SharedMemory(sim)
+        #: the host's wall clock — identity until a skew-clock fault
+        #: programs an offset/drift (daemons stamp data through this)
+        self.clock = HostClock(sim)
         #: server-group label, set at deployment time
         self.group: str = "default"
 

@@ -13,6 +13,7 @@ from .client import (
     SmartReply,
 )
 from .config import Config, DEFAULT_CONFIG, Mode, Ports, ShmKeys
+from .detector import Ewma, IncrementalQuantile, SuspicionDetector
 from .netmon import (
     BandwidthEstimate,
     NetworkMonitor,
@@ -75,6 +76,9 @@ __all__ = [
     "SmartClient",
     "SmartReply",
     "Quarantine",
+    "Ewma",
+    "IncrementalQuantile",
+    "SuspicionDetector",
     "InsufficientServers",
     "RequirementRejected",
     "SmartSession",

@@ -38,6 +38,17 @@ is quarantined for ``config.wizard_quarantine_period`` seconds, so the
 retry (after the usual jittered backoff) lands on the next-best replica
 instead of hammering the dead one.  Both the server and the wizard
 quarantines share one TTL-decay mechanism (:class:`Quarantine`).
+
+Gray failures (beyond the thesis): quarantine only catches replicas that
+*fail* — a fail-slow replica (throttled CPU, sick link) answers inside
+the fixed timeout forever and would keep winning the ranking.  The
+client therefore feeds every request RTT into a per-replica
+:class:`~repro.core.detector.SuspicionDetector`; warm baselines shrink
+the request timeout (``baseline * client_timeout_scale``) and demote
+fail-slow replicas in the ranking (:meth:`SmartClient.slow_wizards`)
+before a single fixed timeout fires.  Replica epochs are compared on
+the *client's* clock by rebasing each reply's freshness age, so a
+replica with a skewed clock is ranked by the actual age of its data.
 """
 
 from __future__ import annotations
@@ -52,6 +63,7 @@ from ..sim import RandomStreams, Simulator
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     import random
 from .config import Config, DEFAULT_CONFIG
+from .detector import SuspicionDetector
 from .records import REPLY_NAK, REPLY_STALE
 from .wizard import WizardReply, WizardRequest
 
@@ -178,6 +190,15 @@ class SmartClient:
         self._wizard_epochs: dict[str, float] = {}
         #: replica the previous attempt used (failover telemetry)
         self.last_wizard: Optional[str] = None
+        #: adaptive suspicion: per-replica RTT baselines.  Cold replicas
+        #: (< detector_min_samples answers) use the fixed client_timeout
+        #: and are never demoted, so deployments that never warm the
+        #: detector behave exactly like the binary-timeout client.
+        self.detector = SuspicionDetector(
+            alpha=config.detector_alpha,
+            quantile=config.detector_quantile,
+            min_samples=config.detector_min_samples,
+        )
 
     # -- pre-submit static check ---------------------------------------------
     def precheck_requirement(self, requirement: str) -> None:
@@ -197,16 +218,20 @@ class SmartClient:
     # -- wizard replica ranking ----------------------------------------------
     def _rank_wizards(self) -> list[str]:
         """Replicas in send preference order: non-quarantined first, then
-        by the freshest epoch each has advertised, then configured order
-        (a deterministic total order — no set iteration feeds this)."""
+        fast before fail-slow (RTT baseline beyond ``demote_factor`` times
+        the best replica's), then by the freshest epoch each has
+        advertised, then configured order (a deterministic total order —
+        no set iteration feeds this)."""
         self._wizard_quarantine.decay()
         active = self._wizard_quarantine.active()
+        demoted = self.slow_wizards()
         return [
             self.wizard_addrs[i]
             for i in sorted(
                 range(len(self.wizard_addrs)),
                 key=lambda i: (
                     self.wizard_addrs[i] in active,
+                    self.wizard_addrs[i] in demoted,
                     -self._wizard_epochs.get(self.wizard_addrs[i], 0.0),
                     i,
                 ),
@@ -216,6 +241,29 @@ class SmartClient:
     def quarantined_wizards(self) -> set[str]:
         """Replicas currently serving a quarantine sentence."""
         return self._wizard_quarantine.active()
+
+    def slow_wizards(self) -> set[str]:
+        """Replicas demoted for a fail-slow RTT baseline.  Relative and
+        self-correcting: a demoted replica keeps answering (it still gets
+        traffic when the healthy ones are quarantined), so a recovered
+        baseline lifts the demotion — no sentence to wait out."""
+        return self.detector.slow_peers(
+            self.wizard_addrs, self.config.wizard_rtt_demote_factor
+        )
+
+    def _request_timeout(self, target: str) -> float:
+        """Adaptive per-replica request timeout: a warm RTT baseline cuts
+        the wait to ``baseline * client_timeout_scale`` (floored), so a
+        dead replica is abandoned in ~3 RTTs instead of the full fixed
+        timeout; cold replicas keep the fixed timeout."""
+        baseline = self.detector.baseline(target)
+        if baseline is None:
+            return self.config.client_timeout
+        return min(
+            self.config.client_timeout,
+            max(self.config.client_timeout_floor,
+                baseline * self.config.client_timeout_scale),
+        )
 
     def _note_wizard_failure(self, addr: str) -> None:
         self._wizard_quarantine.add(addr)
@@ -270,7 +318,8 @@ class SmartClient:
                     payload=request,
                 )
                 self.requests_sent += 1
-                deadline = self.sim.timeout(self.config.client_timeout)
+                sent_at = self.sim.now
+                deadline = self.sim.timeout(self._request_timeout(target))
                 while True:
                     get = sock.recv()
                     fired = yield self.sim.any_of([get, deadline])
@@ -286,8 +335,19 @@ class SmartClient:
                     reply = dgram.payload
                     if not (isinstance(reply, WizardReply) and reply.seq == seq):
                         continue  # late/foreign reply: keep waiting
+                    self.detector.record(target, self.sim.now - sent_at)
+                    # epoch for ranking: rebase the reply's freshness age
+                    # onto *our* clock, so a replica with a skewed clock
+                    # (epoch far in its future or past) is judged by how
+                    # fresh its data actually is, not by what its clock
+                    # claims.  Replies without an age (older wire format)
+                    # fall back to the raw epoch.
+                    if reply.freshness_age >= 0.0:
+                        epoch_local = self.sim.now - reply.freshness_age
+                    else:
+                        epoch_local = reply.epoch
                     self._wizard_epochs[target] = max(
-                        self._wizard_epochs.get(target, 0.0), reply.epoch
+                        self._wizard_epochs.get(target, 0.0), epoch_local
                     )
                     if reply.status == REPLY_STALE:
                         # this replica's status feed died: quarantine it

@@ -110,6 +110,34 @@ class Config:
     lease_timeout: float = 2.0
     #: failover attempts a session makes before giving up its server slot
     session_retries: int = 3
+    #: adaptive suspicion (phi-accrual-style) detection — gray failures.
+    #: EWMA smoothing factor for per-peer RTT mean/variance
+    detector_alpha: float = 0.25
+    #: latency quantile tracked as the per-peer baseline (P² estimator)
+    detector_quantile: float = 0.95
+    #: observations before a baseline is trusted; colder peers fall back
+    #: to the fixed timeouts above
+    detector_min_samples: int = 5
+    #: adaptive wizard-request timeout: clamp(baseline * scale, floor,
+    #: client_timeout) — never waits longer than the fixed timeout, never
+    #: hair-triggers below the floor
+    client_timeout_floor: float = 0.25
+    client_timeout_scale: float = 3.0
+    #: a wizard whose RTT baseline exceeds this multiple of the best
+    #: replica's baseline is demoted in the failover ranking (fail-slow
+    #: replicas lose to healthy ones before they ever time out)
+    wizard_rtt_demote_factor: float = 4.0
+    #: monitor-clock skew a receiver tolerates before rebasing the
+    #: report timestamp onto its own clock and counting suspected_skew
+    skew_tolerance: float = 1.0
+    #: self-healing sessions: throughput-floor watchdog sampling period
+    #: (0 disables — plain lease-only sessions, the pre-gray behaviour)
+    session_watchdog_interval: float = 0.0
+    #: inter-progress gaps observed before the watchdog may act
+    session_watchdog_min_samples: int = 4
+    #: phi threshold at which a stalled-but-leased transfer is declared
+    #: fail-slow and proactively migrated
+    session_watchdog_phi: float = 3.0
     mode: str = Mode.CENTRALIZED
 
 

@@ -155,9 +155,14 @@ class ServerProbe:
         selected_params: Optional[set[str]] = None,
         security_level: int = 1,
         use_tcp: bool = False,
+        clock=None,
     ):
         self.sim = sim
         self.procfs = procfs
+        #: the host's (possibly skewed) wall clock; None = true sim time.
+        #: Only used for the inter-scan rate deltas — a constant offset
+        #: cancels, drift skews rates a little, as on a real drifty box.
+        self.clock = clock
         self.stack = stack
         self.monitor_addr = monitor_addr
         self.group = group
@@ -209,10 +214,13 @@ class ServerProbe:
             if self._alloc is not None and self._alloc.live:
                 machine.memory.free(self._alloc)
 
+    def _now(self) -> float:
+        return self.clock.now() if self.clock is not None else self.sim.now
+
     # -- scanning --------------------------------------------------------------
     def scan(self) -> ServerStatusReport:
         """One /proc sweep; returns the report (also kept as ``last_report``)."""
-        now = self.sim.now
+        now = self._now()
         l1, l5, l15 = parse_loadavg(self.procfs.read("/proc/loadavg"))
         stat_text = self.procfs.read("/proc/stat")
         cpu = parse_stat_cpu(stat_text)

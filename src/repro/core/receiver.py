@@ -14,10 +14,28 @@ types keep their last-known-good contents; distributed-mode pulls are
 bounded by ``config.pull_timeout`` so a wedged transmitter degrades the
 wizard to stale data instead of stalling it; and :meth:`staleness` exposes
 how old each database is so callers can flag degraded answers.
+
+Clock-skew tolerance (beyond the thesis): record timestamps inside a
+snapshot were stamped by the *reporter's* wall clock, which a skew-clock
+fault may have stepped minutes away from true time.  Each snapshot body
+therefore carries the sender's clock reading at send time, and the
+receiver judges freshness on *relative epochs* instead of trusting any
+wall clock: every record timestamp is rebased to ``arrival - age``,
+where the age is measured on the sender's own clock (``stamp -
+updated_at`` — a skew offset cancels in the subtraction), and arrival is
+this host's monotonic clock (``sim.now``, which no skew-clock fault can
+step).  All interval bookkeeping (``staleness``, ``epoch``,
+``min_freshness_age``, the wizard's ``host_status_age`` and REPLY_STALE)
+then runs on the monotonic clock, so neither a skewed reporter nor a
+skew step on the *receiver's own host* can make healthy data look stale.
+The wall clocks are still compared: a sender stamp that disagrees with
+this host's wall clock beyond ``config.skew_tolerance`` increments the
+``suspected_skew`` counter — the gray-failure telemetry signal.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Optional
 
 from ..net.tcp import ConnectError, ConnectionClosed
@@ -41,11 +59,14 @@ class Receiver:
         stack,
         shm: SharedMemory,
         config: Config = DEFAULT_CONFIG,
+        clock=None,
     ):
         self.sim = sim
         self.stack = stack
         self.shm = shm
         self.config = config
+        #: the host's (possibly skewed) wall clock; None = true sim time
+        self.clock = clock
         #: distributed mode: transmitter addresses to pull from
         self.transmitters: list[str] = []
         self._pull_conns: dict[str, object] = {}
@@ -58,6 +79,9 @@ class Receiver:
         self.messages_received = 0
         self.pull_failures = 0
         self.pull_timeouts = 0
+        #: snapshots whose sender clock disagreed with ours beyond
+        #: ``config.skew_tolerance`` (their record stamps were rebased)
+        self.suspected_skew = 0
         for key, db_name in ((config.shm.wizard_system, "wizard-sysdb"),
                              (config.shm.wizard_network, "wizard-netdb"),
                              (config.shm.wizard_security, "wizard-secdb")):
@@ -81,6 +105,13 @@ class Receiver:
             self.transmitters.append(addr)
 
     # -- data access -------------------------------------------------------------
+    def _wall_now(self) -> float:
+        """This host's wall-clock reading (skewed when a skew-clock fault
+        is active); the simulator's true time without a clock.  Only used
+        to *detect* reporter/receiver clock disagreement — every freshness
+        interval is measured on the monotonic clock instead."""
+        return self.clock.now() if self.clock is not None else self.sim.now
+
     def _segment_key(self, msg_type: int) -> int:
         return {
             MSG_SYSDB: self.config.shm.wizard_system,
@@ -117,10 +148,38 @@ class Receiver:
         return self.sim.now - self.epoch()
 
     # -- merging ---------------------------------------------------------------
-    def _apply(self, src: str, msg_type: int, data: dict):
-        """Process generator: merge one snapshot into shared memory."""
+    @staticmethod
+    def _rebase_record(record, delta: float):
+        """A copy of ``record`` with its timestamp shifted onto our clock
+        (never mutate in place — the sender still owns the object)."""
+        if hasattr(record, "updated_at"):
+            return dataclasses.replace(
+                record, updated_at=record.updated_at + delta
+            )
+        return record
+
+    def _apply(self, src: str, msg_type: int, data: dict, stamp: float = -1.0):
+        """Process generator: merge one snapshot into shared memory.
+
+        ``stamp`` is the sender's wall-clock reading when the body left
+        it (-1 = unstamped, the pre-gray wire format).  Stamped records
+        are *always* rebased onto this host's monotonic clock as
+        ``arrival - age``, where ``age = stamp - updated_at`` is measured
+        entirely on the sender's clock — a constant skew offset cancels,
+        so freshness never trusts any wall clock (relative epochs).  A
+        stamp that also disagrees with our *wall* clock beyond
+        ``config.skew_tolerance`` increments ``suspected_skew``: someone's
+        clock (theirs or ours) is lying, and operators want to know."""
         per_src = self._sources.setdefault(src, {})
-        per_src[msg_type] = dict(data)
+        fresh = dict(data)
+        if stamp >= 0.0:
+            if abs(self._wall_now() - stamp) > self.config.skew_tolerance:
+                self.suspected_skew += 1
+            delta = self.sim.now - stamp
+            fresh = {
+                k: self._rebase_record(v, delta) for k, v in fresh.items()
+            }
+        per_src[msg_type] = fresh
         merged: dict = {}
         for contrib in self._sources.values():
             merged.update(contrib.get(msg_type, {}))
@@ -159,12 +218,16 @@ class Receiver:
                     # buffer here; we remember what body to expect
                     expected_type = payload[1]
                 elif kind == "body":
-                    _, msg_type, data = payload
+                    msg_type, data = payload[1], payload[2]
+                    # 4th element (when present): sender clock at send time
+                    stamp = payload[3] if len(payload) > 3 else -1.0
                     if expected_type is not None and msg_type != expected_type:
                         continue  # out-of-protocol; skip
                     expected_type = None
                     if msg_type in (MSG_SYSDB, MSG_NETDB, MSG_SECDB):
-                        yield from self._apply(conn.remote_addr, msg_type, data)
+                        yield from self._apply(
+                            conn.remote_addr, msg_type, data, stamp
+                        )
         except Interrupt:
             conn.close()
 
@@ -220,8 +283,9 @@ class Receiver:
                 if kind == "hdr":
                     expected_type = payload[1]
                 elif kind == "body":
-                    _, msg_type, data = payload
+                    msg_type, data = payload[1], payload[2]
+                    stamp = payload[3] if len(payload) > 3 else -1.0
                     expected_type = None
                     if msg_type in (MSG_SYSDB, MSG_NETDB, MSG_SECDB):
-                        yield from self._apply(addr, msg_type, data)
+                        yield from self._apply(addr, msg_type, data, stamp)
                     pending -= 1

@@ -25,6 +25,15 @@ module closes that gap with a session layer over the smart socket:
   application requeues only the in-flight shard — that is the whole
   checkpoint.
 
+Gray failures (beyond dead servers): with
+``config.session_watchdog_interval > 0`` each session also runs a
+*throughput-floor watchdog* — a fail-slow server keeps its lease alive
+while the transfer starves, so the watchdog learns the session's normal
+progress cadence and, when the current stall's phi-accrual suspicion
+crosses ``session_watchdog_phi``, proactively migrates through the very
+same abort → ConnectionClosed → failover path (counted in
+:attr:`SmartSession.slow_migrations`).
+
 Everything is driven by simulator events and the client's seeded RNG:
 runs are bit-identical under ``repro check`` with failover enabled.
 """
@@ -37,6 +46,7 @@ from typing import Callable, Optional
 from ..net.tcp import ConnectError, ConnectionClosed, TcpConnection
 from ..sim import Interrupt
 from .config import Config, DEFAULT_CONFIG
+from .detector import SuspicionDetector
 from .rsocket import ReliableServer, ReliableSocket, SessionError
 
 __all__ = ["LeaseResponder", "SmartSession", "smart_sessions"]
@@ -140,9 +150,15 @@ class SmartSession:
         self.history: list[str] = [self.addr]
         self.failovers = 0
         self.lease_expiries = 0
+        #: proactive migrations off a fail-slow (leased but starving)
+        #: server by the throughput-floor watchdog
+        self.slow_migrations = 0
+        #: (sim time, addr) of each watchdog migration, for telemetry
+        self.watchdog_log: list[tuple[float, str]] = []
         #: True once failover gave up: the slot is permanently lost
         self.dead = False
         self._lease_proc = None
+        self._watchdog_proc = None
         self._siblings: list["SmartSession"] = [self]
 
     # -- health lease --------------------------------------------------------
@@ -151,11 +167,19 @@ class SmartSession:
             self._lease_loop(self.conn, self.addr),
             name=f"lease-{self.session_id}-{self.addr}",
         )
+        if self.config.session_watchdog_interval > 0:
+            self._watchdog_proc = self.sim.process(
+                self._watchdog_loop(self.conn, self.addr),
+                name=f"watchdog-{self.session_id}-{self.addr}",
+            )
 
     def stop_lease(self) -> None:
         if self._lease_proc is not None and self._lease_proc.is_alive:
             self._lease_proc.interrupt("stop")
         self._lease_proc = None
+        if self._watchdog_proc is not None and self._watchdog_proc.is_alive:
+            self._watchdog_proc.interrupt("stop")
+        self._watchdog_proc = None
 
     def close(self) -> None:
         """Orderly end of the slot: stop the lease, close the connection."""
@@ -200,6 +224,48 @@ class SmartSession:
         if not conn.reset:
             # wake the driver: its pending recv() raises ConnectionClosed
             conn.abort()
+
+    # -- throughput-floor watchdog -------------------------------------------
+    def _watchdog_loop(self, conn: TcpConnection, addr: str):
+        """Proactive gray-failure detection on the data plane.
+
+        The lease only catches *dead* servers: a fail-slow one (throttled
+        CPU, sick link) keeps answering PINGs while the transfer starves.
+        This loop samples connection progress (bytes received + bytes
+        acked) every ``session_watchdog_interval`` seconds, learns the
+        session's normal inter-progress gap, and when the current gap's
+        phi-accrual suspicion crosses ``session_watchdog_phi`` it migrates
+        off the server through the exact same path a dead one takes
+        (:meth:`_declare_dead` → driver's ConnectionClosed → failover).
+        Cold detectors never fire (min_samples guard), so a session that
+        was slow from the start is not flapped."""
+        detector = SuspicionDetector(
+            alpha=self.config.detector_alpha,
+            quantile=self.config.detector_quantile,
+            min_samples=self.config.session_watchdog_min_samples,
+        )
+        last_mark = conn.bytes_received + conn.bytes_acked
+        last_progress = self.sim.now
+        try:
+            while True:
+                yield self.sim.timeout(self.config.session_watchdog_interval)
+                if conn.reset or conn.peer_closed or conn.closed:
+                    return  # the application path already knows
+                mark = conn.bytes_received + conn.bytes_acked
+                now = self.sim.now
+                if mark > last_mark:
+                    detector.record(addr, now - last_progress)
+                    last_mark = mark
+                    last_progress = now
+                    continue
+                gap = now - last_progress
+                if detector.phi(addr, gap) >= self.config.session_watchdog_phi:
+                    self.slow_migrations += 1
+                    self.watchdog_log.append((now, addr))
+                    self._declare_dead(conn, addr)
+                    return
+        except Interrupt:
+            pass
 
     # -- failover ------------------------------------------------------------
     def _retire(self, addr: str) -> None:

@@ -27,11 +27,16 @@ class SystemMonitor:
         stack,
         shm: SharedMemory,
         config: Config = DEFAULT_CONFIG,
+        clock=None,
     ):
         self.sim = sim
         self.stack = stack
         self.shm = shm
         self.config = config
+        #: the host's (possibly skewed) wall clock; None = true sim time.
+        #: Records are stamped with it, exactly as a real monitor stamps
+        #: with gettimeofday() — downstream receivers rebase if it lies.
+        self.clock = clock
         self.segment_key = config.shm.monitor_system
         self._listener = None
         self._tcp_listener = None
@@ -64,6 +69,11 @@ class SystemMonitor:
                 proc.interrupt("stop")
 
     # -- data access -------------------------------------------------------------
+    def _now(self) -> float:
+        """This host's wall-clock reading (skewed when a skew-clock fault
+        is active); the simulator's true time without a clock."""
+        return self.clock.now() if self.clock is not None else self.sim.now
+
     def database(self) -> dict[str, ServerStatusRecord]:
         """Snapshot of the server status DB (addr -> record)."""
         return dict(self.shm.segment(self.segment_key).read() or {})
@@ -127,7 +137,7 @@ class SystemMonitor:
         yield seg.lock.acquire()
         try:
             db = dict(seg.read() or {})
-            db[report.addr] = ServerStatusRecord(report=report, updated_at=self.sim.now)
+            db[report.addr] = ServerStatusRecord(report=report, updated_at=self._now())
             seg.write(db)
         finally:
             seg.lock.release()
@@ -142,7 +152,7 @@ class SystemMonitor:
                 yield seg.lock.acquire()
                 try:
                     db = dict(seg.read() or {})
-                    stale = [a for a, rec in db.items() if rec.age(self.sim.now) > limit]
+                    stale = [a for a, rec in db.items() if rec.age(self._now()) > limit]
                     for addr in stale:
                         del db[addr]
                         self.expired += 1

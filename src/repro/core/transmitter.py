@@ -67,11 +67,14 @@ class Transmitter:
         config: Config = DEFAULT_CONFIG,
         mode: Optional[str] = None,
         receiver_addrs: Optional[Sequence[str]] = None,
+        clock=None,
     ):
         self.sim = sim
         self.stack = stack
         self.shm = shm
         self.config = config
+        #: the host's (possibly skewed) wall clock; None = true sim time
+        self.clock = clock
         self.mode = mode or config.mode
         #: fan-out targets: explicit list wins; the single-address form is
         #: kept for the thesis' one-wizard deployments
@@ -159,13 +162,22 @@ class Transmitter:
             messages.append(builder(dict(data)))
         return messages
 
+    def _now(self) -> float:
+        """This host's wall-clock reading (skewed when a skew-clock fault
+        is active); the simulator's true time without a clock."""
+        return self.clock.now() if self.clock is not None else self.sim.now
+
     def _send_messages(self, conn, messages) -> int:
         sent = 0
+        stamp = self._now()
         for msg in messages:
             # [type, size] header first, then the binary body — the header
-            # is what lets the receiver size its buffer (thesis §3.5.1)
+            # is what lets the receiver size its buffer (thesis §3.5.1).
+            # The body carries this clock's reading so the receiver can
+            # spot (and rebase around) a skewed reporter clock; 8 stamp
+            # bytes ride in the header's reserved field, no size change.
             conn.send(("hdr", msg.type, msg.size), 8)
-            conn.send(("body", msg.type, msg.data), max(1, msg.size))
+            conn.send(("body", msg.type, msg.data, stamp), max(1, msg.size))
             sent += 8 + max(1, msg.size)
         return sent
 

@@ -99,8 +99,14 @@ class WizardReply:
     status: int = REPLY_OK
     diagnostics: tuple[WireDiagnostic, ...] = ()
     #: replica epoch: sim time of the freshest DB snapshot behind this
-    #: reply (0 when the wizard runs without a receiver)
+    #: reply (0 when the wizard runs without a receiver).  Measured on
+    #: the *replica's* clock, so a skewed host advertises a skewed epoch.
     epoch: float = 0.0
+    #: age in seconds of that freshest snapshot at reply time (-1 when
+    #: unknown).  A *relative* quantity: offsets cancel when the replica
+    #: measures now and the stamp on the same (possibly skewed) clock, so
+    #: clients rank replicas by this instead of trusting ``epoch``.
+    freshness_age: float = -1.0
 
     @property
     def is_nak(self) -> bool:
@@ -276,6 +282,22 @@ class Wizard:
         DB snapshot this wizard's receiver applied (0 without one)."""
         return self.receiver.epoch() if self.receiver is not None else 0.0
 
+    @property
+    def freshness_age(self) -> float:
+        """Age of the freshest DB snapshot (-1 when unknown).  Relative —
+        skew offsets cancel — so replies stay comparable across replicas
+        with disagreeing clocks."""
+        if self.receiver is None:
+            return -1.0
+        age = self.receiver.min_freshness_age()
+        return age if age != float("inf") else -1.0
+
+    @property
+    def suspected_skew(self) -> int:
+        """Snapshots whose reporter clock disagreed with this replica's
+        beyond ``config.skew_tolerance`` (receiver telemetry)."""
+        return self.receiver.suspected_skew if self.receiver is not None else 0
+
     def _is_stale(self) -> bool:
         """True when the whole status feed died: the freshest database is
         older than ``config.wizard_staleness_limit``.  A single lagging
@@ -298,12 +320,14 @@ class Wizard:
         if self._is_stale():
             self.requests_rejected_stale += 1
             return WizardReply(seq=request.seq, servers=(),
-                               status=REPLY_STALE, epoch=self.epoch)
+                               status=REPLY_STALE, epoch=self.epoch,
+                               freshness_age=self.freshness_age)
         sysdb, netdb, secdb = yield from self.databases()
         servers = self.match(request, client_addr, sysdb, netdb, secdb,
                              compiled=compiled)
         return WizardReply(seq=request.seq, servers=tuple(servers),
-                           epoch=self.epoch)
+                           epoch=self.epoch,
+                           freshness_age=self.freshness_age)
 
     def match(
         self,
@@ -364,7 +388,10 @@ class Wizard:
         params.update(record.report.extras)  # §6 string attributes
         # derived freshness metric: how long ago the server's own monitor
         # wrote this record (max with 0 guards distributed-mode snapshots
-        # whose transfer makes updated_at slightly "newer" than arrival)
+        # whose transfer makes updated_at slightly "newer" than arrival).
+        # Measured on the monotonic clock — the receiver rebased every
+        # reporter stamp onto it, so neither a skewed reporter nor a skew
+        # step on this host can corrupt the age (relative epochs).
         params["host_status_age"] = max(0.0, record.age(self.sim.now))
         sec = secdb.get(record.host)
         if sec is not None:

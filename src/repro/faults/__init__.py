@@ -23,12 +23,13 @@ Quick use::
 """
 
 from .controller import ChaosController
-from .plan import DAEMON_ROLES, FAULT_KINDS, FaultEvent, FaultPlan
+from .plan import DAEMON_ROLES, FAULT_KINDS, GRAY_KINDS, FaultEvent, FaultPlan
 
 __all__ = [
     "ChaosController",
     "FaultPlan",
     "FaultEvent",
     "FAULT_KINDS",
+    "GRAY_KINDS",
     "DAEMON_ROLES",
 ]

@@ -121,6 +121,12 @@ class ChaosController:
             self._restart_daemon(event.target, event.peer)
         elif kind == "loss-burst":
             self._start_burst(event)
+        elif kind == "slow-host":
+            self._start_slow(event)
+        elif kind == "degrade-link":
+            self._start_degrade(event)
+        elif kind == "skew-clock":
+            self._apply_skew(event)
 
     # -- host faults -------------------------------------------------------
     def _crash_host(self, host_name: str):
@@ -213,21 +219,25 @@ class ChaosController:
         )
         self._burst_procs = [p for p in self._burst_procs if p.is_alive]
         self._burst_procs.append(proc)
-        self._note(
-            f"loss-burst {event.target} p={event.value:g} "
-            f"for {event.duration:g}s"
-        )
+        self._note(event.describe())
 
     def _burst(self, host, event: FaultEvent):
         """Process: raise loss on every channel touching the host, then
         restore the previous settings.  Overlapping bursts on the same
-        host restore last-writer-wins — schedule them disjoint."""
+        host restore last-writer-wins — schedule them disjoint.
+        ``event.direction`` narrows the burst to frames the host sends
+        (``tx``) or receives (``rx``)."""
         rng = self.cluster.streams.stream(
             f"chaos-loss-{event.target}-{event.at:g}"
         )
         touched = []
         for nic in host.node.nics:
-            for channel in (nic.link.ab, nic.link.ba):
+            tx = nic.link.channel_from(host.node)
+            rx = nic.link.ab if tx is nic.link.ba else nic.link.ba
+            channels = {"tx": (tx,), "rx": (rx,)}.get(
+                event.direction, (tx, rx)
+            )
+            for channel in channels:
                 touched.append(
                     (channel, channel.loss_rate, channel.loss_rng)
                 )
@@ -241,3 +251,117 @@ class ChaosController:
             for channel, rate, old_rng in touched:
                 channel.loss_rate = rate
                 channel.loss_rng = old_rng
+
+    # -- gray failures ------------------------------------------------------
+    def _start_slow(self, event: FaultEvent) -> None:
+        host = self.cluster.host(event.target)
+        proc = self.sim.process(
+            self._slow(host, event), name=f"chaos-slow-{event.target}"
+        )
+        self._burst_procs = [p for p in self._burst_procs if p.is_alive]
+        self._burst_procs.append(proc)
+        self._note(event.describe())
+
+    def _slow(self, host, event: FaultEvent):
+        """Process: throttle the host's CPU for the window, then restore.
+        The host never stops answering — its probe, lease responder and
+        services all keep running, just ``value`` times slower."""
+        from ..host import CpuThrottle
+
+        throttle = CpuThrottle(self.sim, host.machine, factor=event.value)
+        throttle.start()
+        try:
+            yield self.sim.timeout(event.duration)
+        except Interrupt:
+            pass
+        finally:
+            throttle.stop()
+
+    def _degrade_channels(self, event: FaultEvent) -> list:
+        """The per-direction channels of the target<->peer link(s):
+        ``fwd`` is target->peer traffic, ``rev`` the reverse."""
+        channels = []
+        for link in self._links_between(event.target, event.peer):
+            fwd = link.ab if link.a.name == event.target else link.ba
+            rev = link.ba if fwd is link.ab else link.ab
+            if event.direction in ("", "both", "fwd"):
+                channels.append(fwd)
+            if event.direction in ("", "both", "rev"):
+                channels.append(rev)
+        return channels
+
+    def _start_degrade(self, event: FaultEvent) -> None:
+        proc = self.sim.process(
+            self._degrade(event),
+            name=f"chaos-degrade-{event.target}-{event.peer}",
+        )
+        self._burst_procs = [p for p in self._burst_procs if p.is_alive]
+        self._burst_procs.append(proc)
+        self._note(event.describe())
+
+    def _degrade(self, event: FaultEvent):
+        """Process: degrade the selected channels for the window, then
+        restore the previous settings (same save/restore discipline as
+        :meth:`_burst`)."""
+        rng = self.cluster.streams.stream(
+            f"chaos-degrade-{event.target}-{event.peer}-{event.at:g}"
+        )
+        latency = event.param("latency")
+        jitter = event.param("jitter")
+        loss = event.param("loss")
+        reorder = event.param("reorder")
+        touched = []
+        for ch in self._degrade_channels(event):
+            touched.append((
+                ch, ch.extra_delay, ch.jitter, ch.reorder_rate,
+                ch.reorder_extra, ch.degrade_rng, ch.loss_rate, ch.loss_rng,
+            ))
+            ch.extra_delay += latency
+            if jitter or reorder:
+                ch.jitter = jitter
+                ch.reorder_rate = reorder
+                # late enough that a healthy successor frame overtakes it
+                ch.reorder_extra = event.param(
+                    "reorder_extra", 2.0 * (ch.delay + ch.extra_delay) + 1e-3
+                )
+                ch.degrade_rng = rng
+            if loss:
+                ch.loss_rate = loss
+                ch.loss_rng = rng
+        try:
+            yield self.sim.timeout(event.duration)
+        except Interrupt:
+            pass
+        finally:
+            for (ch, extra, jit, ro_rate, ro_extra, d_rng,
+                 l_rate, l_rng) in touched:
+                ch.extra_delay = extra
+                ch.jitter = jit
+                ch.reorder_rate = ro_rate
+                ch.reorder_extra = ro_extra
+                ch.degrade_rng = d_rng
+                ch.loss_rate = l_rate
+                ch.loss_rng = l_rng
+
+    def _apply_skew(self, event: FaultEvent) -> None:
+        """Program the target's wall clock; a bounded skew is stepped back
+        (NTP-style correction) by a restore process."""
+        clock = self.cluster.host(event.target).clock
+        previous = (clock.offset, clock.drift)
+        clock.set_skew(event.value, event.param("drift"))
+        self._note(event.describe())
+        if event.duration > 0:
+            proc = self.sim.process(
+                self._unskew(clock, previous, event.duration),
+                name=f"chaos-unskew-{event.target}",
+            )
+            self._burst_procs = [p for p in self._burst_procs if p.is_alive]
+            self._burst_procs.append(proc)
+
+    def _unskew(self, clock, previous, duration: float):
+        try:
+            yield self.sim.timeout(duration)
+        except Interrupt:
+            pass
+        finally:
+            clock.set_skew(*previous)

@@ -21,7 +21,20 @@ Fault taxonomy (the ``kind`` field of :class:`FaultEvent`):
                     ``transmitter``, ``receiver``, ``wizard``).
 ``loss-burst``      raise random frame loss on every link of one host
                     for a bounded window — how probe-report loss bursts
-                    are injected.
+                    are injected; ``direction`` restricts it to the
+                    host's transmit (``tx``) or receive (``rx``) side.
+
+Gray failures (ISSUE 6): faults that *degrade* instead of kill —
+
+``slow-host``       throttle a host's CPU by ``value`` (service times
+                    stretch, the host keeps heartbeating: fail-slow).
+``degrade-link``    inflate latency / add jitter / reorder / loss on the
+                    a<->b link, per direction (``fwd`` = target->peer,
+                    ``rev`` = the reverse) so partitions can be
+                    asymmetric; parameters ride in ``params``.
+``skew-clock``      program a host's wall clock: ``value`` seconds of
+                    offset plus an optional ``drift`` rate in ``params``
+                    (permanent when ``duration`` is 0).
 """
 
 from __future__ import annotations
@@ -32,7 +45,8 @@ from typing import Iterable, Optional, TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     import random
 
-__all__ = ["FaultEvent", "FaultPlan", "FAULT_KINDS", "DAEMON_ROLES"]
+__all__ = ["FaultEvent", "FaultPlan", "FAULT_KINDS", "GRAY_KINDS",
+           "DAEMON_ROLES"]
 
 FAULT_KINDS: frozenset[str] = frozenset({
     "crash-host",
@@ -42,7 +56,24 @@ FAULT_KINDS: frozenset[str] = frozenset({
     "kill-daemon",
     "restart-daemon",
     "loss-burst",
+    "slow-host",
+    "degrade-link",
+    "skew-clock",
 })
+
+#: kinds that degrade a component instead of killing it
+GRAY_KINDS: frozenset[str] = frozenset({
+    "slow-host", "degrade-link", "skew-clock",
+})
+
+#: legal per-kind ``direction`` values ("" means both directions)
+_DIRECTIONS = {
+    "loss-burst": ("", "both", "tx", "rx"),
+    "degrade-link": ("", "both", "fwd", "rev"),
+}
+
+#: legal ``params`` keys of a degrade-link event
+_DEGRADE_KEYS = ("latency", "jitter", "loss", "reorder", "reorder_extra")
 
 #: daemon role names the controller can kill/restart individually —
 #: control-plane roles plus the application-plane roles deployments may
@@ -57,7 +88,10 @@ DAEMON_ROLES: tuple[str, ...] = (
 class FaultEvent:
     """One scheduled fault.  ``target`` is a host name; ``peer`` carries
     the second link endpoint or the daemon role; ``value``/``duration``
-    parameterise loss bursts."""
+    parameterise loss bursts, throttles and skews; ``direction``
+    restricts directional faults to one side; ``params`` carries extra
+    named knobs as a sorted tuple of ``(key, value)`` pairs (kept a
+    tuple so events stay hashable and comparable)."""
 
     at: float
     kind: str
@@ -65,6 +99,8 @@ class FaultEvent:
     peer: str = ""
     value: float = 0.0
     duration: float = 0.0
+    direction: str = ""
+    params: tuple[tuple[str, float], ...] = ()
 
     def __post_init__(self):
         if self.at < 0:
@@ -76,6 +112,40 @@ class FaultEvent:
             raise ValueError(f"unknown daemon role {self.peer!r}")
         if self.kind == "loss-burst" and not (0.0 < self.value <= 1.0):
             raise ValueError(f"loss rate must be in (0, 1], got {self.value}")
+        if self.direction and self.direction not in \
+                _DIRECTIONS.get(self.kind, ("",)):
+            raise ValueError(
+                f"bad direction {self.direction!r} for {self.kind}"
+            )
+        if self.kind == "slow-host" and self.value < 1.0:
+            raise ValueError(
+                f"slow factor must be >= 1, got {self.value}"
+            )
+        if self.kind == "degrade-link":
+            p = dict(self.params)
+            unknown = set(p) - set(_DEGRADE_KEYS)
+            if unknown:
+                raise ValueError(
+                    f"unknown degrade params {sorted(unknown)}"
+                )
+            for key in ("loss", "reorder"):
+                if not (0.0 <= p.get(key, 0.0) <= 1.0):
+                    raise ValueError(
+                        f"degrade {key} must be in [0, 1], got {p[key]}"
+                    )
+            for key in ("latency", "jitter", "reorder_extra"):
+                if p.get(key, 0.0) < 0.0:
+                    raise ValueError(
+                        f"degrade {key} must be >= 0, got {p[key]}"
+                    )
+        if self.kind in ("loss-burst", "slow-host", "degrade-link") \
+                and self.duration <= 0:
+            raise ValueError(
+                f"{self.kind} duration must be > 0, got {self.duration}"
+            )
+
+    def param(self, key: str, default: float = 0.0) -> float:
+        return dict(self.params).get(key, default)
 
     def describe(self) -> str:
         if self.kind in ("link-down", "link-up"):
@@ -83,8 +153,25 @@ class FaultEvent:
         if self.kind in ("kill-daemon", "restart-daemon"):
             return f"{self.kind} {self.peer}@{self.target}"
         if self.kind == "loss-burst":
-            return (f"loss-burst {self.target} p={self.value:g} "
+            side = f" [{self.direction}]" if self.direction else ""
+            return (f"loss-burst {self.target}{side} p={self.value:g} "
                     f"for {self.duration:g}s")
+        if self.kind == "slow-host":
+            return (f"slow-host {self.target} x{self.value:g} "
+                    f"for {self.duration:g}s")
+        if self.kind == "degrade-link":
+            arrow = {"fwd": "->", "rev": "<-"}.get(self.direction, "<->")
+            knobs = " ".join(f"{k}={v:g}" for k, v in self.params)
+            return (f"degrade-link {self.target}{arrow}{self.peer} "
+                    f"{knobs} for {self.duration:g}s".replace("  ", " "))
+        if self.kind == "skew-clock":
+            drift = self.param("drift")
+            text = f"skew-clock {self.target} offset={self.value:+g}s"
+            if drift:
+                text += f" drift={drift:g}"
+            if self.duration > 0:
+                text += f" for {self.duration:g}s"
+            return text
         return f"{self.kind} {self.target}"
 
 
@@ -148,14 +235,59 @@ class FaultPlan:
         return self.add(FaultEvent(at, "restart-daemon", host, peer=role))
 
     def loss_burst(self, at: float, host: str, rate: float,
-                   duration: float) -> "FaultPlan":
+                   duration: float, direction: str = "both") -> "FaultPlan":
         """Drop each frame on every link of ``host`` with probability
-        ``rate`` for ``duration`` seconds (probe-report loss bursts)."""
+        ``rate`` for ``duration`` seconds (probe-report loss bursts).
+        ``direction`` narrows the burst to the host's transmit (``tx``)
+        or receive (``rx``) side — real NICs often fail one way."""
         if duration <= 0:
             raise ValueError(f"burst duration must be > 0, got {duration}")
-        return self.add(
-            FaultEvent(at, "loss-burst", host, value=rate, duration=duration)
-        )
+        return self.add(FaultEvent(
+            at, "loss-burst", host, value=rate, duration=duration,
+            direction="" if direction == "both" else direction,
+        ))
+
+    # -- gray failures (degrade, do not kill) ------------------------------
+    def slow_host(self, at: float, host: str, factor: float,
+                  duration: float) -> "FaultPlan":
+        """Throttle ``host``'s CPU to ``1/factor`` of its rated speed for
+        ``duration`` seconds: service times stretch, probes and leases
+        keep answering — the canonical fail-slow server."""
+        return self.add(FaultEvent(
+            at, "slow-host", host, value=factor, duration=duration,
+        ))
+
+    def degrade_link(self, at: float, a: str, b: str, *, duration: float,
+                     direction: str = "both", latency: float = 0.0,
+                     jitter: float = 0.0, loss: float = 0.0,
+                     reorder: float = 0.0) -> "FaultPlan":
+        """Degrade the a<->b link for ``duration`` seconds: ``latency``
+        seconds of extra one-way delay, uniform [0, ``jitter``] delay
+        noise, random ``loss``, and a ``reorder`` fraction of frames
+        delivered late.  ``direction='fwd'`` degrades only a->b,
+        ``'rev'`` only b->a — an asymmetric gray partition."""
+        params = tuple(sorted(
+            (k, float(v)) for k, v in (("latency", latency),
+                                       ("jitter", jitter), ("loss", loss),
+                                       ("reorder", reorder)) if v
+        ))
+        return self.add(FaultEvent(
+            at, "degrade-link", a, peer=b, duration=duration,
+            direction="" if direction == "both" else direction,
+            params=params,
+        ))
+
+    def skew_clock(self, at: float, host: str, offset: float, *,
+                   drift: float = 0.0, duration: float = 0.0) -> "FaultPlan":
+        """Program ``host``'s wall clock ``offset`` seconds away from true
+        time (plus ``drift`` seconds of error per second).  A ``duration``
+        of 0 leaves the skew in place; otherwise an NTP-style correction
+        steps the clock back after ``duration`` seconds."""
+        params = (("drift", float(drift)),) if drift else ()
+        return self.add(FaultEvent(
+            at, "skew-clock", host, value=offset, duration=duration,
+            params=params,
+        ))
 
     # -- convenience scenarios (the HA acceptance faults) ------------------
     def kill_wizard_during_request(
@@ -197,6 +329,33 @@ class FaultPlan:
             self.restart_host(at + restart_after, server_host)
         return self
 
+    def gray_failure_storm(
+        self, at: float, *, duration: float,
+        slow_host: str = "", slow_factor: float = 8.0,
+        link: Optional[tuple[str, str]] = None, latency: float = 0.25,
+        loss: float = 0.05, skew_host: str = "", skew_offset: float = 30.0,
+        drift: float = 0.0,
+    ) -> "FaultPlan":
+        """The gray acceptance compound: everything degrades at once but
+        nothing dies — a fail-slow server (``slow_host`` throttled by
+        ``slow_factor``), an asymmetric sick link (only the forward
+        direction of ``link`` gains ``latency``/``loss``) and a skewed
+        reporter clock on ``skew_host``, all for ``duration`` seconds.
+        Components whose argument is empty are skipped; at least one
+        must be given."""
+        if not (slow_host or link or skew_host):
+            raise ValueError("gray_failure_storm needs at least one victim")
+        if slow_host:
+            self.slow_host(at, slow_host, slow_factor, duration)
+        if link is not None:
+            a, b = link
+            self.degrade_link(at, a, b, duration=duration,
+                              direction="fwd", latency=latency, loss=loss)
+        if skew_host:
+            self.skew_clock(at, skew_host, skew_offset, drift=drift,
+                            duration=duration)
+        return self
+
     # -- reading ----------------------------------------------------------
     def events(self) -> list[FaultEvent]:
         """Time-ordered events; ties keep insertion order (stable sort),
@@ -228,6 +387,7 @@ class FaultPlan:
         daemons: Iterable[tuple[str, str]] = (),
         n_events: int = 6,
         mean_outage: float = 10.0,
+        gray: bool = False,
     ) -> "FaultPlan":
         """Generate a seeded random plan: every fault that takes something
         down schedules the matching recovery, so the system always gets a
@@ -235,7 +395,10 @@ class FaultPlan:
 
         ``rng`` should come from a named
         :class:`~repro.sim.rand.RandomStreams` stream — the plan is then a
-        pure function of the seed.
+        pure function of the seed.  With ``gray=True`` the menu grows the
+        degradation kinds (``slow-host``, ``skew-clock``, and
+        ``degrade-link`` when links are given); the default draw sequence
+        is untouched, so pre-existing seeded plans replay byte-identically.
         """
         if horizon <= 0:
             raise ValueError(f"horizon must be > 0, got {horizon}")
@@ -250,6 +413,13 @@ class FaultPlan:
             menu.append("link-down")
         if daemons:
             menu.append("kill-daemon")
+        if gray:
+            # appended after the legacy kinds: rng.choice indexes shift
+            # only for plans that opted in
+            menu.append("slow-host")
+            menu.append("skew-clock")
+            if links:
+                menu.append("degrade-link")
         for _ in range(n_events):
             at = rng.uniform(0.05 * horizon, 0.6 * horizon)
             outage = min(
@@ -267,6 +437,22 @@ class FaultPlan:
                 host, role = rng.choice(daemons)
                 plan.kill_daemon(at, host, role)
                 plan.restart_daemon(at + outage, host, role)
+            elif kind == "slow-host":
+                plan.slow_host(at, rng.choice(hosts),
+                               factor=rng.uniform(3.0, 10.0),
+                               duration=outage)
+            elif kind == "skew-clock":
+                plan.skew_clock(at, rng.choice(hosts),
+                                offset=rng.uniform(-45.0, 45.0),
+                                duration=outage)
+            elif kind == "degrade-link":
+                a, b = rng.choice(links)
+                plan.degrade_link(
+                    at, a, b, duration=outage,
+                    direction=rng.choice(["both", "fwd", "rev"]),
+                    latency=rng.uniform(0.05, 0.5),
+                    loss=rng.uniform(0.0, 0.3),
+                )
             else:
                 plan.loss_burst(at, rng.choice(hosts),
                                 rate=rng.uniform(0.1, 0.9),

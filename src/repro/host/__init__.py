@@ -5,7 +5,7 @@ from .disk import BLOCK_BYTES, Disk
 from .machine import Machine
 from .memory import Allocation, Memory, OutOfMemory
 from .procfs import ProcFS
-from .workload import PeriodicDiskLoad, SuperPiWorkload
+from .workload import CpuThrottle, PeriodicDiskLoad, SuperPiWorkload
 
 __all__ = [
     "CPU",
@@ -20,4 +20,5 @@ __all__ = [
     "ProcFS",
     "SuperPiWorkload",
     "PeriodicDiskLoad",
+    "CpuThrottle",
 ]

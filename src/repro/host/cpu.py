@@ -74,6 +74,11 @@ class CPU:
         self._tasks: list[_Task] = []
         self._stamp = 0.0      # time of last progress accounting
         self._version = 0      # invalidates stale completion events
+        #: fail-slow factor: every task needs ``throttle`` wall seconds per
+        #: dedicated-CPU second (1.0 = full rated speed).  The CPU stays
+        #: *busy* the whole stretched time — a throttled host looks loaded,
+        #: not idle, exactly like thermal throttling or a sick DIMM.
+        self.throttle = 1.0
         self.loadavg = LoadAverage(sim)
         # cumulative jiffies for /proc/stat
         self._busy_seconds = 0.0
@@ -103,6 +108,15 @@ class CPU:
         self._reschedule()
         return done
 
+    def set_throttle(self, factor: float) -> None:
+        """Change the fail-slow factor mid-run; in-flight tasks keep the
+        progress they already made and finish at the new speed."""
+        if factor < 1.0:
+            raise ValueError(f"throttle factor must be >= 1, got {factor}")
+        self._progress()
+        self.throttle = float(factor)
+        self._reschedule()
+
     def utilisation_seconds(self) -> float:
         """Cumulative busy time (any task runnable) since boot."""
         self._progress()
@@ -131,7 +145,7 @@ class CPU:
         if dt <= 0 or n == 0:
             return
         self._busy_seconds += dt
-        share = dt / n
+        share = dt / n / self.throttle
         for task in self._tasks:
             task.remaining -= share
 
@@ -143,7 +157,7 @@ class CPU:
         version = self._version
         n = len(self._tasks)
         soonest = min(task.remaining for task in self._tasks)
-        delay = max(0.0, soonest * n)
+        delay = max(0.0, soonest * n * self.throttle)
         ev = self.sim.event()
         ev.add_callback(lambda _ev: self._on_completion(version))
         ev.succeed(delay=delay)

@@ -17,7 +17,7 @@ from typing import Optional
 from ..sim import Interrupt, Simulator
 from .machine import Machine
 
-__all__ = ["SuperPiWorkload", "PeriodicDiskLoad"]
+__all__ = ["SuperPiWorkload", "PeriodicDiskLoad", "CpuThrottle"]
 
 
 class SuperPiWorkload:
@@ -76,6 +76,44 @@ class SuperPiWorkload:
             if self._alloc is not None and self._alloc.live:
                 self.machine.memory.free(self._alloc)
                 self._alloc = None
+
+
+class CpuThrottle:
+    """Fail-slow fault: pin the CPU at ``1/factor`` of its rated speed.
+
+    Unlike :class:`SuperPiWorkload` (which *competes* for the CPU and so
+    shows up in the load average), a throttle models frequency scaling or
+    a sick core: service times stretch by ``factor`` while the run queue
+    and the probe's observables stay plausible — the host keeps
+    heartbeating and reporting, it is just slow.  That is the gray
+    failure a binary alive/dead detector cannot see.
+
+    ``start``/``stop`` compose multiplicatively with whatever throttle is
+    already programmed, so overlapping faults restore cleanly in LIFO
+    order.
+    """
+
+    def __init__(self, sim: Simulator, machine: Machine, factor: float):
+        if factor < 1.0:
+            raise ValueError(f"throttle factor must be >= 1, got {factor}")
+        self.sim = sim
+        self.machine = machine
+        self.factor = float(factor)
+        self.active = False
+
+    def start(self) -> None:
+        if self.active:
+            raise RuntimeError("throttle already applied")
+        self.machine.cpu.set_throttle(self.machine.cpu.throttle * self.factor)
+        self.active = True
+
+    def stop(self) -> None:
+        if not self.active:
+            return
+        self.machine.cpu.set_throttle(
+            max(1.0, self.machine.cpu.throttle / self.factor)
+        )
+        self.active = False
 
 
 class PeriodicDiskLoad:

@@ -60,6 +60,17 @@ class Channel:
         #: hard carrier switch: a downed channel drops every frame (used by
         #: the fault-injection plane for partitions and link flaps)
         self.up = True
+        #: gray-failure degradation, per direction (a link can be sick one
+        #: way and healthy the other — asymmetric partitions): constant
+        #: extra propagation delay, uniform [0, jitter] delay noise, and a
+        #: reorder draw that late-delivers a frame by ``reorder_extra``.
+        #: jitter/reorder draws come from ``degrade_rng`` (a named
+        #: RandomStreams substream, like ``loss_rng``).
+        self.extra_delay = 0.0
+        self.jitter = 0.0
+        self.reorder_rate = 0.0
+        self.reorder_extra = 0.0
+        self.degrade_rng: Optional["random.Random"] = None
         self.next_free = 0.0
         #: callback installed by the receiving endpoint: fn(frame)
         self.on_deliver: Optional[Callable[[Frame], None]] = None
@@ -109,7 +120,15 @@ class Channel:
         self.busy_time += finish - start
         self.tx_frames += 1
         self.tx_bytes += wire
-        deliver_at = finish + self.delay
+        deliver_at = finish + self.delay + self.extra_delay
+        if self.degrade_rng is not None:
+            if self.jitter > 0.0:
+                deliver_at += self.degrade_rng.uniform(0.0, self.jitter)
+            if self.reorder_rate > 0.0 \
+                    and self.degrade_rng.random() < self.reorder_rate:
+                # a reordered frame is simply late: by more than the
+                # in-flight gap, so a successor genuinely overtakes it
+                deliver_at += self.reorder_extra
         ev = self.sim.event()
         ev.add_callback(lambda _ev: self._deliver(frame))
         ev.succeed(delay=deliver_at - now)

@@ -10,6 +10,7 @@ from .kernel import (
     Simulator,
     Timeout,
 )
+from .clock import HostClock
 from .hb import Access, HBSanitizer, RaceReport, shared
 from .rand import RandomStreams
 from .resources import Resource, Segment, SharedMemory, Store
@@ -33,6 +34,7 @@ __all__ = [
     "SharedMemory",
     "Segment",
     "RandomStreams",
+    "HostClock",
     "Tracer",
     "TraceRecord",
     "attach_node_tap",

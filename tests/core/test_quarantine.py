@@ -4,6 +4,8 @@ quarantines, plus the client-side wizard-quarantine behaviour."""
 
 from __future__ import annotations
 
+import pytest
+
 from repro.cluster import Cluster
 from repro.core import Config, Quarantine, SmartClient
 from repro.sim import Simulator
@@ -129,3 +131,65 @@ class TestWizardQuarantine:
         # quarantine trumps freshness
         client._note_wizard_failure(w2.addr)
         assert client._rank_wizards() == [w1.addr, w2.addr]
+
+
+class TestAdaptiveSuspicion:
+    """Client-side SuspicionDetector integration (gray failures): warm
+    RTT baselines shrink the request timeout and demote fail-slow
+    replicas in the ranking before any fixed timeout fires."""
+
+    def test_cold_replica_keeps_the_fixed_timeout(self):
+        cluster, client, w1, w2 = two_wizard_world()
+        assert client._request_timeout(w1.addr) == client.config.client_timeout
+        assert client.slow_wizards() == set()
+
+    def test_warm_baseline_shrinks_the_timeout(self):
+        cluster, client, w1, w2 = two_wizard_world()
+        for _ in range(client.config.detector_min_samples):
+            client.detector.record(w1.addr, 0.05)
+        want = max(client.config.client_timeout_floor,
+                   0.05 * client.config.client_timeout_scale)
+        assert client._request_timeout(w1.addr) == pytest.approx(want)
+
+    def test_adaptive_timeout_is_clamped(self):
+        cluster, client, w1, w2 = two_wizard_world()
+        for _ in range(10):
+            client.detector.record(w1.addr, 1e-4)   # LAN-fast
+            client.detector.record(w2.addr, 30.0)   # glacial
+        assert client._request_timeout(w1.addr) == \
+            client.config.client_timeout_floor
+        assert client._request_timeout(w2.addr) == \
+            client.config.client_timeout
+
+    def test_fail_slow_replica_ranks_last_despite_fresh_epoch(self):
+        """The binary quarantine never catches a slow-but-answering
+        replica; the detector's relative demotion must, and it must
+        outweigh epoch freshness in the ranking."""
+        cluster, client, w1, w2 = two_wizard_world()
+        for _ in range(10):
+            client.detector.record(w1.addr, 0.02)
+            client.detector.record(w2.addr, 0.02 * 10)
+        client._wizard_epochs[w2.addr] = 100.0  # freshest data, but slow
+        assert client.slow_wizards() == {w2.addr}
+        assert client._rank_wizards() == [w1.addr, w2.addr]
+
+    def test_demotion_lifts_when_the_baseline_recovers(self):
+        """No sentence to wait out: demotion is a relative judgement on
+        the live baseline, so a recovered replica re-qualifies as soon
+        as its quantile drifts back down."""
+        cluster, client, w1, w2 = two_wizard_world()
+        for _ in range(10):
+            client.detector.record(w1.addr, 0.02)
+            client.detector.record(w2.addr, 0.2)
+        assert client.slow_wizards() == {w2.addr}
+        for _ in range(400):
+            client.detector.record(w2.addr, 0.02)
+        assert client.slow_wizards() == set()
+
+    def test_single_warm_replica_is_never_demoted(self):
+        """Relative judgement needs a fleet: with one warm baseline there
+        is nothing to compare against, so nobody is demoted."""
+        cluster, client, w1, w2 = two_wizard_world()
+        for _ in range(10):
+            client.detector.record(w1.addr, 5.0)
+        assert client.slow_wizards() == set()

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.cluster import Cluster, Deployment
 from repro.core import Config
 from repro.core.records import MSG_SYSDB
@@ -73,3 +75,71 @@ class TestReceiverSessionTermination:
         tx = dep.groups["g"].transmitter
         tx.stop()  # closes the TCP connection (FIN)
         cluster.run(until=6.0)  # would raise if the EOF leaked
+
+
+class TestSkewRebase:
+    """Relative-epoch rebasing in :meth:`Receiver._apply` (gray
+    failures): freshness must never trust a reporter's wall clock."""
+
+    @staticmethod
+    def record(updated_at, host="s"):
+        from repro.core.records import ServerStatusRecord, ServerStatusReport
+        report = ServerStatusReport(host=host, addr="10.0.0.9", group="g")
+        return ServerStatusRecord(report=report, updated_at=updated_at)
+
+    def apply(self, cluster, receiver, stamp, updated_at):
+        """Run one _apply; returns (record as stored, sim time of apply)."""
+        from tests.conftest import run_process
+        data = {"10.0.0.9": self.record(updated_at)}
+        at = cluster.sim.now
+        run_process(
+            cluster.sim,
+            receiver._apply("10.0.1.2", MSG_SYSDB, data, stamp),
+            until=at + 1.0,
+        )
+        return receiver.database(MSG_SYSDB)["10.0.0.9"], at
+
+    def test_unstamped_body_is_not_rebased(self):
+        cluster, dep = world()
+        cluster.run(until=10.0)
+        rec, _ = self.apply(cluster, dep.receiver, stamp=-1.0, updated_at=9.0)
+        assert rec.updated_at == 9.0
+        assert dep.receiver.suspected_skew == 0
+
+    def test_skewed_stamp_is_rebased_to_arrival_minus_age(self):
+        """Sender clock +300s: a record 2 s old on *its* clock lands as
+        2 s old on *ours* — the offset cancels in the subtraction."""
+        cluster, dep = world()
+        cluster.run(until=10.0)
+        rec, at = self.apply(cluster, dep.receiver,
+                             stamp=310.0, updated_at=308.0)
+        assert rec.updated_at == pytest.approx(at - 2.0)
+        assert dep.receiver.suspected_skew >= 1
+        # interval bookkeeping is monotonic: despite the +300 s stamp
+        # the database reads as fresh, not minutes old (live pushes keep
+        # landing too, so bound rather than pin the age)
+        assert dep.receiver.staleness(MSG_SYSDB) <= cluster.sim.now - at
+
+    def test_disagreement_within_tolerance_is_not_flagged(self):
+        cluster, dep = world()
+        cluster.run(until=10.0)
+        before = dep.receiver.suspected_skew
+        now = cluster.sim.now
+        tol = dep.config.skew_tolerance
+        self.apply(cluster, dep.receiver,
+                   stamp=now + 0.5 * tol, updated_at=now - 1.0)
+        assert dep.receiver.suspected_skew == before
+
+    def test_receivers_own_skew_never_makes_data_stale(self):
+        """A skew step on the wizard machine itself flags disagreement
+        with honest reporters but cannot age the databases: freshness is
+        judged on the monotonic clock."""
+        cluster, dep = world()
+        cluster.run(until=10.0)
+        dep.wizard_host.clock.set_skew(300.0)
+        now = cluster.sim.now
+        rec, at = self.apply(cluster, dep.receiver,
+                             stamp=now, updated_at=now - 1.0)
+        assert dep.receiver.suspected_skew >= 1   # wall clocks disagree
+        assert rec.updated_at == pytest.approx(now - 1.0)
+        assert dep.receiver.min_freshness_age() <= cluster.sim.now - at

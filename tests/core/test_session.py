@@ -237,3 +237,102 @@ class TestFailover:
         assert conn is None
         assert victim.dead
         assert victim.failovers == 0
+
+
+def drip_service(host, chunks, period, port=9100, size=4000):
+    """Accept one connection and send ``chunks`` bursts ``period`` apart,
+    then go silent — connected, leased, but starving (a fail-slow
+    server as the data plane sees it)."""
+    def serve():
+        listener = host.stack.tcp.listen(port)
+        try:
+            conn = yield listener.accept()
+            for _ in range(chunks):
+                yield host.sim.timeout(period)
+                conn.send(b"x" * size, size)
+            yield host.sim.timeout(10_000.0)  # stall, forever
+        except Interrupt:
+            listener.close()
+
+    return host.sim.process(serve(), name=f"drip@{host.name}")
+
+
+WATCHDOG_CFG = dict(session_watchdog_interval=0.25,
+                    session_watchdog_min_samples=4,
+                    session_watchdog_phi=3.0)
+
+
+class TestThroughputWatchdog:
+    """The session watchdog (gray failures): a leased-but-starving
+    connection is proactively aborted once the inter-progress gap's
+    phi-accrual suspicion crosses the threshold."""
+
+    def watchdog_world(self, chunks, **cfg):
+        cluster, config, client, srv = lease_world(**{**WATCHDOG_CFG, **cfg})
+        drip_service(srv, chunks=chunks, period=0.5)
+        responder = LeaseResponder(srv, config)
+        responder.start()
+        return cluster, client, srv, responder
+
+    def run_session(self, cluster, client, srv, horizon=12.0):
+        def p():
+            conn = yield from client.stack.tcp.connect(srv.addr, 9100)
+            session = SmartSession(client, conn, REQ)
+            session.start_lease()
+            yield cluster.sim.timeout(horizon)
+            session.close()
+            return session, conn
+
+        return run_process(cluster.sim, p(), until=horizon + 30.0)
+
+    def test_stall_after_warmup_migrates(self):
+        cluster, client, srv, responder = self.watchdog_world(chunks=8)
+        session, conn = self.run_session(cluster, client, srv)
+        assert session.slow_migrations == 1
+        assert conn.reset, "watchdog must abort through the dead-server path"
+        # gray, not black: the lease stayed healthy throughout
+        assert session.lease_expiries == 0
+        assert responder.pings_answered > 0
+        (when, addr), = session.watchdog_log
+        assert addr == srv.addr and when > 8 * 0.5
+        # the sentence may have decayed by the time the sim drains, but
+        # the entry proves the dead-server path was taken
+        assert srv.addr in session.client._quarantine
+
+    def test_steady_progress_never_fires(self):
+        cluster, client, srv, responder = self.watchdog_world(chunks=40)
+        session, conn = self.run_session(cluster, client, srv)
+        assert session.slow_migrations == 0
+        assert not conn.reset
+
+    def test_cold_detector_never_fires(self):
+        """A session that stalls before ``min_samples`` progress gaps has
+        no baseline — suspicion stays 0 and the slot is not flapped."""
+        cluster, client, srv, responder = self.watchdog_world(chunks=2)
+        session, conn = self.run_session(cluster, client, srv)
+        assert session.slow_migrations == 0
+        assert not conn.reset
+
+    def test_interval_zero_disables_the_watchdog(self):
+        cluster, client, srv, responder = self.watchdog_world(
+            chunks=8, session_watchdog_interval=0.0)
+        session, conn = self.run_session(cluster, client, srv)
+        assert session._watchdog_proc is None
+        assert session.slow_migrations == 0 and not conn.reset
+
+    def test_close_stops_the_watchdog_process(self):
+        cluster, client, srv, responder = self.watchdog_world(chunks=40)
+
+        def p():
+            conn = yield from client.stack.tcp.connect(srv.addr, 9100)
+            session = SmartSession(client, conn, REQ)
+            session.start_lease()
+            proc = session._watchdog_proc
+            assert proc is not None and proc.is_alive
+            yield cluster.sim.timeout(3.0)
+            session.close()
+            return session, proc
+
+        session, proc = run_process(cluster.sim, p(), until=40.0)
+        assert session._watchdog_proc is None
+        assert not proc.is_alive

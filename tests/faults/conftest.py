@@ -154,6 +154,19 @@ def build_failover_world(seed: int = 0, config=FAILOVER_CONFIG,
     return cluster, dep, addrs, services, responders
 
 
+#: gray-failure-suite timing: the failover knobs plus the sessions'
+#: throughput-floor watchdog — sample progress every 0.5 s, trust the
+#: learned cadence after 3 gaps, migrate at phi 2.5 (~99.7 % confidence
+#: the stall is abnormal).  min_samples=3 because a matmul session only
+#: records ~1 progress gap per block cycle.
+GRAYFAIL_CONFIG = replace(
+    FAILOVER_CONFIG,
+    session_watchdog_interval=0.5,
+    session_watchdog_min_samples=3,
+    session_watchdog_phi=2.5,
+)
+
+
 def register_app_daemons(chaos, services, responders, role: str) -> None:
     """Put the application-plane daemons on the controller's registry so
     ``crash-host`` stops them (and ``restart-host`` brings them back)."""

@@ -194,6 +194,37 @@ class TestLossBurst:
         assert all(addrs["s0"] in s for _, s in observed)
 
 
+class TestDirectionalLossBurst:
+    """Loss bursts can be asymmetric: ``direction="tx"`` eats only the
+    frames the victim *sends*, ``direction="rx"`` only those it receives.
+    The probe's UDP reports are one-way (server -> monitor), so the two
+    directions have opposite control-plane consequences."""
+
+    def test_tx_burst_starves_the_probe_reports(self):
+        cluster, dep, addrs = build_chaos_world()
+        plan = FaultPlan().loss_burst(5.0, "s1", rate=1.0, duration=6.0,
+                                      direction="tx")
+        ChaosController(dep, plan).start()
+        observed = poll_replies(cluster, dep, n=6, until=25.0)
+        cluster.run(until=27.0)
+        assert dep.groups["g1"].sysmon.expired >= 1
+        assert any(addrs["s1"] not in s for _, s in observed), \
+            "record never expired though every outbound report was eaten"
+
+    def test_rx_burst_leaves_outbound_reports_untouched(self):
+        """The mirror image: a total *inbound* blackout on the same server
+        for the same window must not expire anyone — its reports still
+        reach the monitor on the healthy tx direction."""
+        cluster, dep, addrs = build_chaos_world()
+        plan = FaultPlan().loss_burst(5.0, "s1", rate=1.0, duration=6.0,
+                                      direction="rx")
+        ChaosController(dep, plan).start()
+        observed = poll_replies(cluster, dep, n=6, until=25.0)
+        cluster.run(until=27.0)
+        assert dep.groups["g1"].sysmon.expired == 0
+        assert all(addrs["s1"] in s for _, s in observed)
+
+
 class TestLinkFlap:
     def test_flapping_uplink_recovers(self):
         cluster, dep, addrs = build_chaos_world()

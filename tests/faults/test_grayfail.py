@@ -1,0 +1,320 @@
+"""Gray-failure acceptance suite: adaptive detection of fail-slow peers.
+
+The ISSUE 6 acceptance criteria: under *gray* faults — a fail-slow
+server (CPU throttled 8x, still heartbeating), an asymmetric sick link,
+a skewed clock — a matmul 2v2 and a massd 1v1 job must still complete
+*correctly* (bit-exact product / every block fetched).  The adaptive
+detectors (the sessions' phi-accrual throughput-floor watchdog, the
+client's RTT-baseline wizard demotion, the receiver's clock-skew
+rebasing) must catch what the binary lease/timeout detectors of the HA
+layer cannot: nothing in these scenarios ever *dies*.  Dual runs stay
+bit-identical and the happens-before sanitizer stays clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.apps import MassdClient, MatMulMaster
+from repro.core import smart_sessions
+from repro.faults import ChaosController, FaultPlan
+from tests.faults.conftest import (
+    CHAOS_REQUIREMENT,
+    GRAYFAIL_CONFIG,
+    build_failover_world,
+    register_app_daemons,
+)
+
+pytestmark = pytest.mark.chaos
+
+#: first client request goes out here (comfortably past warm-up)
+REQUEST_AT = 6.0
+#: the gray fault lands this long after the sessions connect — ~2
+#: healthy block cycles, so the watchdog has a learned progress baseline
+FAULT_DELAY = 8.0
+#: matmul job sizing: 4x4 grid of 80x80 blocks, ~2 s of CPU per block —
+#: long enough that most of the job still lies ahead when the gray
+#: fault lands, so riding the sick server is measurably expensive
+MATMUL_N = 320
+MATMUL_BLK = 80
+#: massd job sizing: 30 blocks of 100 KB at 8 Mbit/s per server
+MASSD_DATA_KB = 3000
+MASSD_BLK_KB = 100
+#: fail-slow service-time inflation (the 5-10x acceptance band)
+SLOW_FACTOR = 8.0
+
+
+def uplink_of(victim: str) -> str:
+    """The group switch a server's access link hangs off."""
+    return "sw-g1" if int(victim[1:]) < 3 else "sw-g2"
+
+
+def run_matmul_gray(seed: int = 0, fault: str = "slow", watchdog: bool = True,
+                    sanitize: bool = False):
+    """Drive the 2-session matmul job to completion under one gray fault:
+    ``none``, ``slow`` (chosen server throttled 8x for the rest of the
+    job — it keeps heartbeating), or ``storm`` (the compound: fail-slow
+    server + asymmetric sick link + skewed reporter clock at once).
+    ``watchdog=False`` is the binary-detector baseline arm."""
+    config = GRAYFAIL_CONFIG if watchdog \
+        else replace(GRAYFAIL_CONFIG, session_watchdog_interval=0.0)
+    cluster, dep, addrs, services, responders = build_failover_world(
+        seed=seed, config=config, sanitize=sanitize)
+    name_of = {a: n for n, a in addrs.items()}
+    rng = np.random.default_rng(3)
+    a = rng.random((MATMUL_N, MATMUL_N))
+    b = rng.random((MATMUL_N, MATMUL_N))
+    out: dict = {"addrs": addrs}
+
+    def arm_chaos(plan):
+        chaos = ChaosController(dep, plan)
+        register_app_daemons(chaos, services, responders, "worker")
+        chaos.start()
+        out["chaos"] = chaos
+
+    def driver():
+        yield cluster.sim.timeout(REQUEST_AT)
+        client = dep.client_for(cluster.host("cli"))
+        out["client"] = client
+        sessions = yield from smart_sessions(
+            client, CHAOS_REQUIREMENT, 2, mss=8192)
+        out["sessions"] = sessions
+        if fault != "none":
+            # the victim is only known now — plans use absolute times,
+            # so arming the controller mid-run stays deterministic
+            victim = name_of[sessions[0].addr]
+            out["victim"] = sessions[0].addr
+            fault_at = cluster.sim.now + FAULT_DELAY
+            out["fault_at"] = fault_at
+            if fault == "slow":
+                plan = FaultPlan().slow_host(
+                    fault_at, victim, factor=SLOW_FACTOR, duration=3600.0)
+            else:  # storm: everything degrades at once, nothing dies
+                plan = FaultPlan().gray_failure_storm(
+                    fault_at, duration=3600.0,
+                    slow_host=victim, slow_factor=SLOW_FACTOR,
+                    link=(uplink_of(victim), "core"), latency=0.05,
+                    loss=0.01, skew_host="mon1", skew_offset=120.0)
+            arm_chaos(plan)
+        master = MatMulMaster(cluster.host("cli"))
+        result = yield from master.run(
+            sessions, n=MATMUL_N, blk=MATMUL_BLK, a=a, b=b)
+        for s in sessions:
+            s.close()
+        out["result"] = result
+
+    cluster.sim.process(driver(), name="matmul-gray")
+    cluster.run(until=400.0)
+    assert "result" in out, f"matmul job never completed (fault={fault})"
+    np.testing.assert_allclose(out["result"].product, a @ b)
+    if sanitize:
+        out["races"] = tuple(cluster.sanitizer.races)
+    out["responders"] = responders
+    out["name_of"] = name_of
+    return out
+
+
+class TestFailSlowServer:
+    """The headline gray failure: a server that answers everything, 8x
+    slower.  The lease never expires — only the throughput-floor
+    watchdog can save the job."""
+
+    def test_adaptive_detector_migrates_and_completes_bit_exact(self):
+        out = run_matmul_gray(fault="slow")
+        sessions = out["sessions"]
+        victim = out["victim"]
+        # the watchdog pulled the session off the sick server...
+        assert sum(s.slow_migrations for s in sessions) >= 1
+        assert out["result"].failovers >= 1
+        assert out["result"].requeued_blocks >= 1
+        assert victim in sessions[0].excluded
+        assert sessions[0].addr != victim
+        # ...even though the server was alive the whole time: the binary
+        # detector (the lease) never fired
+        assert sum(s.lease_expiries for s in sessions) == 0
+        # the victim's responder really did keep heartbeating
+        assert out["responders"][out["name_of"][victim]].pings_answered > 0
+        # and the migration was logged for telemetry
+        t, addr = sessions[0].watchdog_log[0]
+        assert addr == victim and t >= out["fault_at"]
+
+    def test_fixed_detector_rides_the_slow_server_to_the_end(self):
+        """The baseline arm: without the watchdog nothing ever notices a
+        leased-but-starving server, so the job pays the full throttle."""
+        adaptive = run_matmul_gray(fault="slow", watchdog=True)
+        fixed = run_matmul_gray(fault="slow", watchdog=False)
+        assert sum(s.slow_migrations for s in fixed["sessions"]) == 0
+        assert fixed["result"].failovers == 0
+        # both complete bit-exact (asserted in the runner); the adaptive
+        # arm escapes the sick server and is strictly faster
+        assert adaptive["result"].elapsed < fixed["result"].elapsed
+
+    def test_healthy_run_never_false_positives(self):
+        out = run_matmul_gray(fault="none")
+        assert sum(s.slow_migrations for s in out["sessions"]) == 0
+        assert out["result"].failovers == 0
+        assert out["result"].requeued_blocks == 0
+
+
+class TestGrayStorm:
+    """The compound: fail-slow server + degraded core link + skewed
+    reporter clock, simultaneously.  Nothing dies; the job completes."""
+
+    def test_storm_completes_bit_exact(self):
+        out = run_matmul_gray(fault="storm")
+        assert sum(s.slow_migrations for s in out["sessions"]) >= 1
+        assert out["result"].failovers >= 1
+        kinds = {entry.split()[0] for _, entry in out["chaos"].log}
+        assert {"slow-host", "degrade-link", "skew-clock"} <= kinds
+
+
+class TestMassd:
+    """massd 1v1 under gray faults: every block fetched exactly once."""
+
+    def run_massd(self, plan_for=None, seed: int = 0):
+        cluster, dep, addrs, services, responders = build_failover_world(
+            seed=seed, config=GRAYFAIL_CONFIG, app="massd")
+        name_of = {a: n for n, a in addrs.items()}
+        out: dict = {}
+
+        def driver():
+            yield cluster.sim.timeout(REQUEST_AT)
+            client = dep.client_for(cluster.host("cli"))
+            sessions = yield from smart_sessions(
+                client, CHAOS_REQUIREMENT, 1, mss=8192)
+            out["sessions"] = sessions
+            victim = name_of[sessions[0].addr]
+            out["victim"] = sessions[0].addr
+            if plan_for is not None:
+                chaos = ChaosController(
+                    dep, plan_for(cluster.sim.now + 2.0, victim))
+                register_app_daemons(chaos, services, responders,
+                                     "fileserver")
+                chaos.start()
+            prog = MassdClient(cluster.host("cli"))
+            result = yield from prog.run(
+                sessions, data_kb=MASSD_DATA_KB, blk_kb=MASSD_BLK_KB)
+            for s in sessions:
+                s.close()
+            out["result"] = result
+
+        cluster.sim.process(driver(), name="massd-gray")
+        cluster.run(until=400.0)
+        assert "result" in out, "massd job never completed"
+        # every block fetched exactly once across old + replacement server
+        assert sum(out["result"].blocks_per_server.values()) \
+            == MASSD_DATA_KB // MASSD_BLK_KB
+        return out
+
+    def test_fail_slow_server_fetches_every_block(self):
+        """A CPU-throttled file server is not actually starved (massd is
+        network-bound), so the watchdog correctly leaves it alone — the
+        gray fault that *would* fool a naive load detector."""
+        out = self.run_massd(lambda at, victim: FaultPlan().slow_host(
+            at, victim, factor=SLOW_FACTOR, duration=3600.0))
+        assert sum(s.slow_migrations for s in out["sessions"]) == 0
+        assert out["result"].failovers == 0
+
+    def test_starved_uplink_migrates_and_fetches_every_block(self):
+        """An asymmetric sick uplink (only the server->switch direction
+        degrades) starves the download while PINGs still flow: the
+        watchdog must migrate before the binary lease ever would."""
+        out = self.run_massd(lambda at, victim: FaultPlan().degrade_link(
+            at, victim, uplink_of(victim), duration=3600.0,
+            direction="fwd", latency=0.4, loss=0.1))
+        assert out["result"].failovers >= 1
+        assert out["result"].requeued_blocks >= 1
+        assert out["victim"] in out["sessions"][0].excluded
+
+
+class TestClockSkew:
+    """Skewed clocks must degrade nobody: staleness is decided on
+    relative epochs, reporter stamps are rebased, and a skewed-but-
+    healthy replica keeps winning the ranking."""
+
+    def poll_world(self, plan, until=26.0):
+        cluster, dep, addrs, services, responders = build_failover_world(
+            config=GRAYFAIL_CONFIG)
+        chaos = ChaosController(dep, plan)
+        chaos.start()
+        client = dep.client_for(cluster.host("cli"))
+        log = []
+
+        def poller():
+            yield cluster.sim.timeout(REQUEST_AT)
+            while cluster.sim.now < until:
+                reply = yield from client.request_servers(
+                    CHAOS_REQUIREMENT, 2)
+                log.append((cluster.sim.now, reply.wizard,
+                            tuple(sorted(reply.servers))))
+                yield cluster.sim.timeout(1.0)
+
+        cluster.sim.process(poller(), name="skew-poller")
+        cluster.run(until=until + 2.0)
+        return cluster, dep, addrs, client, log
+
+    def test_skewed_reporter_is_rebased_not_rejected(self):
+        """A monitor host's clock jumps +300 s: its records would look
+        5 minutes from the future.  The receiver rebases them, counts
+        suspected_skew, and g1 servers keep qualifying."""
+        cluster, dep, addrs, client, log = self.poll_world(
+            FaultPlan().skew_clock(10.0, "mon1", offset=300.0))
+        assert log, "no replies at all"
+        late = [e for e in log if e[0] >= 14.0]
+        assert late
+        for t, _, servers in late:
+            assert len(servers) == 2, f"degraded reply at t={t}: {servers}"
+        assert client.stale_rejections == 0
+        # both replicas flagged the skewed reporter
+        assert all(r.receiver.suspected_skew >= 1 for r in dep.replicas)
+        assert dep.replicas[0].wizard.suspected_skew >= 1
+
+    def test_skewed_wizard_replica_is_not_deranked(self):
+        """The *primary replica's* clock jumps +300 s: its advertised
+        epoch is far in the future and host_status_age would be ~300 s
+        without rebasing.  It must keep serving (no REPLY_STALE) and the
+        client must keep ranking it first (freshness ages are relative,
+        so skew offsets cancel)."""
+        cluster, dep, addrs, client, log = self.poll_world(
+            FaultPlan().skew_clock(10.0, "wiz", offset=300.0))
+        late = [e for e in log if e[0] >= 14.0]
+        assert late
+        for t, wizard, servers in late:
+            assert wizard == addrs["wiz"], f"skewed replica deranked at t={t}"
+            assert len(servers) == 2, f"degraded reply at t={t}: {servers}"
+        assert client.stale_rejections == 0
+        assert dep.replicas[0].wizard.requests_rejected_stale == 0
+        assert client.quarantined_wizards() == set()
+
+    def test_skew_steps_back_after_duration(self):
+        """A bounded skew is an NTP-style step: programmed at 10 s,
+        corrected at 16 s."""
+        cluster, dep, addrs, client, log = self.poll_world(
+            FaultPlan().skew_clock(10.0, "mon2", offset=-200.0,
+                                   duration=6.0))
+        clock = cluster.host("mon2").clock
+        assert not clock.skewed
+        late = [e for e in log if e[0] >= 17.0]
+        assert late and all(len(s) == 2 for _, _, s in late)
+
+
+class TestDeterminism:
+    def test_dual_run_bit_identical_under_gray_faults(self):
+        def fingerprint(out):
+            r = out["result"]
+            return (r.elapsed, r.blocks_per_server, r.requeued_blocks,
+                    r.failovers, [s.history for s in out["sessions"]],
+                    [s.watchdog_log for s in out["sessions"]],
+                    out["chaos"].log)
+
+        first = fingerprint(run_matmul_gray(seed=7, fault="slow"))
+        second = fingerprint(run_matmul_gray(seed=7, fault="slow"))
+        assert first == second
+
+    @pytest.mark.slow
+    def test_sanitizer_clean_under_gray_faults(self):
+        out = run_matmul_gray(fault="slow", sanitize=True)
+        assert out["races"] == ()

@@ -6,7 +6,13 @@ import random
 
 import pytest
 
-from repro.faults import DAEMON_ROLES, FAULT_KINDS, FaultEvent, FaultPlan
+from repro.faults import (
+    DAEMON_ROLES,
+    FAULT_KINDS,
+    GRAY_KINDS,
+    FaultEvent,
+    FaultPlan,
+)
 
 
 class TestFaultEvent:
@@ -111,3 +117,103 @@ class TestRandomPlan:
         plan = FaultPlan.random_plan(
             random.Random(3), horizon=50.0, hosts=["a"], n_events=10)
         assert all(0 <= e.at <= 50.0 for e in plan)
+
+
+class TestGrayEvents:
+    """Validation + describe() of the degradation fault kinds."""
+
+    def test_gray_kinds_are_registered(self):
+        assert GRAY_KINDS <= FAULT_KINDS
+        assert GRAY_KINDS == {"slow-host", "degrade-link", "skew-clock"}
+
+    def test_slow_host_rejects_speedups(self):
+        with pytest.raises(ValueError, match="slow factor"):
+            FaultEvent(0.0, "slow-host", "a", value=0.5, duration=1.0)
+
+    def test_degraded_faults_need_a_duration(self):
+        for kind in ("slow-host", "degrade-link"):
+            with pytest.raises(ValueError, match="duration"):
+                FaultEvent(0.0, kind, "a", peer="b", value=2.0)
+
+    def test_degrade_link_validates_params(self):
+        with pytest.raises(ValueError, match="unknown degrade params"):
+            FaultEvent(0.0, "degrade-link", "a", peer="b", duration=1.0,
+                       params=(("bandwidth", 1.0),))
+        with pytest.raises(ValueError, match="loss must be in"):
+            FaultEvent(0.0, "degrade-link", "a", peer="b", duration=1.0,
+                       params=(("loss", 1.5),))
+        with pytest.raises(ValueError, match="latency must be >= 0"):
+            FaultEvent(0.0, "degrade-link", "a", peer="b", duration=1.0,
+                       params=(("latency", -0.1),))
+
+    def test_direction_is_per_kind(self):
+        FaultEvent(0.0, "loss-burst", "a", value=0.5, duration=1.0,
+                   direction="tx")
+        FaultEvent(0.0, "degrade-link", "a", peer="b", duration=1.0,
+                   direction="rev")
+        with pytest.raises(ValueError, match="bad direction"):
+            FaultEvent(0.0, "loss-burst", "a", value=0.5, duration=1.0,
+                       direction="fwd")
+        with pytest.raises(ValueError, match="bad direction"):
+            FaultEvent(0.0, "crash-host", "a", direction="tx")
+
+    def test_describe_is_readable(self):
+        plan = (FaultPlan()
+                .slow_host(1.0, "s0", factor=8.0, duration=30.0)
+                .degrade_link(2.0, "s0", "sw", duration=5.0,
+                              direction="fwd", latency=0.25, loss=0.1)
+                .skew_clock(3.0, "mon", offset=-45.0, drift=0.01)
+                .loss_burst(4.0, "s1", 0.5, 2.0, direction="rx"))
+        texts = [e.describe() for e in plan.events()]
+        assert texts[0] == "slow-host s0 x8 for 30s"
+        assert texts[1] == "degrade-link s0->sw latency=0.25 loss=0.1 for 5s"
+        assert texts[2] == "skew-clock mon offset=-45s drift=0.01"
+        assert texts[3] == "loss-burst s1 [rx] p=0.5 for 2s"
+
+    def test_gray_failure_storm_compound(self):
+        plan = FaultPlan().gray_failure_storm(
+            10.0, duration=20.0, slow_host="s0", link=("s0", "sw"),
+            skew_host="mon", skew_offset=60.0)
+        kinds = [e.kind for e in plan.events()]
+        assert kinds == ["slow-host", "degrade-link", "skew-clock"]
+        assert all(e.at == 10.0 for e in plan.events())
+        link_event = plan.events()[1]
+        assert link_event.direction == "fwd"  # asymmetric by default
+        assert plan.events()[2].duration == 20.0  # the skew steps back
+
+    def test_gray_failure_storm_needs_a_victim(self):
+        with pytest.raises(ValueError, match="at least one victim"):
+            FaultPlan().gray_failure_storm(0.0, duration=1.0)
+
+
+class TestRandomPlanGray:
+    KWARGS = dict(horizon=60.0, hosts=["a", "b"], links=[("x", "y")],
+                  daemons=[("m", "sysmon")])
+
+    def test_gray_plans_emit_gray_kinds(self):
+        plan = FaultPlan.random_plan(
+            random.Random(6), n_events=40, gray=True, **self.KWARGS)
+        kinds = {e.kind for e in plan}
+        assert kinds & GRAY_KINDS, f"no gray events in {kinds}"
+
+    def test_non_gray_plans_never_do(self):
+        plan = FaultPlan.random_plan(
+            random.Random(6), n_events=40, **self.KWARGS)
+        assert not {e.kind for e in plan} & GRAY_KINDS
+
+    def test_gray_off_replays_legacy_plans_byte_identically(self):
+        """The opt-in must not shift the draw sequence of existing seeded
+        plans: this fingerprint was recorded before ``gray`` existed."""
+        plan = FaultPlan.random_plan(random.Random(42), **self.KWARGS)
+        head = [(e.kind, e.target, round(e.at, 6)) for e in plan.events()][:4]
+        assert head == [
+            ("loss-burst", "a", 4.048828),
+            ("crash-host", "b", 10.365954),
+            ("crash-host", "a", 17.823899),
+            ("restart-host", "a", 21.583842),
+        ]
+
+    def test_gray_same_seed_same_plan(self):
+        p1 = FaultPlan.random_plan(random.Random(9), gray=True, **self.KWARGS)
+        p2 = FaultPlan.random_plan(random.Random(9), gray=True, **self.KWARGS)
+        assert p1.events() == p2.events()

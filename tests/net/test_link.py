@@ -97,6 +97,90 @@ class TestDropPolicies:
             sim.run()
 
 
+class ScriptedRandom:
+    """Pops pre-scripted draws — exact control over jitter/reorder."""
+
+    def __init__(self, uniforms=(), randoms=()):
+        self.uniforms = list(uniforms)
+        self.randoms = list(randoms)
+
+    def uniform(self, a, b):
+        return self.uniforms.pop(0)
+
+    def random(self):
+        return self.randoms.pop(0)
+
+
+class TestDirectionalDegradation:
+    """Gray-failure knobs are *per channel*: a link can be sick one way
+    (latency, jitter, reorder, loss) and healthy the other — the
+    asymmetric partitions of the degrade-link fault."""
+
+    def make_pair(self, sim):
+        """Two channels modelling one duplex link: fwd (to degrade) and
+        rev (to stay healthy)."""
+        fwd = Channel(sim, rate_bps=8e6, delay=1e-3)
+        rev = Channel(sim, rate_bps=8e6, delay=1e-3)
+        fwd.log, rev.log = [], []
+        fwd.on_deliver = lambda fr: fwd.log.append((sim.now, fr))
+        rev.on_deliver = lambda fr: rev.log.append((sim.now, fr))
+        return fwd, rev
+
+    def test_extra_delay_hits_only_the_degraded_direction(self, sim):
+        fwd, rev = self.make_pair(sim)
+        fwd.extra_delay = 0.5
+        fwd.transmit(frame_of(972))
+        rev.transmit(frame_of(972))
+        sim.run()
+        base = 1000 / 1e6 + 1e-3
+        assert rev.log[0][0] == pytest.approx(base)
+        assert fwd.log[0][0] == pytest.approx(base + 0.5)
+
+    def test_jitter_draws_bounded_delay_noise(self, sim):
+        fwd, rev = self.make_pair(sim)
+        fwd.jitter = 0.2
+        fwd.degrade_rng = ScriptedRandom(uniforms=[0.15])
+        fwd.transmit(frame_of(972))
+        rev.transmit(frame_of(972))
+        sim.run()
+        base = 1000 / 1e6 + 1e-3
+        assert fwd.log[0][0] == pytest.approx(base + 0.15)
+        assert rev.log[0][0] == pytest.approx(base)
+
+    def test_reorder_makes_a_successor_overtake(self, sim):
+        fwd, _ = self.make_pair(sim)
+        fwd.reorder_rate = 0.5
+        fwd.reorder_extra = 0.05
+        # first frame drawn below the rate (reordered late), second above
+        fwd.degrade_rng = ScriptedRandom(randoms=[0.1, 0.9])
+        first, second = frame_of(972), frame_of(972)
+        fwd.transmit(first)
+        fwd.transmit(second)
+        sim.run()
+        delivered = [fr for _, fr in fwd.log]
+        assert delivered == [second, first]
+
+    def test_loss_applies_per_direction(self, sim):
+        fwd, rev = self.make_pair(sim)
+        fwd.loss_rate = 1.0
+        fwd.loss_rng = random.Random(3)
+        dropped = [fwd.transmit(frame_of(972)) for _ in range(5)]
+        passed = [rev.transmit(frame_of(972)) for _ in range(5)]
+        sim.run()
+        assert not any(dropped) and all(passed)
+        assert fwd.log == [] and len(rev.log) == 5
+
+    def test_healthy_channel_pays_no_degradation_cost(self, sim):
+        """No degrade_rng, no extra fields: the hot path is untouched
+        (delivery time identical to the pre-gray formula)."""
+        ch = Channel(sim, rate_bps=8e6, delay=1e-3)
+        times = []
+        ch.on_deliver = lambda fr: times.append(sim.now)
+        ch.transmit(frame_of(972))
+        sim.run()
+        assert times == [pytest.approx(1000 / 1e6 + 1e-3)]
+
+
 class TestShapedChannel:
     def test_shaper_limits_throughput(self, sim):
         from repro.net import TokenBucket
