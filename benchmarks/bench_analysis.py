@@ -28,6 +28,8 @@ import statistics
 import time
 from pathlib import Path
 
+from compare import report_drift
+
 from repro.lang import evaluate, parse
 from repro.lang.analysis import CompileCache
 
@@ -134,6 +136,7 @@ def main() -> None:
         },
         "cached_no_slower": cached_s <= seed_s * 1.05,
     }
+    report_drift(result, RESULTS)
     RESULTS.parent.mkdir(parents=True, exist_ok=True)
     RESULTS.write_text(json.dumps(result, indent=2) + "\n")
     print(json.dumps(result, indent=2))

@@ -24,6 +24,8 @@ import json
 from dataclasses import replace
 from pathlib import Path
 
+from compare import report_drift
+
 from repro.cluster import Cluster, Deployment
 from repro.core.config import DEFAULT_CONFIG
 from repro.faults import ChaosController, FaultPlan
@@ -139,6 +141,7 @@ def main() -> dict:
         "all_within_budget": all(r["within_budget"] for r in runs),
     }
     RESULTS.parent.mkdir(exist_ok=True)
+    report_drift(report, RESULTS)
     RESULTS.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
     return report

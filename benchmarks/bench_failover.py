@@ -26,6 +26,8 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from compare import report_drift
+
 from repro.bench.experiments import failover_experiment
 
 RESULTS = Path(__file__).parent / "results" / "BENCH_failover.json"
@@ -79,6 +81,7 @@ def main() -> dict:
                              for s in scenarios.values()),
     }
     RESULTS.parent.mkdir(exist_ok=True)
+    report_drift(report, RESULTS)
     RESULTS.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
     return report

@@ -31,6 +31,8 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from compare import report_drift
+
 from repro.bench.experiments import (
     GRAYFAIL_DETECTORS,
     grayfail_experiment,
@@ -131,6 +133,7 @@ def main() -> dict:
         "criterion_met": all(s["all_met"] for s in scenarios.values()),
     }
     RESULTS.parent.mkdir(exist_ok=True)
+    report_drift(report, RESULTS)
     RESULTS.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
     return report

@@ -21,6 +21,8 @@ import statistics
 import time
 from pathlib import Path
 
+from compare import report_drift
+
 from repro.bench.experiments import massd_experiment, matmul_experiment
 
 RESULTS = Path(__file__).parent / "results" / "BENCH_sanitizer.json"
@@ -82,6 +84,7 @@ def main() -> None:
     result["race_free"] = all(
         result[k]["races"] == 0 for k in ("matmul_2v2", "massd_1v1"))
     RESULTS.parent.mkdir(parents=True, exist_ok=True)
+    report_drift(result, RESULTS)
     RESULTS.write_text(json.dumps(result, indent=2) + "\n")
     print(json.dumps(result, indent=2))
     assert result["all_within_2x"], (

@@ -1,0 +1,114 @@
+"""Diff a fresh benchmark result against its committed baseline.
+
+Every bench script writes ``benchmarks/results/BENCH_<name>.json`` and,
+just before overwriting it, calls :func:`report_drift` with the fresh
+result — so each run prints how far every numeric metric moved relative
+to the committed baseline.  The report is informational inside the bench
+scripts (timings vary across machines; the hard gate is each script's
+own ``criterion_met``-style assert), but the CLI form exits non-zero on
+drift beyond tolerance for use as an explicit regression check::
+
+    python benchmarks/compare.py results/BENCH_flowcheck.json fresh.json
+    python benchmarks/compare.py --tolerance 0.25 baseline.json fresh.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+#: relative drift beyond which a metric is reported (50% — bench scripts
+#: run on wildly different hardware; this catches regressions, not noise)
+DEFAULT_TOLERANCE = 0.5
+
+
+def numeric_leaves(obj: Any, prefix: str = "") -> Iterator[tuple[str, float]]:
+    """Flatten nested dicts/lists to ``dotted.path -> number`` pairs
+    (bools excluded — they are criteria, not metrics)."""
+    if isinstance(obj, bool):
+        return
+    if isinstance(obj, (int, float)):
+        yield prefix or "<root>", float(obj)
+    elif isinstance(obj, dict):
+        for key in sorted(obj):
+            yield from numeric_leaves(obj[key], f"{prefix}.{key}" if prefix
+                                      else str(key))
+    elif isinstance(obj, list):
+        for i, item in enumerate(obj):
+            yield from numeric_leaves(item, f"{prefix}[{i}]")
+
+
+def drift_report(baseline: Any, fresh: Any,
+                 tolerance: float = DEFAULT_TOLERANCE
+                 ) -> tuple[list[str], list[str]]:
+    """(within-tolerance lines, beyond-tolerance lines), both sorted."""
+    base = dict(numeric_leaves(baseline))
+    new = dict(numeric_leaves(fresh))
+    ok: list[str] = []
+    bad: list[str] = []
+    for key in sorted(base.keys() | new.keys()):
+        if key not in base:
+            ok.append(f"  {key}: (new metric) = {new[key]:g}")
+            continue
+        if key not in new:
+            bad.append(f"  {key}: metric vanished (baseline {base[key]:g})")
+            continue
+        ref = max(abs(base[key]), 1e-9)
+        rel = (new[key] - base[key]) / ref
+        line = (f"  {key}: {base[key]:g} -> {new[key]:g} "
+                f"({rel:+.1%})")
+        (bad if abs(rel) > tolerance else ok).append(line)
+    return ok, bad
+
+
+def report_drift(fresh: Any, baseline_path: Path,
+                 tolerance: float = DEFAULT_TOLERANCE,
+                 emit: Callable[[str], None] = print) -> bool:
+    """Print drift of ``fresh`` vs the committed ``baseline_path``.
+
+    Returns ``True`` when every metric stayed within tolerance (or there
+    is no baseline yet).  Never raises — the bench's own criterion is
+    the hard gate.
+    """
+    if not baseline_path.exists():
+        emit(f"compare: no committed baseline at {baseline_path} "
+             f"(first run)")
+        return True
+    try:
+        baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        emit(f"compare: unreadable baseline {baseline_path}: {exc}")
+        return True
+    ok, bad = drift_report(baseline, fresh, tolerance)
+    emit(f"compare: vs {baseline_path.name} "
+         f"(tolerance ±{tolerance:.0%}): "
+         f"{len(ok)} metric(s) within, {len(bad)} beyond")
+    for line in bad:
+        emit(line)
+    return not bad
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff a fresh benchmark JSON against a baseline; "
+                    "exits 1 when any metric drifts beyond tolerance.")
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("fresh", type=Path)
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE,
+                        help="relative drift allowed per metric "
+                             "(default %(default)s)")
+    args = parser.parse_args(argv)
+    for path in (args.baseline, args.fresh):
+        if not path.exists():
+            print(f"compare: no such file: {path}")
+            return 2
+    fresh = json.loads(args.fresh.read_text(encoding="utf-8"))
+    clean = report_drift(fresh, args.baseline, tolerance=args.tolerance)
+    return 0 if clean else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

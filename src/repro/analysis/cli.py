@@ -8,10 +8,13 @@ Usage::
     repro-check --list-rules               # rule inventory, by series
     repro-check --sanitize matmul          # dynamic race detection
     repro-check --sanitize scenario.py     # ... on a run(sim) scenario
+    repro-check --flow src/repro           # whole-program flow analysis
+    repro-check --flow --json g.json src   # ... exporting the flow graph
 
 Exit codes mirror ``repro lint``: 0 clean (warnings allowed), 1
 diagnostics at error severity (or any finding with ``--strict``; for
-``--sanitize``, any detected race), 2 usage/IO problems.
+``--sanitize``, any detected race; for ``--flow``, any F-series
+finding or parse failure), 2 usage/IO problems.
 """
 
 from __future__ import annotations
@@ -25,11 +28,13 @@ from .engine import ANALYZER_CODES, all_rules, check_paths
 __all__ = ["check_main", "check_entry"]
 
 #: rule-series headers for ``--list-rules``, keyed by the code's hundreds
-#: digit: D (determinism, 1xx), P (protocol, 2xx), R (concurrency, 3xx)
+#: digit: D (determinism, 1xx), P (protocol, 2xx), R (concurrency, 3xx),
+#: F (message flow, 4xx)
 _SERIES: dict[str, str] = {
     "1": "D-series (determinism)",
     "2": "P-series (protocol consistency)",
     "3": "R-series (concurrency)",
+    "4": "F-series (message flow)",
 }
 
 
@@ -46,8 +51,9 @@ def _list_rules() -> None:
 
     REPRO300 appears under the R-series header even though it has no
     static rule — it is emitted by the dynamic sanitizer behind
-    ``--sanitize`` — so the printed inventory covers every code the
-    checker can produce.
+    ``--sanitize`` — and the F-series (4xx) codes are emitted by the
+    whole-program analyzer behind ``--flow``, so the printed inventory
+    covers every code the checker can produce.
     """
     from ..sim.hb import RACE_CODE
     from ..lang.diagnostics import code_info
@@ -64,8 +70,43 @@ def _list_rules() -> None:
             print(f"{series}:")
             last_series = series
         severity, title = codes[code]
-        name = static.get(code, "dynamic (--sanitize)")
+        if code.startswith("REPRO4"):
+            name = "whole-program (--flow)"
+        else:
+            name = static.get(code, "dynamic (--sanitize)")
         print(f"  {code}  {severity:<7}  {name}: {title}")
+
+
+def _flow_main(paths: list[Path], dot: str | None,
+               json_path: str | None) -> int:
+    """Run the whole-program flow analyzer and render its report."""
+    import json as json_mod
+
+    from .flow import FLOW_RULE_COUNT, run_flow
+
+    report = run_flow(paths)
+    for failure in report.parse_failures:
+        shown = _display_path(failure.path)
+        print(f"{shown}:{failure.line}:{failure.col}: "
+              f"error PARSE: {failure.message}")
+    for unit, diag in report.findings:
+        print(diag.render(_display_path(unit.path)))
+    print(f"flow: {len(report.units)} file(s), "
+          f"{report.function_count} function(s), "
+          f"{report.send_site_count} tagged send site(s), "
+          f"{report.tag_count} wire tag(s)")
+    if report.exit_code == 0:
+        note = (f", {report.suppressed} suppressed by noqa"
+                if report.suppressed else "")
+        print(f"{len(report.units)} file(s) flow-clean "
+              f"({FLOW_RULE_COUNT} F rules{note})")
+    if dot:
+        Path(dot).write_text(report.graph_dot(), encoding="utf-8")
+    if json_path:
+        Path(json_path).write_text(
+            json_mod.dumps(report.graph_json(), indent=2, sort_keys=True)
+            + "\n", encoding="utf-8")
+    return report.exit_code
 
 
 def check_main(argv: list[str] | None = None) -> int:
@@ -92,6 +133,16 @@ def check_main(argv: list[str] | None = None) -> int:
                         help="run SCENARIO (matmul, massd, or a path to a "
                              "run(sim) file) under the happens-before race "
                              "detector; exits 1 if any race is detected")
+    parser.add_argument("--flow", action="store_true",
+                        help="run the whole-program message-flow/lifecycle "
+                             "analyzer (F-series REPRO4xx) over the given "
+                             "paths as one program")
+    parser.add_argument("--dot", metavar="PATH",
+                        help="with --flow: write the message-flow graph as "
+                             "Graphviz DOT to PATH")
+    parser.add_argument("--json", metavar="PATH",
+                        help="with --flow: write the message-flow graph as "
+                             "JSON to PATH")
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -100,6 +151,9 @@ def check_main(argv: list[str] | None = None) -> int:
     if args.sanitize:
         from .sanitizer import sanitize_main
         return sanitize_main(args.sanitize)
+    if (args.dot or args.json) and not args.flow:
+        print("repro-check: --dot/--json require --flow", file=sys.stderr)
+        return 2
     if not args.paths:
         parser.print_usage(sys.stderr)
         print("repro-check: no paths given", file=sys.stderr)
@@ -111,6 +165,8 @@ def check_main(argv: list[str] | None = None) -> int:
         for p in missing:
             print(f"repro-check: no such path: {p}", file=sys.stderr)
         return 2
+    if args.flow:
+        return _flow_main(paths, dot=args.dot, json_path=args.json)
 
     reports = check_paths(paths)
     findings = 0

@@ -48,9 +48,11 @@ __all__ = [
 ]
 
 #: the REPROxxx diagnostic table — D-series (1xx) determinism rules,
-#: P-series (2xx) protocol-consistency rules and R-series (3xx)
+#: P-series (2xx) protocol-consistency rules, R-series (3xx)
 #: concurrency rules (REPRO300 is emitted by the *dynamic* happens-before
-#: sanitizer in :mod:`repro.sim.hb`, not by a static rule)
+#: sanitizer in :mod:`repro.sim.hb`, not by a static rule) and F-series
+#: (4xx) whole-program message-flow/lifecycle analyses (emitted by
+#: :mod:`repro.analysis.flow` behind ``--flow``, not by per-file rules)
 ANALYZER_CODES: dict[str, tuple[str, str]] = {
     "REPRO101": (Severity.ERROR, "bare random module in simulated code"),
     "REPRO102": (Severity.ERROR, "wall-clock read in simulated code"),
@@ -70,6 +72,12 @@ ANALYZER_CODES: dict[str, tuple[str, str]] = {
     "REPRO304": (Severity.ERROR, "event callback mutates simulator state"),
     "REPRO305": (Severity.WARNING, "spawned process is never joined or kept"),
     "REPRO306": (Severity.ERROR, "bare except around channel operations"),
+    "REPRO400": (Severity.ERROR, "message-flow registry drift"),
+    "REPRO401": (Severity.ERROR, "static wait-for deadlock cycle"),
+    "REPRO402": (Severity.ERROR, "store getter leaked on losing race path"),
+    "REPRO403": (Severity.ERROR, "resource handle never released"),
+    "REPRO404": (Severity.ERROR, "unguarded blocking wait on client "
+                                 "request path"),
 }
 
 register_codes(ANALYZER_CODES)

@@ -1,0 +1,132 @@
+"""Orchestration for ``repro check --flow``.
+
+Parses every file once, builds the project symbol table, then runs the
+four analyses over it:
+
+1. :class:`~repro.analysis.flow.messages.TagAnalysis` — wire-tag
+   constant propagation to every send site, cross-checked against the
+   parsed ``WIRE_TAG_HANDLERS`` registry (REPRO400);
+2. :func:`~repro.analysis.flow.deadlock.deadlock_diagnostics` —
+   wait-for cycles (REPRO401);
+3. :func:`~repro.analysis.flow.lifecycle.lifecycle_diagnostics` —
+   getter-race and handle leaks (REPRO402/403);
+4. :func:`~repro.analysis.flow.deadlock.client_path_diagnostics` —
+   unguarded blocking waits on the client request path (REPRO404).
+
+``# repro: noqa[CODE]`` suppression works exactly as in the per-file
+engine — same comment syntax, same line anchoring.  Output ordering is
+fully deterministic: findings sort by (path, line, col, code), so two
+runs over the same tree are byte-identical.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from ...lang.diagnostics import Diagnostic
+from ..engine import _noqa_map, iter_python_files
+from .deadlock import (TraceExtractor, client_path_diagnostics,
+                       deadlock_diagnostics)
+from .lifecycle import lifecycle_diagnostics
+from .messages import TagAnalysis, graph_dot, graph_json, registry_diagnostics
+from .symbols import FileUnit, SymbolTable, module_name_for
+
+__all__ = ["FlowReport", "run_flow", "FLOW_RULE_COUNT"]
+
+#: the F-series surface: REPRO400..REPRO404
+FLOW_RULE_COUNT = 5
+
+
+@dataclass
+class ParseFailure:
+    """A file that did not parse (no analysis ran on it)."""
+
+    path: Path
+    line: int
+    col: int
+    message: str
+
+
+@dataclass
+class FlowReport:
+    """The outcome of one whole-program flow analysis."""
+
+    units: list[FileUnit] = field(default_factory=list)
+    parse_failures: list[ParseFailure] = field(default_factory=list)
+    #: unsuppressed findings, sorted by (path, line, col, code)
+    findings: list[tuple[FileUnit, Diagnostic]] = field(default_factory=list)
+    suppressed: int = 0
+    function_count: int = 0
+    send_site_count: int = 0
+    tag_count: int = 0
+    table: "SymbolTable | None" = None
+    analysis: "TagAnalysis | None" = None
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if (self.findings or self.parse_failures) else 0
+
+    def graph_json(self) -> dict[str, object]:
+        assert self.table is not None and self.analysis is not None
+        return graph_json(self.table, self.analysis)
+
+    def graph_dot(self) -> str:
+        assert self.table is not None and self.analysis is not None
+        return graph_dot(self.table, self.analysis)
+
+
+def _load_units(paths: Iterable[Path],
+                report: FlowReport) -> list[FileUnit]:
+    units: list[FileUnit] = []
+    for path in iter_python_files(paths):
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            report.parse_failures.append(ParseFailure(
+                path=path, line=exc.lineno or 0, col=(exc.offset or 1) - 1,
+                message=exc.msg or "syntax error"))
+            continue
+        units.append(FileUnit(path=path, posix=path.as_posix(),
+                              module=module_name_for(path),
+                              source=source, tree=tree))
+    return units
+
+
+def run_flow(paths: Iterable[Path]) -> FlowReport:
+    """Analyze every ``*.py`` under ``paths`` as one program."""
+    report = FlowReport()
+    report.units = _load_units(paths, report)
+    table = SymbolTable(report.units)
+    analysis = TagAnalysis(table)
+    analysis.run()
+    extractor = TraceExtractor(table)
+
+    raw: list[tuple[FileUnit, Diagnostic]] = []
+    raw.extend(registry_diagnostics(table, analysis))
+    raw.extend(deadlock_diagnostics(extractor))
+    raw.extend(lifecycle_diagnostics(table))
+    raw.extend(client_path_diagnostics(extractor))
+
+    noqa_by_posix = {u.posix: _noqa_map(u.source) for u in report.units}
+    kept: list[tuple[FileUnit, Diagnostic]] = []
+    for unit, diag in raw:
+        silenced = noqa_by_posix[unit.posix].get(diag.line, frozenset())
+        if silenced is None or (silenced and diag.code in silenced):
+            report.suppressed += 1
+        else:
+            kept.append((unit, diag))
+    kept.sort(key=lambda item: (item[0].posix, item[1].line,
+                                item[1].col, item[1].code))
+    report.findings = kept
+    report.function_count = len(table.functions)
+    report.send_site_count = len(analysis.send_sites)
+    registered = {entry.tag for registry in table.registries
+                  for entry in registry.entries}
+    report.tag_count = len(registered | set(analysis.sent_tags()))
+    report.table = table
+    report.analysis = analysis
+    return report

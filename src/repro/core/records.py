@@ -47,10 +47,17 @@ SERVER_RECORD_BYTES = 204
 # Import-time mirror of the analyzer's REPRO204 rule: the record must hold
 # one 8-byte slot per server-side variable plus the 24-byte header, so
 # growing SERVER_SIDE_VARS without re-sizing the record fails immediately.
-assert SERVER_RECORD_BYTES >= 8 * len(SERVER_SIDE_VARS) + 24, (
-    f"SERVER_RECORD_BYTES={SERVER_RECORD_BYTES} cannot hold "
-    f"{len(SERVER_SIDE_VARS)} 8-byte variables + 24-byte header"
-)
+# An explicit raise, not an assert: asserts vanish under ``python -O`` and
+# this guard must hold in every interpreter mode.
+def _verify_record_floor(record_bytes: int, n_vars: int) -> None:
+    if record_bytes < 8 * n_vars + 24:
+        raise RuntimeError(
+            f"SERVER_RECORD_BYTES={record_bytes} cannot hold "
+            f"{n_vars} 8-byte variables + 24-byte header"
+        )
+
+
+_verify_record_floor(SERVER_RECORD_BYTES, len(SERVER_SIDE_VARS))
 
 MSG_SYSDB = 1
 MSG_NETDB = 2
@@ -83,9 +90,25 @@ WIRE_TAG_HANDLERS: dict[str, tuple[str, ...]] = {
                     "repro.core.wizard.WizardReply.is_stale"),
 }
 
-assert set(WIRE_TAG_HANDLERS) == {
-    name for name in __all__ if name.startswith(("MSG_", "REPLY_"))
-}, "WIRE_TAG_HANDLERS drifted from the wire-tag constants"
+def _verify_wire_tag_registry(handlers: dict[str, tuple[str, ...]],
+                              exported: "list[str] | tuple[str, ...]") -> None:
+    """Raise if the handler registry drifted from the wire-tag constants.
+
+    An explicit ``RuntimeError`` rather than an assert so the guard
+    survives ``python -O`` — a drifted registry must never import.
+    """
+    expected = {name for name in exported
+                if name.startswith(("MSG_", "REPLY_"))}
+    missing = sorted(expected - set(handlers))
+    extra = sorted(set(handlers) - expected)
+    if missing or extra:
+        raise RuntimeError(
+            "WIRE_TAG_HANDLERS drifted from the wire-tag constants: "
+            f"missing={missing} extra={extra}"
+        )
+
+
+_verify_wire_tag_registry(WIRE_TAG_HANDLERS, __all__)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,32 @@
+"""Seeded REPRO400 violations: WIRE_TAG_HANDLERS drifted from reality.
+
+Three drifts in one registry: a handler path that resolves to nothing
+(the method was renamed away), a registered tag nothing ever sends, and
+a tag sent on the wire with no registered consumer.  ``MSG_PING`` is the
+control: registered, resolvable, and sent — no finding.
+"""
+
+MSG_PING = 1
+MSG_PONG = 2
+MSG_IDLE = 3
+MSG_LOST = 4
+
+WIRE_TAG_HANDLERS = {
+    "MSG_PING": ("f400_registry_drift.Daemon.handle_ping",),
+    "MSG_PONG": ("f400_registry_drift.Daemon.vanished",),
+    "MSG_IDLE": ("f400_registry_drift.Daemon.handle_idle",),
+}
+
+
+class Daemon:
+    def handle_ping(self, msg):
+        return msg
+
+    def handle_idle(self, msg):
+        return msg
+
+
+def broadcast(conn):
+    conn.send(MSG_PING, 8)
+    conn.send(MSG_PONG, 8)
+    conn.send(MSG_LOST, 8)

@@ -1,0 +1,42 @@
+"""Seeded REPRO401: a two-daemon recv/recv deadlock.
+
+Each daemon blocks on its own socket before it will feed the other —
+A answers only after hearing from B, B answers only after hearing from
+A, and neither wait carries a timeout.  Statically a wait-for cycle;
+dynamically a world that hangs forever at t=0.  Both loops are
+``Interrupt``-guarded (so the file is clean under the per-file R-series)
+— only the whole-program view can see the cycle.
+"""
+
+from repro.sim import Interrupt
+
+PORT_A = 5001
+PORT_B = 5002
+
+
+class DaemonA:
+    def __init__(self, stack):
+        self.stack = stack
+
+    def run(self):
+        sock = self.stack.udp_socket(PORT_A)
+        try:
+            while True:
+                dgram = yield sock.recv()
+                sock.sendto(dgram.src, PORT_B, payload=b"a")
+        except Interrupt:
+            sock.close()
+
+
+class DaemonB:
+    def __init__(self, stack):
+        self.stack = stack
+
+    def run(self):
+        sock = self.stack.udp_socket(PORT_B)
+        try:
+            while True:
+                dgram = yield sock.recv()
+                sock.sendto(dgram.src, PORT_A, payload=b"b")
+        except Interrupt:
+            sock.close()

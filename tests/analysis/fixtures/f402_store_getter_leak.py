@@ -1,0 +1,30 @@
+"""Seeded REPRO402: the PR 4 ``recv_timeout`` getter leak, re-created.
+
+``recv_timeout`` races a ``Store`` getter against a deadline and simply
+returns on the timeout path — the getter stays registered and silently
+eats the next datagram.  ``recv_timeout_fixed`` shows the required
+shape: the losing getter is cancelled.
+"""
+
+
+class LeakySocket:
+    def __init__(self, sim, rx):
+        self.sim = sim
+        self.rx = rx
+
+    def recv_timeout(self, timeout):
+        get = self.rx.get()
+        deadline = self.sim.timeout(timeout)
+        fired = yield self.sim.any_of([get, deadline])
+        if get in fired:
+            return fired[get]
+        return None
+
+    def recv_timeout_fixed(self, timeout):
+        get = self.rx.get()
+        deadline = self.sim.timeout(timeout)
+        fired = yield self.sim.any_of([get, deadline])
+        if get in fired:
+            return fired[get]
+        self.rx.cancel(get)
+        return None

@@ -1,0 +1,21 @@
+"""Seeded REPRO403: a locally-acquired socket that leaks on every path.
+
+``fire_and_forget``'s socket neither escapes the function nor is ever
+closed — a guaranteed handle leak.  ``fire_and_close`` is the clean
+twin.
+"""
+
+PROBE_PORT = 7007
+
+
+def fire_and_forget(stack, payload):
+    sock = stack.udp_socket()
+    sock.sendto("collector", PROBE_PORT, payload=payload)
+    return None
+
+
+def fire_and_close(stack, payload):
+    sock = stack.udp_socket()
+    sock.sendto("collector", PROBE_PORT, payload=payload)
+    sock.close()
+    return None

@@ -1,0 +1,29 @@
+"""Seeded REPRO404: the client request path blocks with no way out.
+
+``client_fetch`` sends a request and then waits forever on the reply —
+no deadline, no ``Interrupt`` guard; a silent registry hangs the caller.
+``client_fetch_deadline`` is the required shape: the reply getter races
+a timeout and is cancelled on the losing path.
+"""
+
+REGISTRY_PORT = 6006
+
+
+def client_fetch(stack, payload):
+    sock = stack.udp_socket()
+    sock.sendto("registry", REGISTRY_PORT, payload=payload)
+    reply = yield sock.recv()
+    sock.close()
+    return reply
+
+
+def client_fetch_deadline(stack, sim, payload, timeout):
+    sock = stack.udp_socket()
+    sock.sendto("registry", REGISTRY_PORT, payload=payload)
+    get = sock.recv()
+    deadline = sim.timeout(timeout)
+    fired = yield sim.any_of([get, deadline])
+    if get not in fired:
+        sock.rx.cancel(get)
+    sock.close()
+    return fired.get(get)

@@ -1,0 +1,355 @@
+"""Unit tests for the whole-program flow analyzer (F-series REPRO4xx).
+
+The golden fixtures pin end-to-end output; these tests exercise the
+pieces — symbol table, tag propagation, wait-for graph, lifecycle
+checks — on small synthetic trees, plus the determinism and export
+guarantees of the CLI surface.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import check_main
+from repro.analysis.flow import run_flow
+from repro.analysis.flow.symbols import module_name_for
+
+REPO = Path(__file__).parent.parent.parent
+SRC = REPO / "src" / "repro"
+
+
+def analyze(tmp_path: Path, **files: str):
+    for name, source in files.items():
+        (tmp_path / f"{name}.py").write_text(source, encoding="utf-8")
+    return run_flow([tmp_path])
+
+
+def codes(report) -> list[str]:
+    return [diag.code for _, diag in report.findings]
+
+
+class TestSymbols:
+    def test_module_name_from_repro_tree(self):
+        assert module_name_for(
+            Path("src/repro/core/records.py")) == "repro.core.records"
+        assert module_name_for(
+            Path("src/repro/analysis/__init__.py")) == "repro.analysis"
+
+    def test_module_name_outside_repro_tree_is_stem(self):
+        assert module_name_for(
+            Path("tests/analysis/fixtures/f401_recv_deadlock.py")
+        ) == "f401_recv_deadlock"
+
+    def test_registry_and_tags_indexed(self, tmp_path):
+        report = analyze(tmp_path, mod=(
+            "MSG_A = 1\n"
+            "WIRE_TAG_HANDLERS = {'MSG_A': ('mod.handle',)}\n"
+            "def handle(msg):\n"
+            "    return msg\n"
+            "def send(conn):\n"
+            "    conn.send(MSG_A, 8)\n"))
+        assert report.findings == []
+        assert report.table is not None
+        assert report.table.tags == {"MSG_A": 1}
+        assert [r.tags for r in report.table.registries] == [("MSG_A",)]
+
+
+class TestTagPropagation:
+    def test_tag_flows_through_constructor_and_param(self, tmp_path):
+        report = analyze(tmp_path, mod=(
+            "MSG_A = 1\n"
+            "WIRE_TAG_HANDLERS = {'MSG_A': ('mod.handle',)}\n"
+            "def handle(msg):\n"
+            "    return msg\n"
+            "class Msg:\n"
+            "    def __init__(self, kind, size):\n"
+            "        self.kind = kind\n"
+            "def build():\n"
+            "    return Msg(MSG_A, 8)\n"
+            "def push(conn, msg):\n"
+            "    conn.send(msg, 8)\n"
+            "def main(conn):\n"
+            "    push(conn, build())\n"))
+        assert report.findings == []
+        assert report.analysis is not None
+        assert report.analysis.sent_tags() == frozenset({"MSG_A"})
+
+    def test_dataclass_default_tag_counts_as_sent(self, tmp_path):
+        report = analyze(tmp_path, mod=(
+            "REPLY_OK = 0\n"
+            "WIRE_TAG_HANDLERS = {'REPLY_OK': ('mod.on_ok',)}\n"
+            "def on_ok(msg):\n"
+            "    return msg\n"
+            "class Reply:\n"
+            "    seq: int = 0\n"
+            "    status: int = REPLY_OK\n"
+            "def answer(sock, addr, port, seq):\n"
+            "    reply = Reply(seq=seq)\n"
+            "    sock.sendto(addr, port, payload=reply)\n"))
+        assert report.findings == []
+        assert report.analysis is not None
+        assert report.analysis.sent_tags() == frozenset({"REPLY_OK"})
+
+    def test_unsent_registered_tag_is_drift(self, tmp_path):
+        report = analyze(tmp_path, mod=(
+            "MSG_A = 1\n"
+            "WIRE_TAG_HANDLERS = {'MSG_A': ('mod.handle',)}\n"
+            "def handle(msg):\n"
+            "    return msg\n"))
+        assert codes(report) == ["REPRO400"]
+        assert "no statically discoverable send site" in \
+            report.findings[0][1].message
+
+    def test_no_registry_skips_repro400(self, tmp_path):
+        report = analyze(tmp_path, mod=(
+            "MSG_A = 1\n"
+            "def send(conn):\n"
+            "    conn.send(MSG_A, 8)\n"))
+        assert report.findings == []
+
+
+class TestDeadlock:
+    DAEMON = (
+        "from repro.sim import Interrupt\n"
+        "PORT_A = 5001\n"
+        "PORT_B = 5002\n"
+        "class {name}:\n"
+        "    def __init__(self, stack):\n"
+        "        self.stack = stack\n"
+        "    def run(self):\n"
+        "        sock = self.stack.udp_socket({mine})\n"
+        "        try:\n"
+        "            while True:\n"
+        "                dgram = yield sock.recv()\n"
+        "                sock.sendto(dgram.src, {peer}, payload=b'x')\n"
+        "        except Interrupt:\n"
+        "            sock.close()\n")
+
+    def test_mutual_recv_cycle_detected(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            a=self.DAEMON.format(name="A", mine="PORT_A", peer="PORT_B"),
+            b=self.DAEMON.format(name="B", mine="PORT_B", peer="PORT_A"))
+        assert codes(report) == ["REPRO401"]
+        assert "a.A.run" in report.findings[0][1].message
+        assert "b.B.run" in report.findings[0][1].message
+
+    def test_timeout_on_one_edge_breaks_the_cycle(self, tmp_path):
+        timed = (
+            "from repro.sim import Interrupt\n"
+            "PORT_A = 5001\n"
+            "PORT_B = 5002\n"
+            "class A:\n"
+            "    def __init__(self, stack, sim):\n"
+            "        self.stack = stack\n"
+            "        self.sim = sim\n"
+            "    def run(self):\n"
+            "        sock = self.stack.udp_socket(PORT_A)\n"
+            "        try:\n"
+            "            while True:\n"
+            "                get = sock.recv()\n"
+            "                deadline = self.sim.timeout(1.0)\n"
+            "                fired = yield self.sim.any_of([get, deadline])\n"
+            "                if get not in fired:\n"
+            "                    sock.rx.cancel(get)\n"
+            "                    continue\n"
+            "                sock.sendto('b', PORT_B, payload=b'x')\n"
+            "        except Interrupt:\n"
+            "            sock.close()\n")
+        report = analyze(
+            tmp_path, a=timed,
+            b=self.DAEMON.format(name="B", mine="PORT_B", peer="PORT_A"))
+        assert codes(report) == []
+
+    def test_self_loop_is_a_cycle(self, tmp_path):
+        report = analyze(tmp_path, a=(
+            "from repro.sim import Interrupt\n"
+            "PORT = 5001\n"
+            "class Echo:\n"
+            "    def __init__(self, stack):\n"
+            "        self.stack = stack\n"
+            "    def run(self):\n"
+            "        sock = self.stack.udp_socket(PORT)\n"
+            "        try:\n"
+            "            while True:\n"
+            "                dgram = yield sock.recv()\n"
+            "                sock.sendto(dgram.src, PORT, payload=b'x')\n"
+            "        except Interrupt:\n"
+            "            sock.close()\n"))
+        assert codes(report) == ["REPRO401"]
+
+    def test_unconditional_sender_feeds_the_waiter(self, tmp_path):
+        """A sender whose send is *not* gated on its own wait breaks the
+        cycle — that is exactly how the shipped push loop stays clean."""
+        report = analyze(
+            tmp_path,
+            a=self.DAEMON.format(name="A", mine="PORT_A", peer="PORT_B"),
+            b=("PORT_A = 5001\n"
+               "def feeder(stack):\n"
+               "    sock = stack.udp_socket()\n"
+               "    while True:\n"
+               "        sock.sendto('a', PORT_A, payload=b'x')\n"
+               "        yield\n"))
+        assert codes(report) == ["REPRO403"]  # feeder leaks its socket
+
+
+class TestLifecycle:
+    def test_owner_release_clears_getter_race(self, tmp_path):
+        report = analyze(tmp_path, mod=(
+            "def pull(conn, sim):\n"
+            "    get = conn.recv()\n"
+            "    deadline = sim.timeout(1.0)\n"
+            "    fired = yield sim.any_of([get, deadline])\n"
+            "    if get not in fired:\n"
+            "        conn.abort()\n"
+            "    return fired\n"))
+        assert codes(report) == []
+
+    def test_registry_removal_clears_getter_race(self, tmp_path):
+        report = analyze(tmp_path, mod=(
+            "def probe(stack, sim):\n"
+            "    tap = stack.icmp_tap()\n"
+            "    get = tap.get()\n"
+            "    deadline = sim.timeout(1.0)\n"
+            "    fired = yield sim.any_of([get, deadline])\n"
+            "    stack.icmp_taps.remove(tap)\n"
+            "    return fired\n"))
+        assert codes(report) == []
+
+    def test_anonymous_inline_getter_is_flagged(self, tmp_path):
+        report = analyze(tmp_path, mod=(
+            "def pull(conn, sim):\n"
+            "    fired = yield sim.any_of([conn.recv(), sim.timeout(1.0)])\n"
+            "    return fired\n"))
+        assert codes(report) == ["REPRO402"]
+        assert "anonymous" in report.findings[0][1].message
+
+    def test_escaping_handle_is_not_a_leak(self, tmp_path):
+        report = analyze(tmp_path, mod=(
+            "def start(stack, sim, listen):\n"
+            "    sock = stack.udp_socket()\n"
+            "    sim.process(listen(sock))\n"))
+        assert codes(report) == []
+
+    def test_unreleased_local_handle_is_a_leak(self, tmp_path):
+        report = analyze(tmp_path, mod=(
+            "def start(stack):\n"
+            "    sock = stack.udp_socket()\n"
+            "    sock.sendto('x', 9, payload=b'x')\n"))
+        assert codes(report) == ["REPRO403"]
+
+
+class TestClientPath:
+    def test_untimed_client_wait_flagged(self, tmp_path):
+        report = analyze(tmp_path, mod=(
+            "def client_ask(stack):\n"
+            "    sock = stack.udp_socket()\n"
+            "    reply = yield sock.recv()\n"
+            "    sock.close()\n"
+            "    return reply\n"))
+        assert codes(report) == ["REPRO404"]
+
+    def test_wait_behind_resolved_call_is_still_reachable(self, tmp_path):
+        report = analyze(tmp_path, mod=(
+            "def _inner(sock):\n"
+            "    return (yield sock.recv())\n"
+            "def client_ask(stack):\n"
+            "    sock = stack.udp_socket()\n"
+            "    reply = yield from _inner(sock)\n"
+            "    sock.close()\n"
+            "    return reply\n"))
+        assert codes(report) == ["REPRO404"]
+        assert "client_ask" in report.findings[0][1].message
+
+    def test_spawned_loop_is_not_on_the_request_path(self, tmp_path):
+        report = analyze(tmp_path, mod=(
+            "from repro.sim import Interrupt\n"
+            "def _loop(sock):\n"
+            "    try:\n"
+            "        while True:\n"
+            "            yield sock.recv()\n"
+            "    except Interrupt:\n"
+            "        sock.close()\n"
+            "def client_ask(stack, sim):\n"
+            "    sock = stack.udp_socket()\n"
+            "    sim.process(_loop(sock))\n"
+            "    return sock\n"))
+        assert codes(report) == []
+
+    def test_interrupt_guard_satisfies_the_rule(self, tmp_path):
+        report = analyze(tmp_path, mod=(
+            "from repro.sim import Interrupt\n"
+            "def client_ask(stack):\n"
+            "    sock = stack.udp_socket()\n"
+            "    try:\n"
+            "        reply = yield sock.recv()\n"
+            "    except Interrupt:\n"
+            "        reply = None\n"
+            "    sock.close()\n"
+            "    return reply\n"))
+        assert codes(report) == []
+
+
+class TestNoqaSuppression:
+    def test_flow_finding_suppressed_and_counted(self, tmp_path):
+        report = analyze(tmp_path, mod=(
+            "def start(stack):\n"
+            "    sock = stack.udp_socket()  # repro: noqa[REPRO403]\n"
+            "    sock.sendto('x', 9, payload=b'x')\n"))
+        assert report.findings == []
+        assert report.suppressed == 1
+        assert report.exit_code == 0
+
+
+class TestCliSurface:
+    def test_repo_flow_output_is_byte_stable(self, capsys):
+        check_main(["--flow", str(SRC)])
+        first = capsys.readouterr().out
+        check_main(["--flow", str(SRC)])
+        second = capsys.readouterr().out
+        assert first == second
+        assert first.endswith("flow-clean (5 F rules)\n")
+
+    def test_graph_exports_are_deterministic(self, tmp_path, capsys):
+        out1 = tmp_path / "g1.json"
+        out2 = tmp_path / "g2.json"
+        dot1 = tmp_path / "g1.dot"
+        dot2 = tmp_path / "g2.dot"
+        check_main(["--flow", "--json", str(out1), "--dot", str(dot1),
+                    str(SRC)])
+        check_main(["--flow", "--json", str(out2), "--dot", str(dot2),
+                    str(SRC)])
+        capsys.readouterr()
+        assert out1.read_bytes() == out2.read_bytes()
+        assert dot1.read_bytes() == dot2.read_bytes()
+        graph = json.loads(out1.read_text())
+        assert sorted(graph["tags"]) == [
+            "MSG_NETDB", "MSG_PULL", "MSG_SECDB", "MSG_SYSDB",
+            "REPLY_NAK", "REPLY_OK", "REPLY_STALE"]
+        assert all(slot["senders"] and slot["handlers"]
+                   for slot in graph["tags"].values())
+
+    def test_dot_without_flow_is_usage_error(self, tmp_path, capsys):
+        assert check_main(["--dot", str(tmp_path / "g.dot"),
+                           str(SRC)]) == 2
+        assert "--dot/--json require --flow" in capsys.readouterr().err
+
+    def test_parse_failure_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        assert check_main(["--flow", str(bad)]) == 1
+        assert "error PARSE" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("entry", ["request_servers", "smart_sockets",
+                                   "smart_sessions", "failover"])
+def test_shipped_client_entry_points_exist(entry):
+    """The REPRO404 root set matches real client API names — if one is
+    renamed, the rule must be retargeted, not silently uprooted."""
+    sources = "\n".join(
+        p.read_text(encoding="utf-8")
+        for p in [SRC / "core" / "client.py", SRC / "core" / "session.py"])
+    assert f"def {entry}" in sources

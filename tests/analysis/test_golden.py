@@ -30,6 +30,14 @@ WARNING_ONLY = {"d106_float_time_equality", "r305_unjoined_process"}
 CLEAN = {"clean_noqa_suppressed", "clean_r_noqa"}
 #: fixtures exercised with ``--sanitize`` (dynamic scenario, not static)
 SANITIZE = {"r300_seeded_race"}
+#: fixtures exercised with ``--flow`` (whole-program F-series analyses)
+FLOW = {
+    "f400_registry_drift",
+    "f401_recv_deadlock",
+    "f402_store_getter_leak",
+    "f403_socket_leak",
+    "f404_unguarded_client_wait",
+}
 
 
 def run_check(path: Path, capsys, *extra: str) -> tuple[int, str]:
@@ -49,7 +57,8 @@ def run_sanitize(path: Path, capsys) -> tuple[int, str]:
     return code, capsys.readouterr().out
 
 
-@pytest.mark.parametrize("name", [n for n in CASES if n not in SANITIZE])
+@pytest.mark.parametrize("name", [n for n in CASES
+                                  if n not in SANITIZE | FLOW])
 def test_golden_output_is_exact(name, capsys):
     expected = (FIXTURES / f"{name}.expected").read_text()
     _, out = run_check(FIXTURES / f"{name}.py", capsys)
@@ -57,10 +66,20 @@ def test_golden_output_is_exact(name, capsys):
 
 
 @pytest.mark.parametrize(
-    "name", [n for n in CASES if n not in WARNING_ONLY | CLEAN | SANITIZE])
+    "name",
+    [n for n in CASES if n not in WARNING_ONLY | CLEAN | SANITIZE | FLOW])
 def test_error_fixtures_exit_one(name, capsys):
     code, _ = run_check(FIXTURES / f"{name}.py", capsys)
     assert code == 1
+
+
+@pytest.mark.parametrize("name", sorted(FLOW))
+def test_flow_golden_output_is_exact(name, capsys):
+    """Each F-series fixture's ``--flow`` output, byte-for-byte."""
+    expected = (FIXTURES / f"{name}.expected").read_text()
+    code, out = run_check(FIXTURES / f"{name}.py", capsys, "--flow")
+    assert code == 1
+    assert out == expected
 
 
 @pytest.mark.parametrize("name", sorted(WARNING_ONLY))
@@ -109,6 +128,16 @@ def test_repo_source_tree_is_clean(capsys):
     out = capsys.readouterr().out
     assert code == 0
     assert "file(s) clean" in out
+
+
+def test_repo_source_tree_is_flow_clean(capsys):
+    """The whole-program gate: zero F-series findings on the shipped
+    tree, with the full wire-tag surface verified against the registry."""
+    code = check_main(["--flow", str(REPO / "src" / "repro")])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "flow-clean (5 F rules)" in out
+    assert "7 wire tag(s)" in out
 
 
 def test_fixtures_pin_every_advertised_code():

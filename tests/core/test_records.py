@@ -145,3 +145,35 @@ class TestWireTagHandlers:
                     assert hasattr(obj, name), (
                         f"{tag}: {dotted} does not resolve at {name!r}")
                     obj = getattr(obj, name)
+
+    def test_drifted_registry_raises_runtime_error(self):
+        """The import-time guard is a real raise (not an assert that
+        ``python -O`` strips): a registry missing a tag, or carrying a
+        stray one, must refuse to import."""
+        from repro.core.records import (WIRE_TAG_HANDLERS,
+                                        _verify_wire_tag_registry)
+
+        exported = ["MSG_SYSDB", "MSG_PULL", "REPLY_OK"]
+        good = {t: ("x.y",) for t in exported}
+        _verify_wire_tag_registry(good, exported)  # no raise
+
+        missing = dict(good)
+        del missing["MSG_PULL"]
+        with pytest.raises(RuntimeError, match=r"missing=\['MSG_PULL'\]"):
+            _verify_wire_tag_registry(missing, exported)
+
+        extra = dict(good)
+        extra["MSG_GHOST"] = ("x.y",)
+        with pytest.raises(RuntimeError, match=r"extra=\['MSG_GHOST'\]"):
+            _verify_wire_tag_registry(extra, exported)
+
+        # and the shipped registry passes its own guard
+        from repro.core import records
+        _verify_wire_tag_registry(WIRE_TAG_HANDLERS, records.__all__)
+
+    def test_record_floor_guard_raises_runtime_error(self):
+        from repro.core.records import _verify_record_floor
+
+        _verify_record_floor(204, 22)  # the shipped sizing
+        with pytest.raises(RuntimeError, match="cannot hold"):
+            _verify_record_floor(100, 22)

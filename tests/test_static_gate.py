@@ -50,6 +50,35 @@ def test_ci_runs_repro_check_gate():
     assert "repro check src" in ci
 
 
+def test_ci_runs_flow_gate():
+    """The CI ``flow`` job gates the whole-program message-flow analyzer:
+    clean tree, seeded fixtures must fail, byte-stable double run, and the
+    analysis-time benchmark criterion."""
+    ci = (REPO / ".github" / "workflows" / "ci.yml").read_text()
+    assert "check --flow src/repro" in ci
+    assert "f40*.py" in ci
+    assert "bench_flowcheck.py" in ci
+
+
+def test_ci_runs_static_gates_under_dash_O():
+    """Both analyzer gates re-run under ``python -O`` in CI so nothing
+    load-bearing hides in an ``assert``."""
+    ci = (REPO / ".github" / "workflows" / "ci.yml").read_text()
+    assert "python -O -m repro check src" in ci
+    assert "python -O -m repro check --flow src/repro" in ci
+
+
+def test_repro_check_clean_under_dash_O():
+    """The same gate must hold when asserts are stripped: the analyzers
+    and the records import-time guards are explicit raises, not asserts."""
+    result = subprocess.run(
+        [sys.executable, "-O", "-m", "repro", "check", "src"],
+        capture_output=True, text=True, timeout=120, cwd=REPO,
+        env={**os.environ, "PYTHONPATH": "src"},
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
 def test_ci_runs_sanitize_job():
     """The CI ``sanitize`` job drives both smoke worlds under the
     happens-before detector (zero races required) and re-runs the
