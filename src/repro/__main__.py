@@ -17,10 +17,17 @@ Usage::
     repro-check --list-rules             # installed entry point
     python -m repro check --sanitize matmul          # race detector, smoke world
     python -m repro check --sanitize scenario.py     # ... on a run(sim) file
+    python -m repro check --perf src                 # hot-path perf lints
+    python -m repro check --all src                  # every static gate
+
+    python -m repro profile matmul       # deterministic event profiler
+    python -m repro profile matmul --json p.json     # ... keep the JSON
+    python -m repro profile scenario.py              # ... on a run(sim) file
 
 Lint/check exit codes: 0 clean (warnings allowed), 1 diagnostics at
 error severity (or any finding with ``--strict``; for ``--sanitize``,
-any detected race), 2 usage/IO problems.
+any detected race), 2 usage/IO problems.  ``profile`` exits 0 on a
+completed run, 2 on usage/IO problems.
 """
 
 from __future__ import annotations
@@ -243,6 +250,27 @@ def lint_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def profile_cli(argv: list[str] | None = None) -> int:
+    """``python -m repro profile <scenario>`` — the event profiler."""
+    from .analysis.profiler import profile_main
+
+    parser = argparse.ArgumentParser(
+        prog="repro-profile",
+        description="Run a scenario (matmul, massd, or a path to a "
+                    "run(sim) file) under the deterministic event "
+                    "profiler: per-process resume/allocation attribution, "
+                    "a flamegraph-style text tree, and optional JSON for "
+                    "`repro check --perf --profile`.",
+    )
+    parser.add_argument("scenario",
+                        help="matmul, massd, or a run(sim) scenario file")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the profile (attribution + wall "
+                             "metrics) as JSON to PATH")
+    args = parser.parse_args(argv)
+    return profile_main(args.scenario, json_path=args.json)
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -251,6 +279,8 @@ def main(argv: list[str] | None = None) -> int:
     if argv and argv[0] == "check":
         from .analysis.cli import check_main
         return check_main(argv[1:])
+    if argv and argv[0] == "profile":
+        return profile_cli(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate tables/figures of 'A Smart TCP Socket for "
@@ -259,11 +289,15 @@ def main(argv: list[str] | None = None) -> int:
                     "requirement file, 'python -m repro check <paths>' to "
                     "static-check the codebase for determinism/protocol/"
                     "concurrency violations ('--sanitize' runs the dynamic "
-                    "race detector).",
+                    "race detector, '--perf' the hot-path analyzer, "
+                    "'--all' every static gate), and 'python -m repro "
+                    "profile <scenario>' to measure event attribution "
+                    "under the deterministic profiler.",
     )
     parser.add_argument("experiment",
                         help="experiment id (see 'list'), 'list'/'all', "
-                             "'lint <file|->', or 'check <paths>'")
+                             "'lint <file|->', 'check <paths>', or "
+                             "'profile <scenario>'")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":

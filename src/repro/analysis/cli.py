@@ -2,7 +2,7 @@
 
 Usage::
 
-    python -m repro check src              # the repo gate
+    python -m repro check src              # the per-file repo gate
     repro-check src/repro/net/link.py      # one file
     repro-check --strict src               # warnings fail too
     repro-check --list-rules               # rule inventory, by series
@@ -10,11 +10,15 @@ Usage::
     repro-check --sanitize scenario.py     # ... on a run(sim) scenario
     repro-check --flow src/repro           # whole-program flow analysis
     repro-check --flow --json g.json src   # ... exporting the flow graph
+    repro-check --perf src/repro           # hot-path performance lints
+    repro-check --perf --profile p.json src  # ... ranked by measured heat
+    repro-check --all src/repro            # every static gate in one run
 
 Exit codes mirror ``repro lint``: 0 clean (warnings allowed), 1
 diagnostics at error severity (or any finding with ``--strict``; for
-``--sanitize``, any detected race; for ``--flow``, any F-series
-finding or parse failure), 2 usage/IO problems.
+``--sanitize``, any detected race; for ``--flow``/``--perf``, any
+finding or parse failure; for ``--all``, the worst of the three static
+gates), 2 usage/IO problems.
 """
 
 from __future__ import annotations
@@ -29,12 +33,13 @@ __all__ = ["check_main", "check_entry"]
 
 #: rule-series headers for ``--list-rules``, keyed by the code's hundreds
 #: digit: D (determinism, 1xx), P (protocol, 2xx), R (concurrency, 3xx),
-#: F (message flow, 4xx)
+#: F (message flow, 4xx), H (hot-path performance, 5xx)
 _SERIES: dict[str, str] = {
     "1": "D-series (determinism)",
     "2": "P-series (protocol consistency)",
     "3": "R-series (concurrency)",
     "4": "F-series (message flow)",
+    "5": "H-series (hot-path performance)",
 }
 
 
@@ -51,9 +56,10 @@ def _list_rules() -> None:
 
     REPRO300 appears under the R-series header even though it has no
     static rule — it is emitted by the dynamic sanitizer behind
-    ``--sanitize`` — and the F-series (4xx) codes are emitted by the
-    whole-program analyzer behind ``--flow``, so the printed inventory
-    covers every code the checker can produce.
+    ``--sanitize`` — and the F-series (4xx) / H-series (5xx) codes are
+    emitted by the whole-program analyzers behind ``--flow`` and
+    ``--perf``, so the printed inventory covers every code the checker
+    can produce.
     """
     from ..sim.hb import RACE_CODE
     from ..lang.diagnostics import code_info
@@ -72,6 +78,8 @@ def _list_rules() -> None:
         severity, title = codes[code]
         if code.startswith("REPRO4"):
             name = "whole-program (--flow)"
+        elif code.startswith("REPRO5"):
+            name = "whole-program (--perf)"
         else:
             name = static.get(code, "dynamic (--sanitize)")
         print(f"  {code}  {severity:<7}  {name}: {title}")
@@ -109,65 +117,58 @@ def _flow_main(paths: list[Path], dot: str | None,
     return report.exit_code
 
 
-def check_main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro-check",
-        description="Statically analyze the codebase for determinism "
-                    "hazards (D-series REPRO1xx: bare random/wall-clock/"
-                    "entropy, unordered scheduling, float time equality), "
-                    "wire-protocol drift (P-series REPRO2xx: message "
-                    "constants, record fields and byte accounting vs. the "
-                    "variable registry) and concurrency hazards (R-series "
-                    "REPRO3xx: unguarded blocking receives, unhandled wire "
-                    "tags, untracked shared segments), or run a scenario "
-                    "under the dynamic happens-before race detector with "
-                    "--sanitize.",
-    )
-    parser.add_argument("paths", nargs="*",
-                        help="files and/or directories to check")
-    parser.add_argument("--strict", action="store_true",
-                        help="treat warnings as errors")
-    parser.add_argument("--list-rules", action="store_true",
-                        help="print the rule inventory and exit")
-    parser.add_argument("--sanitize", metavar="SCENARIO",
-                        help="run SCENARIO (matmul, massd, or a path to a "
-                             "run(sim) file) under the happens-before race "
-                             "detector; exits 1 if any race is detected")
-    parser.add_argument("--flow", action="store_true",
-                        help="run the whole-program message-flow/lifecycle "
-                             "analyzer (F-series REPRO4xx) over the given "
-                             "paths as one program")
-    parser.add_argument("--dot", metavar="PATH",
-                        help="with --flow: write the message-flow graph as "
-                             "Graphviz DOT to PATH")
-    parser.add_argument("--json", metavar="PATH",
-                        help="with --flow: write the message-flow graph as "
-                             "JSON to PATH")
-    args = parser.parse_args(argv)
+def _perf_main(paths: list[Path], profile_path: str | None = None) -> int:
+    """Run the hot-path analyzer and render its report.
 
-    if args.list_rules:
-        _list_rules()
-        return 0
-    if args.sanitize:
-        from .sanitizer import sanitize_main
-        return sanitize_main(args.sanitize)
-    if (args.dot or args.json) and not args.flow:
-        print("repro-check: --dot/--json require --flow", file=sys.stderr)
-        return 2
-    if not args.paths:
-        parser.print_usage(sys.stderr)
-        print("repro-check: no paths given", file=sys.stderr)
-        return 2
+    With ``profile_path`` (a ``repro profile`` JSON), findings are
+    annotated with measured resume shares and ranked hottest-first.
+    """
+    import json as json_mod
 
-    paths = [Path(p) for p in args.paths]
-    missing = [p for p in paths if not p.exists()]
-    if missing:
-        for p in missing:
-            print(f"repro-check: no such path: {p}", file=sys.stderr)
-        return 2
-    if args.flow:
-        return _flow_main(paths, dot=args.dot, json_path=args.json)
+    from .hotpath import HOT_RULE_COUNT, run_hotpath
 
+    profile = None
+    if profile_path:
+        try:
+            data = json_mod.loads(
+                Path(profile_path).read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            print(f"repro-check: cannot read profile {profile_path}: {exc}",
+                  file=sys.stderr)
+            return 2
+        profile = (data.get("attribution", data)
+                   if isinstance(data, dict) else None)
+        if not isinstance(profile, dict) or "processes" not in profile:
+            print(f"repro-check: {profile_path} is not a repro profile "
+                  f"JSON (no attribution.processes)", file=sys.stderr)
+            return 2
+
+    report = run_hotpath(paths, profile=profile)
+    for failure in report.parse_failures:
+        shown = _display_path(failure.path)
+        print(f"{shown}:{failure.line}:{failure.col}: "
+              f"error PARSE: {failure.message}")
+    for finding in report.findings:
+        line = finding.diag.render(_display_path(finding.unit.path))
+        if report.profiled:
+            names = ",".join(finding.heat_names) or "<unattributed>"
+            line += (f"  [heat {100 * (finding.heat or 0.0):.1f}% "
+                     f"via {names}]")
+        print(line)
+    print(f"perf: {len(report.units)} file(s), "
+          f"{report.function_count} function(s), "
+          f"{report.hot_count} hot function(s), "
+          f"{report.root_count} service-loop root(s)")
+    if report.exit_code == 0:
+        note = (f", {report.suppressed} suppressed by noqa"
+                if report.suppressed else "")
+        print(f"{len(report.units)} file(s) perf-clean "
+              f"({HOT_RULE_COUNT} H rules{note})")
+    return report.exit_code
+
+
+def _engine_main(paths: list[Path], strict: bool) -> int:
+    """Run the per-file D/P/R rules and render their reports."""
     reports = check_paths(paths)
     findings = 0
     errors = 0
@@ -189,9 +190,94 @@ def check_main(argv: list[str] | None = None) -> int:
         note = f", {suppressed} suppressed by noqa" if suppressed else ""
         print(f"{len(reports)} file(s) clean "
               f"({len(all_rules())} D/P/R rules{note})")
-    if errors or (args.strict and findings):
+    if errors or (strict and findings):
         return 1
     return 0
+
+
+def check_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-check",
+        description="Statically analyze the codebase for determinism "
+                    "hazards (D-series REPRO1xx: bare random/wall-clock/"
+                    "entropy, unordered scheduling, float time equality), "
+                    "wire-protocol drift (P-series REPRO2xx: message "
+                    "constants, record fields and byte accounting vs. the "
+                    "variable registry) and concurrency hazards (R-series "
+                    "REPRO3xx: unguarded blocking receives, unhandled wire "
+                    "tags, untracked shared segments); run the "
+                    "whole-program flow (--flow, F-series REPRO4xx) or "
+                    "hot-path performance (--perf, H-series REPRO5xx) "
+                    "analyzers; or run a scenario under the dynamic "
+                    "happens-before race detector with --sanitize.",
+    )
+    parser.add_argument("paths", nargs="*",
+                        help="files and/or directories to check")
+    parser.add_argument("--strict", action="store_true",
+                        help="treat warnings as errors")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule inventory and exit")
+    parser.add_argument("--sanitize", metavar="SCENARIO",
+                        help="run SCENARIO (matmul, massd, or a path to a "
+                             "run(sim) file) under the happens-before race "
+                             "detector; exits 1 if any race is detected")
+    parser.add_argument("--flow", action="store_true",
+                        help="run the whole-program message-flow/lifecycle "
+                             "analyzer (F-series REPRO4xx) over the given "
+                             "paths as one program")
+    parser.add_argument("--perf", action="store_true",
+                        help="run the hot-path performance analyzer "
+                             "(H-series REPRO5xx) over the given paths as "
+                             "one program")
+    parser.add_argument("--profile", metavar="PATH",
+                        help="with --perf/--all: rank findings by measured "
+                             "heat from a `repro profile` JSON")
+    parser.add_argument("--all", action="store_true",
+                        help="run every static gate (per-file D/P/R, "
+                             "--flow, --perf) in one process; exit code is "
+                             "the worst of the three")
+    parser.add_argument("--dot", metavar="PATH",
+                        help="with --flow: write the message-flow graph as "
+                             "Graphviz DOT to PATH")
+    parser.add_argument("--json", metavar="PATH",
+                        help="with --flow: write the message-flow graph as "
+                             "JSON to PATH")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _list_rules()
+        return 0
+    if args.sanitize:
+        from .sanitizer import sanitize_main
+        return sanitize_main(args.sanitize)
+    if (args.dot or args.json) and not (args.flow or args.all):
+        print("repro-check: --dot/--json require --flow", file=sys.stderr)
+        return 2
+    if args.profile and not (args.perf or args.all):
+        print("repro-check: --profile requires --perf or --all",
+              file=sys.stderr)
+        return 2
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("repro-check: no paths given", file=sys.stderr)
+        return 2
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        for p in missing:
+            print(f"repro-check: no such path: {p}", file=sys.stderr)
+        return 2
+    if args.all:
+        engine_code = _engine_main(paths, strict=args.strict)
+        flow_code = _flow_main(paths, dot=args.dot, json_path=args.json)
+        perf_code = _perf_main(paths, profile_path=args.profile)
+        return max(engine_code, flow_code, perf_code)
+    if args.flow:
+        return _flow_main(paths, dot=args.dot, json_path=args.json)
+    if args.perf:
+        return _perf_main(paths, profile_path=args.profile)
+    return _engine_main(paths, strict=args.strict)
 
 
 def check_entry() -> None:

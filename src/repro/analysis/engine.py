@@ -50,9 +50,11 @@ __all__ = [
 #: the REPROxxx diagnostic table — D-series (1xx) determinism rules,
 #: P-series (2xx) protocol-consistency rules, R-series (3xx)
 #: concurrency rules (REPRO300 is emitted by the *dynamic* happens-before
-#: sanitizer in :mod:`repro.sim.hb`, not by a static rule) and F-series
+#: sanitizer in :mod:`repro.sim.hb`, not by a static rule), F-series
 #: (4xx) whole-program message-flow/lifecycle analyses (emitted by
 #: :mod:`repro.analysis.flow` behind ``--flow``, not by per-file rules)
+#: and H-series (5xx) hot-path performance analyses (emitted by
+#: :mod:`repro.analysis.hotpath` behind ``--perf``)
 ANALYZER_CODES: dict[str, tuple[str, str]] = {
     "REPRO101": (Severity.ERROR, "bare random module in simulated code"),
     "REPRO102": (Severity.ERROR, "wall-clock read in simulated code"),
@@ -78,6 +80,15 @@ ANALYZER_CODES: dict[str, tuple[str, str]] = {
     "REPRO403": (Severity.ERROR, "resource handle never released"),
     "REPRO404": (Severity.ERROR, "unguarded blocking wait on client "
                                  "request path"),
+    "REPRO500": (Severity.ERROR, "linear status-DB scan on the request path"),
+    "REPRO501": (Severity.ERROR, "full-DB copy/serialization per message"),
+    "REPRO502": (Severity.ERROR, "hoistable construction in a hot loop"),
+    "REPRO503": (Severity.ERROR, "loop-invariant recomputation in a hot "
+                                 "loop"),
+    "REPRO504": (Severity.ERROR, "unbounded blocking work on the "
+                                 "event-dispatch path"),
+    "REPRO505": (Severity.ERROR, "quadratic accumulation on message-rate "
+                                 "state"),
 }
 
 register_codes(ANALYZER_CODES)

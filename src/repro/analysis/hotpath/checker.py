@@ -1,0 +1,141 @@
+"""Orchestration for ``repro check --perf``.
+
+Parses every file once, builds the project symbol table (the same
+:class:`~repro.analysis.flow.symbols.SymbolTable` the flow analyzer
+uses), discovers the hot surface (:mod:`.heat`) and runs the six
+H-series rules (:mod:`.rules`) over it.
+
+``# repro: noqa[CODE]`` suppression works exactly as in the per-file
+engine and the flow analyzer.  Without a profile, findings sort by
+(path, line, col, code) — byte-identical across runs.  With a profile
+attribution dict (from ``repro profile``), each finding is annotated
+with the measured resume share of the process(es) behind its hot roots
+and the list re-ranks hottest-first; the annotation is derived purely
+from the JSON, so the ranked output is exactly as deterministic as the
+profile that fed it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+from ...lang.diagnostics import Diagnostic
+from ..engine import _noqa_map
+from ..flow.checker import ParseFailure, _load_units
+from ..flow.symbols import FileUnit, SymbolTable
+from .heat import HotContext, build_hot_context
+from .rules import HOT_RULE_COUNT, hot_rule_diagnostics
+
+__all__ = ["HotFinding", "HotpathReport", "run_hotpath", "HOT_RULE_COUNT"]
+
+#: separators accepted between a heat name and a per-connection suffix
+#: when matching profiler process names (``wizard`` matches
+#: ``wizard-session-3``) — mirrors the profiler's group separators
+_NAME_SEPS = ("-", ":", "/", ".")
+
+
+@dataclass
+class HotFinding:
+    """One H-series finding with its hot-context provenance."""
+
+    unit: FileUnit
+    diag: Diagnostic
+    #: qualname of the function the finding is anchored in
+    qualname: str
+    #: profiler process names behind the finding's hot roots
+    heat_names: tuple[str, ...] = ()
+    #: measured resume share of those processes (``None`` = no profile)
+    heat: "float | None" = None
+
+
+@dataclass
+class HotpathReport:
+    """The outcome of one hot-path analysis."""
+
+    units: list[FileUnit] = field(default_factory=list)
+    parse_failures: list[ParseFailure] = field(default_factory=list)
+    #: unsuppressed findings; (path, line, col, code) order, re-ranked
+    #: hottest-first when a profile was supplied
+    findings: list[HotFinding] = field(default_factory=list)
+    suppressed: int = 0
+    function_count: int = 0
+    hot_count: int = 0
+    root_count: int = 0
+    profiled: bool = False
+    ctx: "HotContext | None" = None
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if (self.findings or self.parse_failures) else 0
+
+
+def _matches(proc_name: str, heat_name: str) -> bool:
+    return proc_name == heat_name or any(
+        proc_name.startswith(heat_name + sep) for sep in _NAME_SEPS)
+
+
+def heat_share(attribution: "dict[str, Any]",
+               heat_names: Iterable[str]) -> float:
+    """Fraction of all profiled resumes owned by ``heat_names``."""
+    processes: dict[str, Any] = attribution.get("processes", {})
+    total = sum(row["resumes"] for row in processes.values())
+    if total == 0:
+        return 0.0
+    count = 0
+    for proc_name, row in processes.items():
+        if any(_matches(proc_name, h) for h in heat_names):
+            count += row["resumes"]
+    return count / total
+
+
+def run_hotpath(paths: Iterable[Path],
+                profile: "dict[str, Any] | None" = None) -> HotpathReport:
+    """Analyze every ``*.py`` under ``paths`` as one program.
+
+    ``profile`` is a profiler attribution dict (the ``attribution``
+    subtree of a ``repro profile`` JSON); when given, findings carry a
+    measured :attr:`~HotFinding.heat` share and rank hottest-first.
+    """
+    report = HotpathReport()
+    report.units = _load_units(paths, report)
+    table = SymbolTable(report.units)
+    ctx = build_hot_context(table)
+
+    unit_by_module = {u.module: u for u in report.units}
+    raw: list[HotFinding] = []
+    for fn, diag in hot_rule_diagnostics(ctx):
+        unit = unit_by_module.get(fn.module)
+        if unit is None:  # pragma: no cover - table built from these units
+            continue
+        raw.append(HotFinding(unit=unit, diag=diag, qualname=fn.qualname,
+                              heat_names=ctx.heat_names(fn.qualname)))
+
+    noqa_by_posix = {u.posix: _noqa_map(u.source) for u in report.units}
+    kept: list[HotFinding] = []
+    for finding in raw:
+        silenced = noqa_by_posix[finding.unit.posix].get(
+            finding.diag.line, frozenset())
+        if silenced is None or (silenced and finding.diag.code in silenced):
+            report.suppressed += 1
+        else:
+            kept.append(finding)
+
+    def stable_key(f: HotFinding) -> tuple[str, int, int, str]:
+        return (f.unit.posix, f.diag.line, f.diag.col, f.diag.code)
+
+    if profile is not None:
+        report.profiled = True
+        for finding in kept:
+            finding.heat = heat_share(profile, finding.heat_names)
+        kept.sort(key=lambda f: (-(f.heat or 0.0),) + stable_key(f))
+    else:
+        kept.sort(key=stable_key)
+
+    report.findings = kept
+    report.function_count = len(table.functions)
+    report.hot_count = len(ctx.hot)
+    report.root_count = len(ctx.roots)
+    report.ctx = ctx
+    return report

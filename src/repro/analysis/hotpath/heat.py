@@ -1,0 +1,182 @@
+"""Hot-context discovery for the H-series performance lints.
+
+A perf lint that fires everywhere is noise; the H rules only police
+code that runs at *message rate*.  This module decides what that is,
+reusing the PR 7 flow machinery (the project
+:class:`~repro.analysis.flow.symbols.SymbolTable` and its conservative
+call resolution) instead of re-deriving a call graph:
+
+* **hot roots** — functions that *are* an unbounded service loop: a
+  ``while True:`` (constant-true test) whose body yields a blocking
+  wire wait (``recv``/``accept``/``get``) or a periodic ``timeout``
+  (push/probe loops — the transmitter's per-replica fan-out runs at
+  push rate, which is message rate from the receiver's side), plus
+  every handler path named by a parsed ``WIRE_TAG_HANDLERS`` registry;
+* **hot functions** — everything reachable from a hot root through
+  resolved calls, including ``sim.process(self._session(conn), ...)``
+  spawn arguments (a per-connection spawn inside an accept loop runs
+  per message, so its body is hot too);
+* **spawn names** — the ``name="wizard"`` literals on ``*.process``
+  calls, mapped to the generator function they spawn.  They are the
+  bridge to the dynamic profiler: a static finding reachable from
+  ``Wizard._serve`` is ranked by the measured heat of the process
+  named ``wizard``.
+
+Everything is AST-only and deterministic; nothing imports the analyzed
+code.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from ..concurrency import BLOCKING_RECV_ATTRS
+from ..flow.symbols import FunctionInfo, SymbolTable
+
+__all__ = ["HotContext", "build_hot_context", "constant_true"]
+
+#: yielded attributes that make a ``while True`` loop a service loop
+_LOOP_WAIT_ATTRS = BLOCKING_RECV_ATTRS | {"get", "timeout", "any_of", "all_of"}
+
+
+def constant_true(test: ast.expr) -> bool:
+    """Is a loop test the literal ``True``/``1`` (an unbounded loop)?"""
+    return isinstance(test, ast.Constant) and bool(test.value) is True
+
+
+@dataclass
+class HotContext:
+    """The hot surface of one analyzed tree."""
+
+    table: SymbolTable
+    #: service-loop functions: qualname -> their unbounded loop nodes
+    roots: dict[str, list[ast.While]] = field(default_factory=dict)
+    #: every hot function: qualname -> sorted roots it is reachable from
+    hot: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: generator qualname -> ``name=`` literal of its ``*.process`` spawn
+    spawn_names: dict[str, str] = field(default_factory=dict)
+
+    def is_hot(self, qualname: str) -> bool:
+        return qualname in self.hot
+
+    def roots_of(self, qualname: str) -> tuple[str, ...]:
+        return self.hot.get(qualname, ())
+
+    def heat_names(self, qualname: str) -> tuple[str, ...]:
+        """Profiler process names behind a hot function's roots: the
+        spawn-name literal of each root that has one, else the root's
+        own bare function name (the kernel's default process name)."""
+        out = []
+        for root in self.roots_of(qualname):
+            name = self.spawn_names.get(root)
+            if name is None:
+                name = root.rsplit(".", 1)[-1]
+            if name not in out:
+                out.append(name)
+        return tuple(out)
+
+
+def _is_service_loop(loop: ast.While) -> bool:
+    """``while True`` whose body awaits the event loop (a daemon loop)."""
+    if not constant_true(loop.test):
+        return False
+    for node in ast.walk(loop):
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            value = node.value
+            if (isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Attribute)
+                    and value.func.attr in _LOOP_WAIT_ATTRS):
+                return True
+    return False
+
+
+def _callees(table: SymbolTable, fn: FunctionInfo) -> list[str]:
+    """Qualnames of every call (and spawn argument) the table resolves."""
+    out: list[str] = []
+    for node in ast.walk(fn.node):
+        if not isinstance(node, ast.Call):
+            continue
+        args = list(node.args)
+        # sim.process(self._session(conn), name=...): the spawned
+        # generator runs per spawn — per message inside a service loop
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "process"):
+            args = [a for a in node.args if isinstance(a, ast.Call)]
+            for arg in args:
+                target = table.resolve_call(arg.func, fn.module, fn.cls)
+                if isinstance(target, FunctionInfo):
+                    out.append(target.qualname)
+            continue
+        target = table.resolve_call(node.func, fn.module, fn.cls)
+        if isinstance(target, FunctionInfo):
+            out.append(target.qualname)
+    return out
+
+
+def _spawn_names(table: SymbolTable) -> dict[str, str]:
+    names: dict[str, str] = {}
+    for qual in sorted(table.functions):
+        fn = table.functions[qual]
+        for node in ast.walk(fn.node):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "process"):
+                continue
+            literal = None
+            for kw in node.keywords:
+                if (kw.arg == "name" and isinstance(kw.value, ast.Constant)
+                        and isinstance(kw.value.value, str)):
+                    literal = kw.value.value
+            if literal is None:
+                continue
+            for arg in node.args:
+                if isinstance(arg, ast.Call):
+                    target = table.resolve_call(arg.func, fn.module, fn.cls)
+                    if (isinstance(target, FunctionInfo)
+                            and target.qualname not in names):
+                        names[target.qualname] = literal
+    return names
+
+
+def build_hot_context(table: SymbolTable) -> HotContext:
+    """Discover service loops, registry handlers, and their closure."""
+    ctx = HotContext(table=table)
+
+    for qual in sorted(table.functions):
+        fn = table.functions[qual]
+        loops = [node for node in ast.walk(fn.node)
+                 if isinstance(node, ast.While) and _is_service_loop(node)]
+        if loops:
+            ctx.roots[qual] = loops
+
+    registry_roots: set[str] = set()
+    for registry in table.registries:
+        for entry in registry.entries:
+            for dotted, _ in entry.paths:
+                if dotted in table.functions:
+                    registry_roots.add(dotted)
+
+    # closure over resolved calls, tracking which roots reach what
+    reach: dict[str, set[str]] = {}
+    callee_cache: dict[str, list[str]] = {}
+    for root in sorted(set(ctx.roots) | registry_roots):
+        stack = [root]
+        seen: set[str] = set()
+        while stack:
+            qual = stack.pop()
+            if qual in seen:
+                continue
+            seen.add(qual)
+            reach.setdefault(qual, set()).add(root)
+            fn = table.functions.get(qual)
+            if fn is None:
+                continue
+            if qual not in callee_cache:
+                callee_cache[qual] = _callees(table, fn)
+            stack.extend(callee_cache[qual])
+
+    ctx.hot = {qual: tuple(sorted(roots))
+               for qual, roots in sorted(reach.items())}
+    ctx.spawn_names = _spawn_names(table)
+    return ctx

@@ -1,0 +1,175 @@
+"""Deterministic profiling runner behind ``repro profile``.
+
+The static H-series lints (``repro check --perf``) flag hot-path
+*shapes*; this runner measures where a scenario actually spends its
+events, using the opt-in kernel profiler
+(:meth:`~repro.sim.kernel.Simulator.enable_profile`).  Two kinds of
+scenario are accepted, mirroring ``--sanitize``:
+
+* a **named smoke scenario** — ``matmul`` or ``massd``, the same
+  sized-down testbed worlds the sanitizer runs;
+* a **path** to a Python file defining ``run(sim)``: the runner creates
+  a :class:`~repro.sim.kernel.Simulator`, enables the profiler, calls
+  ``run(sim)`` and reports whatever it saw.
+
+Output splits cleanly in two:
+
+* the **attribution** — per-process resume/allocation counts, per-type
+  event counts, sim-time spans — is a pure function of the simulated
+  execution: two runs of the same scenario produce byte-identical
+  attribution JSON (CI pins this), and it is what
+  ``repro check --perf --profile <json>`` ranks static findings by;
+* the **wall** metrics — real elapsed seconds and events/sec — are
+  measured here around the whole run and reported in a separate JSON
+  subtree that consumers of the attribution ignore.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from ..sim import Simulator
+from ..sim.profile import flame_tree, merge_attributions
+
+__all__ = ["ProfileResult", "NAMED_SCENARIOS", "profile_scenario",
+           "profile_main"]
+
+
+@dataclass
+class ProfileResult:
+    """Outcome of one profiled scenario run."""
+
+    scenario: str
+    #: merged deterministic attribution (see :mod:`repro.sim.profile`)
+    attribution: dict[str, Any] = field(default_factory=dict)
+    #: arms that contributed (named scenarios run several worlds)
+    arm_count: int = 0
+    #: real elapsed seconds around the whole run (non-deterministic)
+    wall_seconds: float = 0.0
+
+    @property
+    def events_per_sec(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.attribution.get("total_events", 0) / self.wall_seconds
+
+    def to_json(self) -> dict[str, Any]:
+        """Attribution first (deterministic), wall metrics separate."""
+        return {
+            "scenario": self.scenario,
+            "arms": self.arm_count,
+            "attribution": self.attribution,
+            "wall": {
+                "seconds": round(self.wall_seconds, 3),
+                "events_per_sec": round(self.events_per_sec, 1),
+            },
+        }
+
+    def render(self) -> str:
+        lines = [flame_tree(self.attribution)]
+        lines.append(
+            f"profile[{self.scenario}]: {self.attribution['total_events']} "
+            f"event(s) over {self.attribution['sim_time_s']:.3f} sim-s "
+            f"across {self.arm_count} arm(s); "
+            f"{self.wall_seconds:.2f} wall-s "
+            f"({self.events_per_sec:.0f} events/sec)")
+        return "\n".join(lines)
+
+
+def _run_matmul() -> list:
+    from ..bench.experiments import matmul_experiment
+
+    arms = matmul_experiment(
+        n_servers=2,
+        blk=120,
+        requirement="(host_cpu_bogomips > 4000) && (host_cpu_free > 0.9)"
+                    " && (host_memory_free > 5)",
+        random_servers=("lhost", "phoebe"),
+        n=240,
+        profile=True,
+    )
+    return [arm.attribution for arm in arms if arm.attribution is not None]
+
+
+def _run_massd() -> list:
+    from ..bench.experiments import massd_experiment
+
+    arms = massd_experiment(
+        group1_mbps=6.72,
+        group2_mbps=1.33,
+        requirement="monitor_network_bw > 6",
+        n_servers=1,
+        random_sets=[("pandora-x",)],
+        data_kb=2000,
+        profile=True,
+    )
+    return [arm.attribution for arm in arms if arm.attribution is not None]
+
+
+#: named smoke scenarios: name -> zero-arg runner returning the
+#: per-arm attribution dicts (same worlds ``--sanitize`` runs)
+NAMED_SCENARIOS: dict[str, Callable[[], list]] = {
+    "matmul": _run_matmul,
+    "massd": _run_massd,
+}
+
+
+def _run_path(path: Path) -> list:
+    source = path.read_text(encoding="utf-8")
+    code = compile(source, str(path), "exec")
+    namespace: dict = {"__name__": "repro_profile_scenario",
+                       "__file__": str(path)}
+    exec(code, namespace)  # noqa: S102 — the scenario file is the input
+    entry = namespace.get("run")
+    if not callable(entry):
+        raise ValueError(f"{path}: scenario must define run(sim)")
+    sim = Simulator()
+    profiler = sim.enable_profile()
+    entry(sim)
+    return [profiler.attribution()]
+
+
+def profile_scenario(scenario: str) -> ProfileResult:
+    """Run one scenario (named or path) under the event profiler."""
+    if scenario in NAMED_SCENARIOS:
+        runner: Callable[[], list] = NAMED_SCENARIOS[scenario]
+        label = scenario
+    else:
+        path = Path(scenario)
+        if not (path.suffix == ".py" and path.exists()):
+            known = ", ".join(sorted(NAMED_SCENARIOS))
+            raise KeyError(f"unknown scenario {scenario!r}: expected one of "
+                           f"{known} or a path to a run(sim) scenario file")
+        runner = lambda: _run_path(path)  # noqa: E731
+        label = path.name
+    start = time.perf_counter()
+    parts = runner()
+    wall = time.perf_counter() - start
+    if not parts:
+        raise ValueError(f"{scenario}: no arm produced an attribution")
+    return ProfileResult(scenario=label,
+                         attribution=merge_attributions(parts),
+                         arm_count=len(parts), wall_seconds=wall)
+
+
+def profile_main(scenario: str, json_path: "str | None" = None,
+                 out=None) -> int:
+    """CLI body for ``repro profile``; returns the exit code."""
+    import sys
+
+    stream = out if out is not None else sys.stdout
+    try:
+        result = profile_scenario(scenario)
+    except (KeyError, ValueError) as exc:
+        print(f"repro-profile: {exc}", file=sys.stderr)
+        return 2
+    print(result.render(), file=stream)
+    if json_path:
+        Path(json_path).write_text(
+            json.dumps(result.to_json(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+    return 0

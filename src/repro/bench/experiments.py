@@ -277,10 +277,12 @@ def _testbed_world(config: Optional[Config] = None, seed: int = 0,
                    pool: Sequence[str] = TESTBED_SERVER_NAMES,
                    tie_break_seed: Optional[int] = None,
                    trace_events: bool = False,
-                   sanitize: bool = False):
+                   sanitize: bool = False,
+                   profile: bool = False):
     """Testbed + one 'lab' group over ``pool``, matmul workers everywhere."""
     cluster = build_testbed(seed=seed, tie_break_seed=tie_break_seed,
-                            trace_events=trace_events, sanitize=sanitize)
+                            trace_events=trace_events, sanitize=sanitize,
+                            profile=profile)
     cfg = config or Config()
     dep = Deployment(cluster, wizard_host=cluster.host("dalmatian"),
                      config=cfg, mode=mode)
@@ -418,6 +420,8 @@ class MatmulArm:
     #: (``sanitize=True`` runs only)
     races: Optional[tuple] = None
     tracked_accesses: int = 0
+    #: deterministic event-attribution dict (``profile=True`` runs only)
+    attribution: Optional[dict] = None
 
 
 def matmul_experiment(
@@ -434,6 +438,7 @@ def matmul_experiment(
     tie_break_seed: Optional[int] = None,
     trace_events: bool = False,
     sanitize: bool = False,
+    profile: bool = False,
 ) -> list[MatmulArm]:
     """One thesis matmul comparison (Tables 5.3–5.6).
 
@@ -446,7 +451,8 @@ def matmul_experiment(
     the schedule sanitizer: dual runs with different tie-break seeds must
     produce identical ``event_trace`` tuples on every arm.  ``sanitize``
     runs each arm under the happens-before race detector and fills
-    ``races``/``tracked_accesses`` on the arm.
+    ``races``/``tracked_accesses`` on the arm; ``profile`` runs it under
+    the deterministic event profiler and fills ``attribution``.
     """
     arms: list[MatmulArm] = []
 
@@ -454,7 +460,8 @@ def matmul_experiment(
         cluster, dep, _ = _testbed_world(seed=seed, pool=pool,
                                          tie_break_seed=tie_break_seed,
                                          trace_events=trace_events,
-                                         sanitize=sanitize)
+                                         sanitize=sanitize,
+                                         profile=profile)
         net = cluster.network
         for hname in loaded_hosts:
             SuperPiWorkload(cluster.sim, cluster.host(hname).machine).start()
@@ -494,6 +501,8 @@ def matmul_experiment(
                    if cluster.sanitizer is not None else None),
             tracked_accesses=(cluster.sanitizer.accesses
                               if cluster.sanitizer is not None else 0),
+            attribution=(cluster.profiler.attribution()
+                         if cluster.profiler is not None else None),
         ))
 
     run_arm("random", use_smart=False)
@@ -871,6 +880,8 @@ class MassdArm:
     #: (``sanitize=True`` runs only)
     races: Optional[tuple] = None
     tracked_accesses: int = 0
+    #: deterministic event-attribution dict (``profile=True`` runs only)
+    attribution: Optional[dict] = None
 
 
 def massd_experiment(
@@ -886,6 +897,7 @@ def massd_experiment(
     tie_break_seed: Optional[int] = None,
     trace_events: bool = False,
     sanitize: bool = False,
+    profile: bool = False,
 ) -> list[MassdArm]:
     """One thesis massd comparison (Tables 5.7/5.8/5.9).
 
@@ -903,7 +915,8 @@ def massd_experiment(
 
     for label, fixed_servers in all_arms:
         cluster = build_testbed(seed=seed, tie_break_seed=tie_break_seed,
-                                trace_events=trace_events, sanitize=sanitize)
+                                trace_events=trace_events, sanitize=sanitize,
+                                profile=profile)
         net = cluster.network
         dep = Deployment(cluster, wizard_host=cluster.host("dalmatian"))
         # three groups: the client's own, and the two file-server groups,
@@ -959,5 +972,7 @@ def massd_experiment(
                    if cluster.sanitizer is not None else None),
             tracked_accesses=(cluster.sanitizer.accesses
                               if cluster.sanitizer is not None else 0),
+            attribution=(cluster.profiler.attribution()
+                         if cluster.profiler is not None else None),
         ))
     return arms

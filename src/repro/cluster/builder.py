@@ -28,13 +28,16 @@ class Cluster:
     dual runs under different shuffle seeds can be diffed.
     ``sanitize`` installs the happens-before race detector
     (:mod:`repro.sim.hb`) on the simulator; detected races accumulate in
-    :attr:`sanitizer`.
+    :attr:`sanitizer`.  ``profile`` installs the deterministic event
+    profiler (:mod:`repro.sim.profile`); attribution accumulates in
+    :attr:`profiler`.
     """
 
     def __init__(self, sim: Optional[Simulator] = None, seed: int = 0,
                  tie_break_seed: Optional[int] = None,
                  trace_events: bool = False,
-                 sanitize: bool = False):
+                 sanitize: bool = False,
+                 profile: bool = False):
         self.sim = sim or Simulator()
         self.network = Network(self.sim)
         self.streams = RandomStreams(seed)
@@ -43,6 +46,7 @@ class Cluster:
         self._finalized = False
         self.event_trace: Optional[EventTrace] = None
         self.sanitizer: Optional[HBSanitizer] = None
+        self.profiler = None
         if tie_break_seed is not None:
             # the shuffle stream hangs off its own root seed so the
             # simulation's own draws (self.streams) stay untouched
@@ -54,6 +58,8 @@ class Cluster:
             self.sim.enable_event_trace(self.event_trace)
         if sanitize:
             self.sanitizer = self.sim.enable_sanitizer()
+        if profile:
+            self.profiler = self.sim.enable_profile()
 
     # -- construction ---------------------------------------------------------
     def add_host(

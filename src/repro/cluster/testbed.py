@@ -91,17 +91,20 @@ def segment_partition_nodes(segment: str) -> tuple[str, str]:
 def build_testbed(sim: Simulator | None = None, seed: int = 0,
                   tie_break_seed: int | None = None,
                   trace_events: bool = False,
-                  sanitize: bool = False) -> Cluster:
+                  sanitize: bool = False,
+                  profile: bool = False) -> Cluster:
     """Construct the 11-machine testbed; returns a finalized cluster.
 
     Every segment is a switch; dalmatian has one NIC per lab segment (it is
     the gateway) plus one on the campus segment towards sagit.
-    ``tie_break_seed``/``trace_events`` arm the schedule sanitizer and
-    ``sanitize`` the happens-before race detector
+    ``tie_break_seed``/``trace_events`` arm the schedule sanitizer,
+    ``sanitize`` the happens-before race detector and ``profile`` the
+    deterministic event profiler
     (:class:`~repro.cluster.builder.Cluster`).
     """
     cluster = Cluster(sim, seed=seed, tie_break_seed=tie_break_seed,
-                      trace_events=trace_events, sanitize=sanitize)
+                      trace_events=trace_events, sanitize=sanitize,
+                      profile=profile)
     hosts: dict[str, SmartHost] = {}
     for spec in TESTBED_MACHINES:
         hosts[spec.name] = cluster.add_host(

@@ -328,7 +328,11 @@ class NetworkMonitor:
         seg = self.shm.segment(self.segment_key)
         yield seg.lock.acquire()
         try:
-            db = dict(seg.read() or {})
+            # copy-on-write is required here: mutating the stored dict in
+            # place would bypass shared() tracking.  Runs at probe rate
+            # (netmon_interval), not request rate, so the copy is cheap;
+            # delta shipping (ROADMAP: fleet-sized traffic) removes it.
+            db = dict(seg.read() or {})  # repro: noqa[REPRO501]
             rec = db.get(self.group) or NetStatusRecord(group=self.group)
             rec.metrics = dict(rec.metrics)
             rec.metrics[peer_group] = metric

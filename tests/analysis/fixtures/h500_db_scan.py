@@ -1,0 +1,66 @@
+"""Seeded REPRO500: a request handler that re-sorts the status DB.
+
+``BadWizard`` rescans (and re-sorts) ``sysdb`` on every request its
+service loop handles — the exact per-message linear scan the H-series
+polices.  ``GoodWizard`` is the clean twin: it memoizes the candidate
+order and re-sorts only when the key set changed, so its handler loop
+iterates a cached list instead of the DB.
+"""
+
+from repro.sim import Interrupt
+
+PORT = 6001
+
+
+class BadWizard:
+    def __init__(self, stack, sysdb):
+        self.stack = stack
+        self.sysdb = sysdb
+
+    def serve(self):
+        sock = self.stack.udp_socket(PORT)
+        try:
+            while True:
+                dgram = yield sock.recv()
+                reply = self.handle(dgram, self.sysdb)
+                sock.sendto(dgram.src, dgram.sport, payload=reply)
+        except Interrupt:
+            sock.close()
+
+    def handle(self, dgram, sysdb):
+        picks = []
+        for addr in sorted(sysdb):
+            if sysdb[addr].cpu_free > 0.9:
+                picks.append(addr)
+        return tuple(picks)
+
+
+class GoodWizard:
+    def __init__(self, stack, sysdb):
+        self.stack = stack
+        self.sysdb = sysdb
+        self._order = []
+        self._order_keys = None
+
+    def serve(self):
+        sock = self.stack.udp_socket(PORT)
+        try:
+            while True:
+                dgram = yield sock.recv()
+                reply = self.handle(dgram, self.sysdb)
+                sock.sendto(dgram.src, dgram.sport, payload=reply)
+        except Interrupt:
+            sock.close()
+
+    def _candidate_order(self, sysdb):
+        if self._order_keys != sysdb.keys():
+            self._order = sorted(sysdb)
+            self._order_keys = frozenset(self._order)
+        return self._order
+
+    def handle(self, dgram, sysdb):
+        picks = []
+        for addr in self._candidate_order(sysdb):
+            if sysdb[addr].cpu_free > 0.9:
+                picks.append(addr)
+        return tuple(picks)

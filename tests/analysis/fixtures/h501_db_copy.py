@@ -1,0 +1,48 @@
+"""Seeded REPRO501: a full status-DB copy on every message.
+
+``BadPusher`` snapshots the whole DB (``dict(netdb)``) each time its
+push loop wakes — per-iteration cost grows with fleet size.  The clean
+twin ``GoodPusher`` tracks dirty groups and ships only their deltas,
+touching the DB by key instead of copying (or even scanning) it.
+"""
+
+from repro.sim import Interrupt
+
+INTERVAL = 2.0
+
+
+class BadPusher:
+    def __init__(self, sim, channel, netdb):
+        self.sim = sim
+        self.channel = channel
+        self.netdb = netdb
+
+    def run(self):
+        try:
+            while True:
+                yield self.sim.timeout(INTERVAL)
+                snapshot = dict(self.netdb)
+                self.channel.push(snapshot)
+        except Interrupt:
+            pass
+
+
+class GoodPusher:
+    def __init__(self, sim, channel, netdb):
+        self.sim = sim
+        self.channel = channel
+        self.netdb = netdb
+        self.dirty_groups = set()
+
+    def mark_dirty(self, group):
+        self.dirty_groups.add(group)
+
+    def run(self):
+        try:
+            while True:
+                yield self.sim.timeout(INTERVAL)
+                for group in self.dirty_groups:
+                    self.channel.push((group, self.netdb[group].delta()))
+                self.dirty_groups.clear()
+        except Interrupt:
+            pass

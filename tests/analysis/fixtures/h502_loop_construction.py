@@ -1,0 +1,51 @@
+"""Seeded REPRO502: constructing the same object per event.
+
+``BadEmitter`` builds a ``Header`` with only loop-invariant arguments
+inside its per-datagram loop — every iteration allocates an identical
+object.  ``GoodEmitter`` hoists the construction out of the loop and
+reuses it.
+"""
+
+from repro.sim import Interrupt
+
+MAGIC = 0x5A5A
+VERSION = 3
+PORT = 6002
+
+
+class Header:
+    def __init__(self, magic, version):
+        self.magic = magic
+        self.version = version
+
+
+class BadEmitter:
+    def __init__(self, stack):
+        self.stack = stack
+
+    def run(self):
+        sock = self.stack.udp_socket(PORT)
+        try:
+            while True:
+                dgram = yield sock.recv()
+                header = Header(MAGIC, VERSION)
+                sock.sendto(dgram.src, dgram.sport,
+                            payload=(header, dgram.payload))
+        except Interrupt:
+            sock.close()
+
+
+class GoodEmitter:
+    def __init__(self, stack):
+        self.stack = stack
+
+    def run(self):
+        sock = self.stack.udp_socket(PORT)
+        header = Header(MAGIC, VERSION)
+        try:
+            while True:
+                dgram = yield sock.recv()
+                sock.sendto(dgram.src, dgram.sport,
+                            payload=(header, dgram.payload))
+        except Interrupt:
+            sock.close()

@@ -1,0 +1,42 @@
+"""Seeded REPRO503: recomputing a loop-invariant value per message.
+
+``BadRanker`` re-sorts its (fixed) priority table inside the receive
+loop — the classic missing-cache shape.  ``GoodRanker`` computes the
+order once, before the loop.
+"""
+
+from repro.sim import Interrupt
+
+PORT = 6003
+
+
+class BadRanker:
+    def __init__(self, stack, priorities):
+        self.stack = stack
+        self.priorities = priorities
+
+    def run(self, priorities):
+        sock = self.stack.udp_socket(PORT)
+        try:
+            while True:
+                dgram = yield sock.recv()
+                order = sorted(priorities)
+                sock.sendto(dgram.src, dgram.sport, payload=tuple(order))
+        except Interrupt:
+            sock.close()
+
+
+class GoodRanker:
+    def __init__(self, stack, priorities):
+        self.stack = stack
+        self.priorities = priorities
+
+    def run(self, priorities):
+        sock = self.stack.udp_socket(PORT)
+        order = tuple(sorted(priorities))
+        try:
+            while True:
+                dgram = yield sock.recv()
+                sock.sendto(dgram.src, dgram.sport, payload=order)
+        except Interrupt:
+            sock.close()

@@ -1,0 +1,39 @@
+"""Seeded REPRO504: unbounded blocking work on the dispatch path.
+
+``BadTap.attach`` registers ``_drain`` as a kernel event callback, and
+``_drain`` spins in a ``while True`` with no break/return/yield — run
+synchronously inside ``Simulator.step``, it would never hand control
+back and every simulated host would stall.  ``GoodTap``'s callback does
+one bounded unit of work per event.
+"""
+
+
+class BadTap:
+    def __init__(self, sim):
+        self.sim = sim
+        self.queue = []
+        self.drained = 0
+
+    def attach(self):
+        self.sim.add_callback(self._drain)
+
+    def _drain(self, event):
+        while True:
+            if self.queue:
+                self.queue.pop()
+                self.drained += 1
+
+
+class GoodTap:
+    def __init__(self, sim):
+        self.sim = sim
+        self.queue = []
+        self.drained = 0
+
+    def attach(self):
+        self.sim.add_callback(self._drain)
+
+    def _drain(self, event):
+        if self.queue:
+            self.queue.pop()
+            self.drained += 1

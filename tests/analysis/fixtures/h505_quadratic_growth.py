@@ -1,0 +1,45 @@
+"""Seeded REPRO505: quadratic accumulation on message-rate state.
+
+``BadDeduper`` appends every new sender to a list and membership-scans
+that list per datagram — O(n) scan over O(messages) state, so the
+daemon's total work is quadratic in traffic.  ``GoodDeduper`` keeps a
+set: same first-seen semantics, O(1) membership.
+"""
+
+from repro.sim import Interrupt
+
+PORT = 6005
+
+
+class BadDeduper:
+    def __init__(self, stack):
+        self.stack = stack
+        self.seen = []
+
+    def run(self):
+        sock = self.stack.udp_socket(PORT)
+        try:
+            while True:
+                dgram = yield sock.recv()
+                if dgram.src not in self.seen:
+                    self.seen.append(dgram.src)
+                    sock.sendto(dgram.src, dgram.sport, payload=b"new")
+        except Interrupt:
+            sock.close()
+
+
+class GoodDeduper:
+    def __init__(self, stack):
+        self.stack = stack
+        self.seen = set()
+
+    def run(self):
+        sock = self.stack.udp_socket(PORT)
+        try:
+            while True:
+                dgram = yield sock.recv()
+                if dgram.src not in self.seen:
+                    self.seen.add(dgram.src)
+                    sock.sendto(dgram.src, dgram.sport, payload=b"new")
+        except Interrupt:
+            sock.close()

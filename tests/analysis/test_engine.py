@@ -55,13 +55,17 @@ class TestEngine:
         assert report.diagnostics == []
 
     def test_all_rules_cover_the_code_table(self):
-        """Every non-F code has a per-file rule; F-series (4xx) codes are
-        emitted by the whole-program analyzer behind ``--flow``."""
+        """Every non-F/non-H code has a per-file rule; F-series (4xx)
+        codes are emitted by the whole-program analyzer behind ``--flow``
+        and H-series (5xx) by the hot-path analyzer behind ``--perf``."""
         static = sorted(c for c in ANALYZER_CODES
-                        if not c.startswith("REPRO4"))
+                        if not c.startswith(("REPRO4", "REPRO5")))
         assert sorted(r.code for r in all_rules()) == static
         assert sorted(c for c in ANALYZER_CODES if c.startswith("REPRO4")) \
             == ["REPRO400", "REPRO401", "REPRO402", "REPRO403", "REPRO404"]
+        assert sorted(c for c in ANALYZER_CODES if c.startswith("REPRO5")) \
+            == ["REPRO500", "REPRO501", "REPRO502", "REPRO503",
+                "REPRO504", "REPRO505"]
 
     def test_rule_decorator_rejects_unknown_code(self):
         with pytest.raises(ValueError, match="unknown code"):

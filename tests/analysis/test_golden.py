@@ -38,6 +38,15 @@ FLOW = {
     "f403_socket_leak",
     "f404_unguarded_client_wait",
 }
+#: fixtures exercised with ``--perf`` (whole-program H-series analyses)
+PERF = {
+    "h500_db_scan",
+    "h501_db_copy",
+    "h502_loop_construction",
+    "h503_invariant_recompute",
+    "h504_dispatch_blocking",
+    "h505_quadratic_growth",
+}
 
 
 def run_check(path: Path, capsys, *extra: str) -> tuple[int, str]:
@@ -58,7 +67,7 @@ def run_sanitize(path: Path, capsys) -> tuple[int, str]:
 
 
 @pytest.mark.parametrize("name", [n for n in CASES
-                                  if n not in SANITIZE | FLOW])
+                                  if n not in SANITIZE | FLOW | PERF])
 def test_golden_output_is_exact(name, capsys):
     expected = (FIXTURES / f"{name}.expected").read_text()
     _, out = run_check(FIXTURES / f"{name}.py", capsys)
@@ -67,7 +76,8 @@ def test_golden_output_is_exact(name, capsys):
 
 @pytest.mark.parametrize(
     "name",
-    [n for n in CASES if n not in WARNING_ONLY | CLEAN | SANITIZE | FLOW])
+    [n for n in CASES
+     if n not in WARNING_ONLY | CLEAN | SANITIZE | FLOW | PERF])
 def test_error_fixtures_exit_one(name, capsys):
     code, _ = run_check(FIXTURES / f"{name}.py", capsys)
     assert code == 1
@@ -78,6 +88,16 @@ def test_flow_golden_output_is_exact(name, capsys):
     """Each F-series fixture's ``--flow`` output, byte-for-byte."""
     expected = (FIXTURES / f"{name}.expected").read_text()
     code, out = run_check(FIXTURES / f"{name}.py", capsys, "--flow")
+    assert code == 1
+    assert out == expected
+
+
+@pytest.mark.parametrize("name", sorted(PERF))
+def test_perf_golden_output_is_exact(name, capsys):
+    """Each H-series fixture's ``--perf`` output, byte-for-byte (the
+    clean twin in every fixture proves the fixed shape stays silent)."""
+    expected = (FIXTURES / f"{name}.expected").read_text()
+    code, out = run_check(FIXTURES / f"{name}.py", capsys, "--perf")
     assert code == 1
     assert out == expected
 
@@ -138,6 +158,25 @@ def test_repo_source_tree_is_flow_clean(capsys):
     assert code == 0
     assert "flow-clean (5 F rules)" in out
     assert "7 wire tag(s)" in out
+
+
+def test_repo_source_tree_is_perf_clean(capsys):
+    """The hot-path gate: zero H-series findings on the shipped tree
+    (every real finding fixed, the justified copies noqa'd)."""
+    code = check_main(["--perf", str(REPO / "src" / "repro")])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "perf-clean (6 H rules" in out
+
+
+def test_repo_source_tree_passes_all_gates(capsys):
+    """``--all`` runs per-file D/P/R + --flow + --perf in one process."""
+    code = check_main(["--all", str(REPO / "src" / "repro")])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "file(s) clean" in out
+    assert "flow-clean" in out
+    assert "perf-clean" in out
 
 
 def test_fixtures_pin_every_advertised_code():

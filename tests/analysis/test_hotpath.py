@@ -1,0 +1,275 @@
+"""Unit tests for the hot-path analyzer (H-series, ``repro check --perf``)."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.flow.symbols import FileUnit, SymbolTable
+from repro.analysis.hotpath import build_hot_context, run_hotpath
+from repro.analysis.hotpath.checker import heat_share
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def table_for(source: str) -> SymbolTable:
+    tree = ast.parse(source)
+    unit = FileUnit(path=Path("mod.py"), posix="mod.py", module="mod",
+                    source=source, tree=tree)
+    return SymbolTable([unit])
+
+
+def run_source(source: str, tmp_path, profile=None):
+    target = tmp_path / "mod.py"
+    target.write_text(source, encoding="utf-8")
+    return run_hotpath([target], profile=profile)
+
+
+SERVICE_LOOP = """
+from repro.sim import Interrupt
+
+class Daemon:
+    def serve(self, sock):
+        try:
+            while True:
+                dgram = yield sock.recv()
+                self.handle(dgram)
+        except Interrupt:
+            sock.close()
+
+    def handle(self, dgram):
+        return self.decode(dgram)
+
+    def decode(self, dgram):
+        return dgram.payload
+
+def helper_never_called(x):
+    return x
+"""
+
+
+class TestHotContext:
+    def test_service_loop_is_a_root(self):
+        ctx = build_hot_context(table_for(SERVICE_LOOP))
+        assert "mod.Daemon.serve" in ctx.roots
+
+    def test_reachability_closure_is_hot(self):
+        ctx = build_hot_context(table_for(SERVICE_LOOP))
+        for qual in ("mod.Daemon.serve", "mod.Daemon.handle",
+                     "mod.Daemon.decode"):
+            assert ctx.is_hot(qual)
+        assert not ctx.is_hot("mod.helper_never_called")
+
+    def test_spawned_generator_is_hot(self):
+        src = """
+class Listener:
+    def accept_loop(self, sock):
+        while True:
+            conn = yield sock.accept()
+            self.sim.process(self.session(conn), name="peer-session")
+
+    def session(self, conn):
+        yield conn.recv()
+"""
+        ctx = build_hot_context(table_for(src))
+        assert ctx.is_hot("mod.Listener.session")
+        assert ctx.spawn_names["mod.Listener.session"] == "peer-session"
+
+    def test_heat_names_fall_back_to_bare_function_name(self):
+        ctx = build_hot_context(table_for(SERVICE_LOOP))
+        assert ctx.heat_names("mod.Daemon.decode") == ("serve",)
+
+    def test_registry_handlers_are_roots(self):
+        src = """
+WIRE_TAG_HANDLERS = {
+    "PULL": ("mod.Handler.on_pull",),
+}
+
+class Handler:
+    def on_pull(self, msg):
+        return self.reply(msg)
+
+    def reply(self, msg):
+        return msg
+"""
+        ctx = build_hot_context(table_for(src))
+        assert ctx.is_hot("mod.Handler.on_pull")
+        assert ctx.is_hot("mod.Handler.reply")
+
+
+class TestRulePrecision:
+    """Shapes that must NOT fire — the precision half of each rule."""
+
+    def test_memoized_order_is_clean(self, tmp_path):
+        report = run_source("""
+class W:
+    def serve(self, sock):
+        while True:
+            dgram = yield sock.recv()
+            for addr in self._candidate_order(self.sysdb):
+                pass
+
+    def _candidate_order(self, sysdb):
+        order = sorted(sysdb)
+        return order
+""", tmp_path)
+        assert report.findings == []
+
+    def test_cold_function_db_scan_is_clean(self, tmp_path):
+        report = run_source("""
+def offline_report(sysdb):
+    for addr in sorted(sysdb):
+        print(addr)
+""", tmp_path)
+        assert report.findings == []
+
+    def test_loop_varying_construction_is_clean(self, tmp_path):
+        report = run_source("""
+class Item:
+    def __init__(self, value):
+        self.value = value
+
+class D:
+    def serve(self, queue):
+        while True:
+            batch = yield queue.get()
+            for entry in batch:
+                item = Item(entry)
+""", tmp_path)
+        assert report.findings == []
+
+    def test_raise_site_construction_is_clean(self, tmp_path):
+        report = run_source("""
+class ProtocolError(Exception):
+    def __init__(self, detail):
+        self.detail = detail
+
+class D:
+    def serve(self, sock):
+        while True:
+            dgram = yield sock.recv()
+            if not dgram.payload:
+                raise ProtocolError("empty")
+""", tmp_path)
+        assert report.findings == []
+
+    def test_for_iter_sort_is_not_recompute(self, tmp_path):
+        """A for loop's own iterable is evaluated once per entry."""
+        report = run_source("""
+class D:
+    def serve(self, queue):
+        while True:
+            msg = yield queue.get()
+            self.consume(msg)
+
+    def consume(self, msg):
+        for key in sorted(msg.parts):
+            pass
+""", tmp_path)
+        assert report.findings == []
+
+    def test_set_growth_is_clean(self, tmp_path):
+        report = run_source("""
+class D:
+    def __init__(self):
+        self.seen = set()
+
+    def serve(self, sock):
+        while True:
+            dgram = yield sock.recv()
+            if dgram.src not in self.seen:
+                self.seen.add(dgram.src)
+""", tmp_path)
+        assert report.findings == []
+
+    def test_callback_loop_with_return_is_clean(self, tmp_path):
+        """The kernel's own resume loop (while True + return) shape."""
+        report = run_source("""
+class Tap:
+    def attach(self, sim):
+        sim.add_callback(self.on_event)
+
+    def on_event(self, event):
+        while True:
+            if not self.queue:
+                return
+            self.queue.pop()
+""", tmp_path)
+        assert report.findings == []
+
+
+class TestReport:
+    def test_findings_sorted_and_counted(self, tmp_path):
+        report = run_source("""
+class W:
+    def serve(self, sock):
+        while True:
+            dgram = yield sock.recv()
+            snap = dict(self.sysdb)
+            for addr in sorted(self.sysdb):
+                pass
+""", tmp_path)
+        codes = [f.diag.code for f in report.findings]
+        assert codes == ["REPRO501", "REPRO500"]  # line order
+        assert report.exit_code == 1
+        assert report.root_count == 1
+
+    def test_parse_failure_sets_exit_code(self, tmp_path):
+        report = run_source("def broken(:\n", tmp_path)
+        assert report.parse_failures and report.exit_code == 1
+
+    def test_fixture_dir_yields_exactly_the_six_codes(self):
+        report = run_hotpath([p for p in sorted(FIXTURES.glob("h5*.py"))])
+        codes = sorted({f.diag.code for f in report.findings})
+        assert codes == ["REPRO500", "REPRO501", "REPRO502",
+                         "REPRO503", "REPRO504", "REPRO505"]
+
+
+PROFILE = {
+    "processes": {
+        "wizard": {"resumes": 60, "allocations": 0,
+                   "first_s": 0.0, "last_s": 1.0},
+        "wizard-helper": {"resumes": 20, "allocations": 0,
+                          "first_s": 0.0, "last_s": 1.0},
+        "other": {"resumes": 20, "allocations": 0,
+                  "first_s": 0.0, "last_s": 1.0},
+    },
+    "event_types": {}, "total_events": 100,
+    "total_allocations": 0, "sim_time_s": 1.0,
+}
+
+
+class TestHeatRanking:
+    def test_heat_share_matches_prefix_groups(self):
+        assert heat_share(PROFILE, ("wizard",)) == pytest.approx(0.8)
+        assert heat_share(PROFILE, ("other",)) == pytest.approx(0.2)
+        assert heat_share(PROFILE, ("nope",)) == 0.0
+
+    def test_profile_reranks_hottest_first(self, tmp_path):
+        src = """
+class Cold:
+    def serve(self, sock):
+        while True:
+            dgram = yield sock.recv()
+            snap = dict(self.hostdb)
+
+class Hot:
+    def start(self, sim, sock):
+        sim.process(self.serve(sock), name="wizard")
+
+    def serve(self, sock):
+        while True:
+            dgram = yield sock.recv()
+            snap = dict(self.hostdb)
+"""
+        plain = run_source(src, tmp_path)
+        assert [f.qualname for f in plain.findings] == \
+            ["mod.Cold.serve", "mod.Hot.serve"]
+        ranked = run_source(src, tmp_path, profile=PROFILE)
+        assert ranked.profiled
+        assert [f.qualname for f in ranked.findings] == \
+            ["mod.Hot.serve", "mod.Cold.serve"]
+        assert ranked.findings[0].heat == pytest.approx(0.8)
+        assert ranked.findings[1].heat == 0.0

@@ -4,8 +4,9 @@ One parametrized suite proving the suppression contract is uniform:
 a targeted code silences exactly that finding on that line, a bare
 ``noqa`` silences everything on the line, a wrong code silences
 nothing — for D-series (determinism), P-series (protocol), R-series
-(concurrency) and F-series (whole-program ``--flow``) alike, plus
-multi-code lines carrying findings from two different series.
+(concurrency), F-series (whole-program ``--flow``) and H-series
+(hot-path ``--perf``) alike, plus multi-code lines carrying findings
+from two different series.
 """
 
 from __future__ import annotations
@@ -16,6 +17,7 @@ import pytest
 
 from repro.analysis.engine import check_source
 from repro.analysis.flow import run_flow
+from repro.analysis.hotpath import run_hotpath
 
 #: (series, code, template) — ``{noqa}`` is replaced per scenario and
 #: sits on the line that violates the rule
@@ -34,6 +36,12 @@ SEED_CASES = [
      "def start(stack):\n"
      "    sock = stack.udp_socket(){noqa}\n"
      "    sock.sendto('x', 9, payload=b'x')\n"),
+    ("H", "REPRO504",
+     "def attach(sim, tap):\n"
+     "    sim.add_callback(on_event)\n\n"
+     "def on_event(event):\n"
+     "    while True:{noqa}\n"
+     "        pass\n"),
 ]
 
 
@@ -44,6 +52,12 @@ def run_series(series: str, source: str, tmp_path: Path):
         target.write_text(source, encoding="utf-8")
         report = run_flow([target])
         return [d.code for _, d in report.findings], report.suppressed
+    if series == "H":
+        target = tmp_path / "mod.py"
+        target.write_text(source, encoding="utf-8")
+        hot_report = run_hotpath([target])
+        return ([f.diag.code for f in hot_report.findings],
+                hot_report.suppressed)
     file_report = check_source(source, tmp_path / "mod.py")
     return [d.code for d in file_report.diagnostics], file_report.suppressed
 

@@ -303,3 +303,55 @@ class TestStatusAge:
         req = request("host_cpu_free > 0.5", option="rank:host_status_age:asc")
         out = wizard.match(req, CLIENT, sysdb, {}, {})
         assert out == ["10.1.1.2", "10.1.1.1"]
+
+
+class TestCandidateOrderMemo:
+    """The REPRO500 fix: sorted scan order is memoized per DB epoch."""
+
+    def test_repeat_requests_reuse_the_sorted_order(self):
+        wizard = make_wizard()
+        sysdb = {f"10.1.1.{i}": record(f"s{i}", f"10.1.1.{i}")
+                 for i in range(5, 0, -1)}
+        first = wizard.match(request("host_cpu_free > 0.5"), CLIENT,
+                             sysdb, {}, {})
+        assert wizard.db_sort_reuses == 0
+        second = wizard.match(request("host_cpu_free > 0.5"), CLIENT,
+                              sysdb, {}, {})
+        assert second == first == sorted(sysdb)[:5]
+        assert wizard.db_sort_reuses == 1
+
+    def test_key_change_invalidates_the_memo(self):
+        wizard = make_wizard()
+        sysdb = {"10.1.1.1": record("a", "10.1.1.1")}
+        wizard.match(request("host_cpu_free > 0.5"), CLIENT, sysdb, {}, {})
+        sysdb["10.1.1.2"] = record("b", "10.1.1.2")
+        out = wizard.match(request("host_cpu_free > 0.5"), CLIENT,
+                           sysdb, {}, {})
+        assert out == ["10.1.1.1", "10.1.1.2"]
+        assert wizard.db_sort_reuses == 0
+
+    def test_value_update_without_key_change_reuses(self):
+        wizard = make_wizard()
+        sysdb = {
+            "10.1.1.1": record("a", "10.1.1.1"),
+            "10.1.1.2": record("b", "10.1.1.2"),
+        }
+        wizard.match(request("host_cpu_free > 0.5"), CLIENT, sysdb, {}, {})
+        sysdb["10.1.1.1"] = record("a", "10.1.1.1", host_cpu_free=0.1)
+        out = wizard.match(request("host_cpu_free > 0.5"), CLIENT,
+                           sysdb, {}, {})
+        assert out == ["10.1.1.2"]
+        assert wizard.db_sort_reuses == 1
+
+    def test_preferred_partition_order_is_first_seen(self):
+        """The REPRO505 fix (dict-backed membership) must keep the old
+        list semantics: preferred servers first, stable otherwise."""
+        wizard = make_wizard()
+        sysdb = {
+            "10.1.1.1": record("plain", "10.1.1.1"),
+            "10.1.1.2": record("starred", "10.1.1.2"),
+        }
+        req = request("(host_cpu_free > 0.5) && "
+                      "(user_preferred_host1 = starred)")
+        out = wizard.match(req, CLIENT, sysdb, {}, {})
+        assert out == ["10.1.1.2", "10.1.1.1"]

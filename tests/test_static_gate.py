@@ -46,8 +46,9 @@ def test_pyproject_configures_both_gates():
 
 
 def test_ci_runs_repro_check_gate():
+    """The lint job runs every static gate through the --all umbrella."""
     ci = (REPO / ".github" / "workflows" / "ci.yml").read_text()
-    assert "repro check src" in ci
+    assert "repro check --all src/repro" in ci
 
 
 def test_ci_runs_flow_gate():
@@ -60,12 +61,23 @@ def test_ci_runs_flow_gate():
     assert "bench_flowcheck.py" in ci
 
 
+def test_ci_runs_hotpath_gate():
+    """The CI ``hotpath`` job gates the H-series perf analyzer and the
+    sim profiler: clean tree, seeded fixtures must fail, byte-stable
+    double run, deterministic dual-run attribution, and the kernel
+    benchmark's profiler-overhead criterion."""
+    ci = (REPO / ".github" / "workflows" / "ci.yml").read_text()
+    assert "check --perf src/repro" in ci
+    assert "h50*.py" in ci
+    assert "repro profile matmul" in ci
+    assert "bench_kernel.py" in ci
+
+
 def test_ci_runs_static_gates_under_dash_O():
-    """Both analyzer gates re-run under ``python -O`` in CI so nothing
+    """Every analyzer gate re-runs under ``python -O`` in CI so nothing
     load-bearing hides in an ``assert``."""
     ci = (REPO / ".github" / "workflows" / "ci.yml").read_text()
-    assert "python -O -m repro check src" in ci
-    assert "python -O -m repro check --flow src/repro" in ci
+    assert "python -O -m repro check --all src/repro" in ci
 
 
 def test_repro_check_clean_under_dash_O():
