@@ -18,6 +18,7 @@ Usage::
     python -m repro check --sanitize matmul          # race detector, smoke world
     python -m repro check --sanitize scenario.py     # ... on a run(sim) file
     python -m repro check --perf src                 # hot-path perf lints
+    python -m repro check --proto src                # typestate/protocol
     python -m repro check --all src                  # every static gate
 
     python -m repro profile matmul       # deterministic event profiler
@@ -290,6 +291,7 @@ def main(argv: list[str] | None = None) -> int:
                     "static-check the codebase for determinism/protocol/"
                     "concurrency violations ('--sanitize' runs the dynamic "
                     "race detector, '--perf' the hot-path analyzer, "
+                    "'--proto' the typestate/protocol analyzer, "
                     "'--all' every static gate), and 'python -m repro "
                     "profile <scenario>' to measure event attribution "
                     "under the deterministic profiler.",

@@ -12,13 +12,14 @@ Usage::
     repro-check --flow --json g.json src   # ... exporting the flow graph
     repro-check --perf src/repro           # hot-path performance lints
     repro-check --perf --profile p.json src  # ... ranked by measured heat
+    repro-check --proto src/repro          # typestate/protocol analysis
     repro-check --all src/repro            # every static gate in one run
 
 Exit codes mirror ``repro lint``: 0 clean (warnings allowed), 1
 diagnostics at error severity (or any finding with ``--strict``; for
-``--sanitize``, any detected race; for ``--flow``/``--perf``, any
-finding or parse failure; for ``--all``, the worst of the three static
-gates), 2 usage/IO problems.
+``--sanitize``, any detected race; for ``--flow``/``--perf``/
+``--proto``, any finding or parse failure; for ``--all``, the worst of
+the four static gates), 2 usage/IO problems.
 """
 
 from __future__ import annotations
@@ -33,13 +34,15 @@ __all__ = ["check_main", "check_entry"]
 
 #: rule-series headers for ``--list-rules``, keyed by the code's hundreds
 #: digit: D (determinism, 1xx), P (protocol, 2xx), R (concurrency, 3xx),
-#: F (message flow, 4xx), H (hot-path performance, 5xx)
+#: F (message flow, 4xx), H (hot-path performance, 5xx), S (typestate &
+#: protocol conformance, 6xx)
 _SERIES: dict[str, str] = {
     "1": "D-series (determinism)",
     "2": "P-series (protocol consistency)",
     "3": "R-series (concurrency)",
     "4": "F-series (message flow)",
     "5": "H-series (hot-path performance)",
+    "6": "S-series (typestate & protocol conformance)",
 }
 
 
@@ -56,10 +59,10 @@ def _list_rules() -> None:
 
     REPRO300 appears under the R-series header even though it has no
     static rule — it is emitted by the dynamic sanitizer behind
-    ``--sanitize`` — and the F-series (4xx) / H-series (5xx) codes are
-    emitted by the whole-program analyzers behind ``--flow`` and
-    ``--perf``, so the printed inventory covers every code the checker
-    can produce.
+    ``--sanitize`` — and the F-series (4xx) / H-series (5xx) / S-series
+    (6xx) codes are emitted by the whole-program analyzers behind
+    ``--flow``, ``--perf`` and ``--proto``, so the printed inventory
+    covers every code the checker can produce.
     """
     from ..sim.hb import RACE_CODE
     from ..lang.diagnostics import code_info
@@ -80,6 +83,8 @@ def _list_rules() -> None:
             name = "whole-program (--flow)"
         elif code.startswith("REPRO5"):
             name = "whole-program (--perf)"
+        elif code.startswith("REPRO6"):
+            name = "whole-program (--proto)"
         else:
             name = static.get(code, "dynamic (--sanitize)")
         print(f"  {code}  {severity:<7}  {name}: {title}")
@@ -167,6 +172,30 @@ def _perf_main(paths: list[Path], profile_path: str | None = None) -> int:
     return report.exit_code
 
 
+def _proto_main(paths: list[Path]) -> int:
+    """Run the typestate/protocol-conformance analyzer and render its
+    report."""
+    from .typestate import PROTO_RULE_COUNT, run_typestate
+
+    report = run_typestate(paths)
+    for failure in report.parse_failures:
+        shown = _display_path(failure.path)
+        print(f"{shown}:{failure.line}:{failure.col}: "
+              f"error PARSE: {failure.message}")
+    for unit, diag in report.findings:
+        print(diag.render(_display_path(unit.path)))
+    print(f"proto: {len(report.units)} file(s), "
+          f"{report.function_count} function(s), "
+          f"{report.acquisition_count} tracked acquisition(s), "
+          f"{report.declaration_count} machine declaration(s)")
+    if report.exit_code == 0:
+        note = (f", {report.suppressed} suppressed by noqa"
+                if report.suppressed else "")
+        print(f"{len(report.units)} file(s) proto-clean "
+              f"({PROTO_RULE_COUNT} S rules{note})")
+    return report.exit_code
+
+
 def _engine_main(paths: list[Path], strict: bool) -> int:
     """Run the per-file D/P/R rules and render their reports."""
     reports = check_paths(paths)
@@ -206,10 +235,11 @@ def check_main(argv: list[str] | None = None) -> int:
                     "variable registry) and concurrency hazards (R-series "
                     "REPRO3xx: unguarded blocking receives, unhandled wire "
                     "tags, untracked shared segments); run the "
-                    "whole-program flow (--flow, F-series REPRO4xx) or "
-                    "hot-path performance (--perf, H-series REPRO5xx) "
-                    "analyzers; or run a scenario under the dynamic "
-                    "happens-before race detector with --sanitize.",
+                    "whole-program flow (--flow, F-series REPRO4xx), "
+                    "hot-path performance (--perf, H-series REPRO5xx) or "
+                    "typestate/protocol-conformance (--proto, S-series "
+                    "REPRO6xx) analyzers; or run a scenario under the "
+                    "dynamic happens-before race detector with --sanitize.",
     )
     parser.add_argument("paths", nargs="*",
                         help="files and/or directories to check")
@@ -232,10 +262,14 @@ def check_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--profile", metavar="PATH",
                         help="with --perf/--all: rank findings by measured "
                              "heat from a `repro profile` JSON")
+    parser.add_argument("--proto", action="store_true",
+                        help="run the typestate/protocol-conformance "
+                             "analyzer (S-series REPRO6xx) over the given "
+                             "paths as one program")
     parser.add_argument("--all", action="store_true",
                         help="run every static gate (per-file D/P/R, "
-                             "--flow, --perf) in one process; exit code is "
-                             "the worst of the three")
+                             "--flow, --perf, --proto) in one process; "
+                             "exit code is the worst of the four")
     parser.add_argument("--dot", metavar="PATH",
                         help="with --flow: write the message-flow graph as "
                              "Graphviz DOT to PATH")
@@ -272,11 +306,14 @@ def check_main(argv: list[str] | None = None) -> int:
         engine_code = _engine_main(paths, strict=args.strict)
         flow_code = _flow_main(paths, dot=args.dot, json_path=args.json)
         perf_code = _perf_main(paths, profile_path=args.profile)
-        return max(engine_code, flow_code, perf_code)
+        proto_code = _proto_main(paths)
+        return max(engine_code, flow_code, perf_code, proto_code)
     if args.flow:
         return _flow_main(paths, dot=args.dot, json_path=args.json)
     if args.perf:
         return _perf_main(paths, profile_path=args.profile)
+    if args.proto:
+        return _proto_main(paths)
     return _engine_main(paths, strict=args.strict)
 
 

@@ -53,8 +53,10 @@ __all__ = [
 #: sanitizer in :mod:`repro.sim.hb`, not by a static rule), F-series
 #: (4xx) whole-program message-flow/lifecycle analyses (emitted by
 #: :mod:`repro.analysis.flow` behind ``--flow``, not by per-file rules)
-#: and H-series (5xx) hot-path performance analyses (emitted by
-#: :mod:`repro.analysis.hotpath` behind ``--perf``)
+#: H-series (5xx) hot-path performance analyses (emitted by
+#: :mod:`repro.analysis.hotpath` behind ``--perf``) and S-series (6xx)
+#: typestate/protocol-conformance analyses (emitted by
+#: :mod:`repro.analysis.typestate` behind ``--proto``)
 ANALYZER_CODES: dict[str, tuple[str, str]] = {
     "REPRO101": (Severity.ERROR, "bare random module in simulated code"),
     "REPRO102": (Severity.ERROR, "wall-clock read in simulated code"),
@@ -89,6 +91,16 @@ ANALYZER_CODES: dict[str, tuple[str, str]] = {
                                  "event-dispatch path"),
     "REPRO505": (Severity.ERROR, "quadratic accumulation on message-rate "
                                  "state"),
+    "REPRO600": (Severity.ERROR, "use after close / double close"),
+    "REPRO601": (Severity.ERROR, "lifecycle op before the machine permits "
+                                 "it"),
+    "REPRO602": (Severity.ERROR, "acquired resource not closed on an "
+                                 "exception path"),
+    "REPRO603": (Severity.ERROR, "request site misses a declared reply tag"),
+    "REPRO604": (Severity.ERROR, "failover/re-open from a forbidden state"),
+    "REPRO605": (Severity.ERROR, "lifecycle op races a spawned owner"),
+    "REPRO606": (Severity.ERROR, "declared state machine drifted from the "
+                                 "analyzer registry"),
 }
 
 register_codes(ANALYZER_CODES)

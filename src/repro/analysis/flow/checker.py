@@ -79,14 +79,14 @@ class FlowReport:
 
 
 def _load_units(paths: Iterable[Path],
-                report: FlowReport) -> list[FileUnit]:
+                failures: list[ParseFailure]) -> list[FileUnit]:
     units: list[FileUnit] = []
     for path in iter_python_files(paths):
         source = path.read_text(encoding="utf-8")
         try:
             tree = ast.parse(source, filename=str(path))
         except SyntaxError as exc:
-            report.parse_failures.append(ParseFailure(
+            failures.append(ParseFailure(
                 path=path, line=exc.lineno or 0, col=(exc.offset or 1) - 1,
                 message=exc.msg or "syntax error"))
             continue
@@ -99,7 +99,7 @@ def _load_units(paths: Iterable[Path],
 def run_flow(paths: Iterable[Path]) -> FlowReport:
     """Analyze every ``*.py`` under ``paths`` as one program."""
     report = FlowReport()
-    report.units = _load_units(paths, report)
+    report.units = _load_units(paths, report.parse_failures)
     table = SymbolTable(report.units)
     analysis = TagAnalysis(table)
     analysis.run()

@@ -99,7 +99,7 @@ def run_hotpath(paths: Iterable[Path],
     measured :attr:`~HotFinding.heat` share and rank hottest-first.
     """
     report = HotpathReport()
-    report.units = _load_units(paths, report)
+    report.units = _load_units(paths, report.parse_failures)
     table = SymbolTable(report.units)
     ctx = build_hot_context(table)
 

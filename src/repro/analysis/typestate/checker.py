@@ -1,0 +1,95 @@
+"""Orchestration for ``repro check --proto``.
+
+Parses every file once (same loader as the flow analyzer), builds the
+project symbol table, then runs the three S-series analyses over it:
+
+1. :func:`~repro.analysis.typestate.machines.declaration_diagnostics`
+   — every ``*_MACHINE``/``*_EXCHANGE`` dict literal in the tree vs
+   the analyzer's registry (REPRO606);
+2. :class:`~repro.analysis.typestate.walker.TypestateWalker` — the
+   path-sensitive lifecycle walk over every function
+   (REPRO600/601/602/604/605);
+3. :func:`~repro.analysis.typestate.pairing.pairing_diagnostics` —
+   request–reply pairing conformance (REPRO603).
+
+``# repro: noqa[CODE]`` suppression works exactly as in the per-file
+engine and the flow analyzer.  Output ordering is fully deterministic:
+findings sort by (path, line, col, code), so two runs over the same
+tree are byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from ...lang.diagnostics import Diagnostic
+from ..engine import _noqa_map
+from ..flow.checker import ParseFailure, _load_units
+from ..flow.symbols import FileUnit, SymbolTable
+from .machines import _decl_assigns, declaration_diagnostics
+from .pairing import pairing_diagnostics
+from .walker import TypestateWalker
+
+__all__ = ["ProtoReport", "run_typestate", "PROTO_RULE_COUNT"]
+
+#: the S-series surface: REPRO600..REPRO606
+PROTO_RULE_COUNT = 7
+
+
+@dataclass
+class ProtoReport:
+    """The outcome of one typestate / protocol-conformance analysis."""
+
+    units: list[FileUnit] = field(default_factory=list)
+    parse_failures: list[ParseFailure] = field(default_factory=list)
+    #: unsuppressed findings, sorted by (path, line, col, code)
+    findings: list[tuple[FileUnit, Diagnostic]] = field(default_factory=list)
+    suppressed: int = 0
+    function_count: int = 0
+    #: locals the walker bound to a protocol machine
+    acquisition_count: int = 0
+    #: ``*_MACHINE``/``*_EXCHANGE`` dict literals found in the tree
+    declaration_count: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if (self.findings or self.parse_failures) else 0
+
+
+def run_typestate(paths: Iterable[Path]) -> ProtoReport:
+    """Analyze every ``*.py`` under ``paths`` as one program."""
+    report = ProtoReport()
+    report.units = _load_units(paths, report.parse_failures)
+    table = SymbolTable(report.units)
+    unit_by_module = {u.module: u for u in report.units}
+
+    raw: list[tuple[FileUnit, Diagnostic]] = []
+    raw.extend(declaration_diagnostics(table))
+    walker = TypestateWalker(table)
+    for qual in sorted(table.functions):
+        fn = table.functions[qual]
+        unit = unit_by_module.get(fn.module)
+        if unit is None:  # pragma: no cover - table built from these units
+            continue
+        diags, acquisitions = walker.walk_function(fn)
+        report.acquisition_count += acquisitions
+        raw.extend((unit, diag) for diag in diags)
+    raw.extend(pairing_diagnostics(table))
+
+    noqa_by_posix = {u.posix: _noqa_map(u.source) for u in report.units}
+    kept: list[tuple[FileUnit, Diagnostic]] = []
+    for unit, diag in raw:
+        silenced = noqa_by_posix[unit.posix].get(diag.line, frozenset())
+        if silenced is None or (silenced and diag.code in silenced):
+            report.suppressed += 1
+        else:
+            kept.append((unit, diag))
+    kept.sort(key=lambda item: (item[0].posix, item[1].line,
+                                item[1].col, item[1].code))
+    report.findings = kept
+    report.function_count = len(table.functions)
+    report.declaration_count = sum(
+        len(_decl_assigns(unit)) for unit in report.units)
+    return report

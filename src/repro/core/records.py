@@ -90,6 +90,20 @@ WIRE_TAG_HANDLERS: dict[str, tuple[str, ...]] = {
                     "repro.core.wizard.WizardReply.is_stale"),
 }
 
+#: declared request–reply exchange of the wizard round trip, enforced
+#: statically by ``repro check --proto``: a site constructing
+#: ``WizardRequest`` must dispatch every non-default reply tag
+#: (REPRO603), and this literal must stay in lockstep with both the
+#: analyzer registry and the ``REPLY_*`` rows of
+#: :data:`WIRE_TAG_HANDLERS` (REPRO606)
+WIZARD_EXCHANGE: dict[str, object] = {
+    "name": "wizard",
+    "request": "WizardRequest",
+    "replies": ("REPLY_OK", "REPLY_NAK", "REPLY_STALE"),
+    "default": "REPLY_OK",
+}
+
+
 def _verify_wire_tag_registry(handlers: dict[str, tuple[str, ...]],
                               exported: "list[str] | tuple[str, ...]") -> None:
     """Raise if the handler registry drifted from the wire-tag constants.

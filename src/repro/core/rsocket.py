@@ -149,6 +149,33 @@ class _Endpoint:
             pass
 
 
+#: declared lifecycle of a :class:`ReliableSocket`, enforced statically
+#: by ``repro check --proto`` (REPRO601/604) and checked against the
+#: analyzer registry for drift (REPRO606).  The session outlives its
+#: transports, so there is no terminal state: *suspended* is a legal
+#: resting state (sends are buffered, ``recv`` drains the rx store) and
+#: ``resume``/``connect`` re-establish — but send/recv before the first
+#: ``connect()`` handshake, and ``resume()`` from anywhere other than
+#: *suspended*, are protocol violations.
+RELIABLE_SOCKET_MACHINE: dict[str, object] = {
+    "name": "ReliableSocket",
+    "initial": "created",
+    "states": ("created", "connected", "suspended"),
+    "final": (),
+    "transitions": {
+        "created.connect": "connected",
+        "created.suspend": "created",
+        "connected.send": "connected",
+        "connected.recv": "connected",
+        "connected.suspend": "suspended",
+        "suspended.send": "suspended",
+        "suspended.recv": "suspended",
+        "suspended.resume": "connected",
+        "suspended.connect": "connected",
+    },
+}
+
+
 class ReliableSocket(_Endpoint):
     """Client end of a reliable session."""
 
@@ -177,6 +204,9 @@ class ReliableSocket(_Endpoint):
             conn.close()
             raise SessionError("session handshake interrupted")
         if msg[0] != "RWELCOME" or msg[1] != self.session_id:
+            # release the transport before bailing: a rejected handshake
+            # must not leak the half-open connection
+            conn.close()
             raise SessionError(f"bad session handshake: {msg[:2]}")
         peer_recv_seq = msg[2]
         self._attach(conn, peer_recv_seq)

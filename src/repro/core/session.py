@@ -108,6 +108,29 @@ class LeaseResponder:
             pass
 
 
+#: declared lifecycle of a :class:`SmartSession`, enforced statically
+#: by ``repro check --proto`` (REPRO600/604) and checked against the
+#: analyzer registry for drift (REPRO606).  ``failover()`` re-arms the
+#: lease on the replacement server (so it lands in *leased*, same as
+#: ``start_lease()``), but neither may be invoked once the session is
+#: *closed* or *dead*; ``stop_lease()`` is idempotent.
+SMART_SESSION_MACHINE: dict[str, object] = {
+    "name": "SmartSession",
+    "initial": "open",
+    "states": ("open", "leased", "closed", "dead"),
+    "final": ("closed", "dead"),
+    "transitions": {
+        "open.start_lease": "leased",
+        "open.stop_lease": "open",
+        "open.failover": "leased",
+        "open.close": "closed",
+        "leased.stop_lease": "open",
+        "leased.failover": "leased",
+        "leased.close": "closed",
+    },
+}
+
+
 class SmartSession:
     """One application connection with a health lease and a failover path.
 

@@ -41,6 +41,23 @@ class IcmpError:
         return f"<IcmpError from {self.src} ref={self.ref} t={self.received_at:.6f}>"
 
 
+#: declared lifecycle of a :class:`UdpSocket` getter handle, enforced
+#: statically by ``repro check --proto`` (REPRO600/601/602) and checked
+#: against the analyzer registry for drift (REPRO606)
+UDP_SOCKET_MACHINE: dict[str, object] = {
+    "name": "UdpSocket",
+    "initial": "open",
+    "states": ("open", "closed"),
+    "final": ("closed",),
+    "transitions": {
+        "open.sendto": "open",
+        "open.recv": "open",
+        "open.recv_timeout": "open",
+        "open.close": "closed",
+    },
+}
+
+
 class UdpSocket:
     """Bound UDP endpoint with a drop-when-full receive buffer."""
 

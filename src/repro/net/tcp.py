@@ -55,6 +55,40 @@ class _EOF:
 
 EOF = _EOF()
 
+#: declared lifecycle of a :class:`TcpConnection`, enforced statically
+#: by ``repro check --proto`` (REPRO600/601/602) and checked against
+#: the analyzer registry for drift (REPRO606).  A driven
+#: ``yield from tcp.connect(...)`` (or a yielded ``listener.accept()``)
+#: hands back an *established* endpoint; binding the un-driven connect
+#: generator leaves it *connecting*, where no op is legal yet.
+#: ``abort()`` is the idempotent hard-teardown path, so it stays legal
+#: after close.
+TCP_CONNECTION_MACHINE: dict[str, object] = {
+    "name": "TcpConnection",
+    "initial": "established",
+    "states": ("connecting", "established", "closed"),
+    "final": ("closed",),
+    "transitions": {
+        "established.send": "established",
+        "established.recv": "established",
+        "established.close": "closed",
+        "established.abort": "closed",
+        "closed.abort": "closed",
+    },
+}
+
+#: declared lifecycle of a :class:`TcpListener` (see above)
+TCP_LISTENER_MACHINE: dict[str, object] = {
+    "name": "TcpListener",
+    "initial": "listening",
+    "states": ("listening", "closed"),
+    "final": ("closed",),
+    "transitions": {
+        "listening.accept": "listening",
+        "listening.close": "closed",
+    },
+}
+
 
 class TcpListener:
     """Passive socket: accepted connections appear in :attr:`accepts`."""

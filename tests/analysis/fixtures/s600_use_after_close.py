@@ -1,0 +1,39 @@
+"""Seeded REPRO600: use-after-close and double-close on a UdpSocket.
+
+``probe_then_reuse`` closes its socket on every path and then calls
+``sendto`` again; ``probe_twice_closed`` closes twice.  Both ops are
+invalid from the machine's terminal state on *every* path, which is
+the S-series bar — ``probe_clean`` is the clean twin, and
+``probe_branch_close`` proves the may-close join (only one branch
+closed) stays silent.
+"""
+
+COLLECTOR_PORT = 7007
+
+
+def probe_then_reuse(stack, payload):
+    sock = stack.udp_socket()
+    sock.sendto("collector", COLLECTOR_PORT, payload=payload)
+    sock.close()
+    sock.sendto("collector", COLLECTOR_PORT, payload=payload)
+
+
+def probe_twice_closed(stack, payload):
+    sock = stack.udp_socket()
+    sock.sendto("collector", COLLECTOR_PORT, payload=payload)
+    sock.close()
+    sock.close()
+
+
+def probe_clean(stack, payload):
+    sock = stack.udp_socket()
+    sock.sendto("collector", COLLECTOR_PORT, payload=payload)
+    sock.close()
+
+
+def probe_branch_close(stack, payload, eager):
+    sock = stack.udp_socket()
+    if eager:
+        sock.close()
+    sock.sendto("collector", COLLECTOR_PORT, payload=payload)
+    sock.close()

@@ -1,0 +1,38 @@
+"""Seeded REPRO602: a socket released on the happy path but leaked on
+the exception path.
+
+``fetch_leaky`` closes its socket after a successful receive, but the
+``except Interrupt`` escape returns without releasing it — exactly the
+PR 4 getter-leak shape, now caught as a typestate violation.
+``fetch_clean`` is the clean twin (``finally`` covers every exit), and
+``fire_and_forget`` proves that a handle with *no* release anywhere
+stays out of REPRO602's scope (that is flow's REPRO403 territory).
+"""
+
+COLLECTOR_PORT = 7007
+
+
+def fetch_leaky(stack, payload):
+    sock = stack.udp_socket()
+    sock.sendto("collector", COLLECTOR_PORT, payload=payload)
+    try:
+        reply = yield sock.recv()
+    except Interrupt:
+        return None
+    sock.close()
+    return reply
+
+
+def fetch_clean(stack, payload):
+    sock = stack.udp_socket()
+    try:
+        sock.sendto("collector", COLLECTOR_PORT, payload=payload)
+        reply = yield sock.recv()
+    finally:
+        sock.close()
+    return reply
+
+
+def fire_and_forget(stack, payload):
+    sock = stack.udp_socket()
+    sock.sendto("collector", COLLECTOR_PORT, payload=payload)

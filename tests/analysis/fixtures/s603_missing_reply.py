@@ -1,0 +1,46 @@
+"""Seeded REPRO603: a request site that never dispatches REPLY_STALE.
+
+``request_narrow`` fires a ``WizardRequest`` and handles only
+``REPLY_NAK`` — but the declared wizard exchange answers with one of
+OK/NAK/STALE, and a staleness-unaware client would treat a stale
+replica's placement as fresh.  ``request_complete`` is the clean twin
+(``REPLY_OK`` is the declared fall-through, so comparing NAK and STALE
+is complete), and ``request_delegated`` proves closure-awareness: its
+reply dispatch lives in a helper.
+"""
+
+REPLY_OK = 0
+REPLY_NAK = 1
+REPLY_STALE = 2
+
+
+def request_narrow(wire, seq):
+    request = WizardRequest(seq=seq, server_num=1)
+    wire.put(request)
+    reply = wire.get()
+    if reply.status == REPLY_NAK:
+        return None
+    return reply.servers
+
+
+def request_complete(wire, seq):
+    request = WizardRequest(seq=seq, server_num=1)
+    wire.put(request)
+    reply = wire.get()
+    if reply.status == REPLY_STALE:
+        return request_complete(wire, seq + 1)
+    if reply.status == REPLY_NAK:
+        return None
+    return reply.servers
+
+
+def request_delegated(wire, seq):
+    request = WizardRequest(seq=seq, server_num=1)
+    wire.put(request)
+    return dispatch(wire.get())
+
+
+def dispatch(reply):
+    if reply.status in (REPLY_NAK, REPLY_STALE):
+        return None
+    return reply.servers

@@ -1,0 +1,33 @@
+"""Seeded REPRO604: failover invoked on a session that is already
+closed.
+
+``close_then_failover`` closes its SmartSession and then asks it to
+fail over — the declared machine only permits ``failover`` from *open*
+or *leased*, so the re-open races the teardown it just performed.
+``failover_then_close`` is the clean twin (failover while leased,
+close last), and ``resume_fresh_rsocket`` seeds the same rule on the
+ReliableSocket machine: ``resume()`` before any ``connect()``.
+"""
+
+REQUIREMENT = "host_cpu_free < 0.5"
+
+
+def close_then_failover(client, conn):
+    session = SmartSession(client, conn, REQUIREMENT)
+    session.start_lease()
+    session.close()
+    replacement = yield from session.failover()
+    return replacement
+
+
+def failover_then_close(client, conn):
+    session = SmartSession(client, conn, REQUIREMENT)
+    session.start_lease()
+    replacement = yield from session.failover()
+    session.close()
+    return replacement
+
+
+def resume_fresh_rsocket(stack):
+    rsock = ReliableSocket(stack, "server", 9000)
+    yield from rsock.resume()

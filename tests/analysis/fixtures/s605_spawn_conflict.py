@@ -1,0 +1,30 @@
+"""Seeded REPRO605: a connection handed to a spawned pump, then closed
+locally.
+
+``serve_then_kill`` establishes a connection, spawns ``pump(conn)``
+to drive it, and immediately closes the connection out from under the
+spawned generator — two owners, one lifecycle.  ``serve_clean`` is
+the clean twin: once spawned, the pump owns the close.
+"""
+
+SERVICE_PORT = 9000
+
+
+def serve_then_kill(sim, stack):
+    conn = yield from stack.tcp.connect("server", SERVICE_PORT)
+    sim.process(pump(conn))
+    conn.close()
+
+
+def serve_clean(sim, stack):
+    conn = yield from stack.tcp.connect("server", SERVICE_PORT)
+    sim.process(pump(conn))
+
+
+def pump(conn):
+    try:
+        while True:
+            msg, _ = yield conn.recv()
+            conn.send(msg, 16)
+    except Interrupt:
+        conn.close()

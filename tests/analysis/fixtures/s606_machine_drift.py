@@ -1,0 +1,36 @@
+"""Seeded REPRO606: a declared state machine that drifted from the
+analyzer's registry.
+
+This ``TCP_LISTENER_MACHINE`` literal grew a *draining* state and a
+``listening.drain`` transition that the analyzer knows nothing about —
+the declaration in the source and the machine ``--proto`` actually
+enforces no longer agree, so the living protocol spec is lying.  The
+``UDP_SOCKET_MACHINE`` twin below matches the registry exactly and
+stays silent.
+"""
+
+TCP_LISTENER_MACHINE: dict = {
+    "name": "TcpListener",
+    "initial": "listening",
+    "states": ("listening", "draining", "closed"),
+    "final": ("closed",),
+    "transitions": {
+        "listening.accept": "listening",
+        "listening.drain": "draining",
+        "draining.close": "closed",
+        "listening.close": "closed",
+    },
+}
+
+UDP_SOCKET_MACHINE: dict = {
+    "name": "UdpSocket",
+    "initial": "open",
+    "states": ("open", "closed"),
+    "final": ("closed",),
+    "transitions": {
+        "open.sendto": "open",
+        "open.recv": "open",
+        "open.recv_timeout": "open",
+        "open.close": "closed",
+    },
+}

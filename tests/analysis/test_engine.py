@@ -55,17 +55,22 @@ class TestEngine:
         assert report.diagnostics == []
 
     def test_all_rules_cover_the_code_table(self):
-        """Every non-F/non-H code has a per-file rule; F-series (4xx)
-        codes are emitted by the whole-program analyzer behind ``--flow``
-        and H-series (5xx) by the hot-path analyzer behind ``--perf``."""
+        """Every non-F/non-H/non-S code has a per-file rule; F-series
+        (4xx) codes are emitted by the whole-program analyzer behind
+        ``--flow``, H-series (5xx) by the hot-path analyzer behind
+        ``--perf`` and S-series (6xx) by the typestate analyzer behind
+        ``--proto``."""
         static = sorted(c for c in ANALYZER_CODES
-                        if not c.startswith(("REPRO4", "REPRO5")))
+                        if not c.startswith(("REPRO4", "REPRO5", "REPRO6")))
         assert sorted(r.code for r in all_rules()) == static
         assert sorted(c for c in ANALYZER_CODES if c.startswith("REPRO4")) \
             == ["REPRO400", "REPRO401", "REPRO402", "REPRO403", "REPRO404"]
         assert sorted(c for c in ANALYZER_CODES if c.startswith("REPRO5")) \
             == ["REPRO500", "REPRO501", "REPRO502", "REPRO503",
                 "REPRO504", "REPRO505"]
+        assert sorted(c for c in ANALYZER_CODES if c.startswith("REPRO6")) \
+            == ["REPRO600", "REPRO601", "REPRO602", "REPRO603",
+                "REPRO604", "REPRO605", "REPRO606"]
 
     def test_rule_decorator_rejects_unknown_code(self):
         with pytest.raises(ValueError, match="unknown code"):

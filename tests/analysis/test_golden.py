@@ -47,6 +47,16 @@ PERF = {
     "h504_dispatch_blocking",
     "h505_quadratic_growth",
 }
+#: fixtures exercised with ``--proto`` (whole-program S-series analyses)
+PROTO = {
+    "s600_use_after_close",
+    "s601_send_before_permit",
+    "s602_exception_leak",
+    "s603_missing_reply",
+    "s604_reopen_forbidden",
+    "s605_spawn_conflict",
+    "s606_machine_drift",
+}
 
 
 def run_check(path: Path, capsys, *extra: str) -> tuple[int, str]:
@@ -67,7 +77,7 @@ def run_sanitize(path: Path, capsys) -> tuple[int, str]:
 
 
 @pytest.mark.parametrize("name", [n for n in CASES
-                                  if n not in SANITIZE | FLOW | PERF])
+                                  if n not in SANITIZE | FLOW | PERF | PROTO])
 def test_golden_output_is_exact(name, capsys):
     expected = (FIXTURES / f"{name}.expected").read_text()
     _, out = run_check(FIXTURES / f"{name}.py", capsys)
@@ -77,7 +87,7 @@ def test_golden_output_is_exact(name, capsys):
 @pytest.mark.parametrize(
     "name",
     [n for n in CASES
-     if n not in WARNING_ONLY | CLEAN | SANITIZE | FLOW | PERF])
+     if n not in WARNING_ONLY | CLEAN | SANITIZE | FLOW | PERF | PROTO])
 def test_error_fixtures_exit_one(name, capsys):
     code, _ = run_check(FIXTURES / f"{name}.py", capsys)
     assert code == 1
@@ -98,6 +108,17 @@ def test_perf_golden_output_is_exact(name, capsys):
     clean twin in every fixture proves the fixed shape stays silent)."""
     expected = (FIXTURES / f"{name}.expected").read_text()
     code, out = run_check(FIXTURES / f"{name}.py", capsys, "--perf")
+    assert code == 1
+    assert out == expected
+
+
+@pytest.mark.parametrize("name", sorted(PROTO))
+def test_proto_golden_output_is_exact(name, capsys):
+    """Each S-series fixture's ``--proto`` output, byte-for-byte (the
+    clean twin in every fixture proves the conforming shape stays
+    silent)."""
+    expected = (FIXTURES / f"{name}.expected").read_text()
+    code, out = run_check(FIXTURES / f"{name}.py", capsys, "--proto")
     assert code == 1
     assert out == expected
 
@@ -169,14 +190,26 @@ def test_repo_source_tree_is_perf_clean(capsys):
     assert "perf-clean (6 H rules" in out
 
 
+def test_repo_source_tree_is_proto_clean(capsys):
+    """The typestate gate: zero S-series findings on the shipped tree,
+    with every declared machine literal verified against the registry."""
+    code = check_main(["--proto", str(REPO / "src" / "repro")])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "proto-clean (7 S rules)" in out
+    assert "6 machine declaration(s)" in out
+
+
 def test_repo_source_tree_passes_all_gates(capsys):
-    """``--all`` runs per-file D/P/R + --flow + --perf in one process."""
+    """``--all`` runs per-file D/P/R + --flow + --perf + --proto in one
+    process."""
     code = check_main(["--all", str(REPO / "src" / "repro")])
     out = capsys.readouterr().out
     assert code == 0
     assert "file(s) clean" in out
     assert "flow-clean" in out
     assert "perf-clean" in out
+    assert "proto-clean" in out
 
 
 def test_fixtures_pin_every_advertised_code():

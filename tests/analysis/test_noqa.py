@@ -4,9 +4,9 @@ One parametrized suite proving the suppression contract is uniform:
 a targeted code silences exactly that finding on that line, a bare
 ``noqa`` silences everything on the line, a wrong code silences
 nothing — for D-series (determinism), P-series (protocol), R-series
-(concurrency), F-series (whole-program ``--flow``) and H-series
-(hot-path ``--perf``) alike, plus multi-code lines carrying findings
-from two different series.
+(concurrency), F-series (whole-program ``--flow``), H-series (hot-path
+``--perf``) and S-series (typestate ``--proto``) alike, plus
+multi-code lines carrying findings from two different series.
 """
 
 from __future__ import annotations
@@ -18,6 +18,7 @@ import pytest
 from repro.analysis.engine import check_source
 from repro.analysis.flow import run_flow
 from repro.analysis.hotpath import run_hotpath
+from repro.analysis.typestate import run_typestate
 
 #: (series, code, template) — ``{noqa}`` is replaced per scenario and
 #: sits on the line that violates the rule
@@ -42,6 +43,11 @@ SEED_CASES = [
      "def on_event(event):\n"
      "    while True:{noqa}\n"
      "        pass\n"),
+    ("S", "REPRO600",
+     "def probe(stack):\n"
+     "    sock = stack.udp_socket()\n"
+     "    sock.close()\n"
+     "    sock.sendto('x', 9, payload=b'x'){noqa}\n"),
 ]
 
 
@@ -58,6 +64,12 @@ def run_series(series: str, source: str, tmp_path: Path):
         hot_report = run_hotpath([target])
         return ([f.diag.code for f in hot_report.findings],
                 hot_report.suppressed)
+    if series == "S":
+        target = tmp_path / "mod.py"
+        target.write_text(source, encoding="utf-8")
+        proto_report = run_typestate([target])
+        return ([d.code for _, d in proto_report.findings],
+                proto_report.suppressed)
     file_report = check_source(source, tmp_path / "mod.py")
     return [d.code for d in file_report.diagnostics], file_report.suppressed
 

@@ -1,0 +1,291 @@
+"""Unit tests for the typestate walker (S-series REPRO6xx).
+
+The golden fixtures pin end-to-end output; these tests exercise the
+analysis semantics on small synthetic trees: state merging at join
+points, exception-edge handling, interprocedural summary conservatism,
+and the determinism of the report surface.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.cli import check_main
+from repro.analysis.typestate import MACHINES, run_typestate
+from repro.analysis.typestate.machines import EXCHANGES
+
+REPO = Path(__file__).parent.parent.parent
+SRC = REPO / "src" / "repro"
+
+
+def analyze(tmp_path: Path, **files: str):
+    for name, source in files.items():
+        (tmp_path / f"{name}.py").write_text(source, encoding="utf-8")
+    return run_typestate([tmp_path])
+
+
+def codes(report) -> list[str]:
+    return [diag.code for _, diag in report.findings]
+
+
+class TestRegistry:
+    def test_every_machine_transition_stays_inside_its_states(self):
+        for machine in MACHINES.values():
+            states = set(machine.states)
+            assert machine.initial in states
+            assert set(machine.final) <= states
+            assert set(machine.released) <= states
+            for (src, _op), dst in machine.transitions.items():
+                assert src in states and dst in states
+
+    def test_exchange_default_is_a_declared_reply(self):
+        for exchange in EXCHANGES.values():
+            assert exchange.default in exchange.replies
+
+
+class TestJoinPoints:
+    def test_close_in_one_branch_keeps_use_silent(self, tmp_path):
+        """May-use-after-close is not a definite error: the merged
+        state set still contains a live state."""
+        report = analyze(tmp_path, mod=(
+            "def probe(stack, eager):\n"
+            "    sock = stack.udp_socket()\n"
+            "    if eager:\n"
+            "        sock.close()\n"
+            "    sock.sendto('x', 9, payload=b'x')\n"
+            "    sock.close()\n"))
+        assert codes(report) == []
+
+    def test_close_in_both_branches_flags_use(self, tmp_path):
+        report = analyze(tmp_path, mod=(
+            "def probe(stack, eager):\n"
+            "    sock = stack.udp_socket()\n"
+            "    if eager:\n"
+            "        sock.close()\n"
+            "    else:\n"
+            "        sock.close()\n"
+            "    sock.sendto('x', 9, payload=b'x')\n"))
+        assert codes(report) == ["REPRO600"]
+
+    def test_loop_body_states_join_with_entry(self, tmp_path):
+        """Zero-or-one-iteration abstraction: a close inside the loop
+        widens the post-loop set instead of forcing *closed*."""
+        report = analyze(tmp_path, mod=(
+            "def probe(stack, jobs):\n"
+            "    sock = stack.udp_socket()\n"
+            "    for job in jobs:\n"
+            "        if job.last:\n"
+            "            sock.close()\n"
+            "    sock.sendto('x', 9, payload=b'x')\n"
+            "    sock.close()\n"))
+        assert codes(report) == []
+
+
+class TestExceptionEdges:
+    def test_leak_on_handler_return_is_flagged(self, tmp_path):
+        report = analyze(tmp_path, mod=(
+            "def fetch(stack):\n"
+            "    sock = stack.udp_socket()\n"
+            "    try:\n"
+            "        reply = yield sock.recv()\n"
+            "    except Interrupt:\n"
+            "        return None\n"
+            "    sock.close()\n"
+            "    return reply\n"))
+        assert codes(report) == ["REPRO602"]
+        assert "Interrupt" in report.findings[0][1].message
+
+    def test_finally_release_covers_inner_exits(self, tmp_path):
+        report = analyze(tmp_path, mod=(
+            "def fetch(stack):\n"
+            "    sock = stack.udp_socket()\n"
+            "    try:\n"
+            "        reply = yield sock.recv()\n"
+            "        if reply is None:\n"
+            "            raise ValueError('empty')\n"
+            "        return reply\n"
+            "    finally:\n"
+            "        sock.close()\n"))
+        assert codes(report) == []
+
+    def test_raise_on_validation_path_is_an_exception_exit(self, tmp_path):
+        """A plain raise (no try) after acquiring is an exceptional
+        exit; with a release proven elsewhere it is a leak."""
+        report = analyze(tmp_path, mod=(
+            "def fetch(stack, limit):\n"
+            "    sock = stack.udp_socket()\n"
+            "    if limit <= 0:\n"
+            "        raise ValueError('bad limit')\n"
+            "    sock.close()\n"))
+        assert codes(report) == ["REPRO602"]
+
+    def test_never_released_handle_is_not_repro602(self, tmp_path):
+        """No release anywhere means no proven intent — that shape is
+        flow's REPRO403, not a typestate exception-path leak."""
+        report = analyze(tmp_path, mod=(
+            "def fetch(stack, limit):\n"
+            "    sock = stack.udp_socket()\n"
+            "    if limit <= 0:\n"
+            "        raise ValueError('bad limit')\n"
+            "    sock.sendto('x', 9, payload=b'x')\n"))
+        assert codes(report) == []
+
+    def test_handler_that_releases_is_clean(self, tmp_path):
+        report = analyze(tmp_path, mod=(
+            "def fetch(stack):\n"
+            "    sock = stack.udp_socket()\n"
+            "    try:\n"
+            "        reply = yield sock.recv()\n"
+            "    except Interrupt:\n"
+            "        sock.close()\n"
+            "        return None\n"
+            "    sock.close()\n"
+            "    return reply\n"))
+        assert codes(report) == []
+
+
+class TestInterproceduralSummaries:
+    def test_oblivious_helper_preserves_state(self, tmp_path):
+        """A callee that never touches the machine's ops must not end
+        tracking — the double close after it is still definite."""
+        report = analyze(tmp_path, mod=(
+            "def audit(sock):\n"
+            "    label = sock.port\n"
+            "    return label\n"
+            "def probe(stack):\n"
+            "    sock = stack.udp_socket()\n"
+            "    audit(sock)\n"
+            "    sock.close()\n"
+            "    sock.close()\n"))
+        assert codes(report) == ["REPRO600"]
+
+    def test_unconditional_single_op_helper_is_applied(self, tmp_path):
+        """A helper that always closes transitions the caller's state,
+        so the use after the call is a definite use-after-close."""
+        report = analyze(tmp_path, mod=(
+            "def finish(sock):\n"
+            "    sock.close()\n"
+            "def probe(stack):\n"
+            "    sock = stack.udp_socket()\n"
+            "    finish(sock)\n"
+            "    sock.sendto('x', 9, payload=b'x')\n"))
+        assert codes(report) == ["REPRO600"]
+
+    def test_conditional_helper_ends_tracking_conservatively(self, tmp_path):
+        """May-close (close under an if) is ambiguous: tracking stops,
+        no finding either way."""
+        report = analyze(tmp_path, mod=(
+            "def finish(sock, really):\n"
+            "    if really:\n"
+            "        sock.close()\n"
+            "def probe(stack, really):\n"
+            "    sock = stack.udp_socket()\n"
+            "    finish(sock, really)\n"
+            "    sock.sendto('x', 9, payload=b'x')\n"))
+        assert codes(report) == []
+
+    def test_undriven_generator_summary_is_not_applied(self, tmp_path):
+        """Calling a generator does not run its body: binding it without
+        ``yield from`` must not apply the callee's close."""
+        report = analyze(tmp_path, mod=(
+            "def finish(sock):\n"
+            "    yield sock.recv()\n"
+            "    sock.close()\n"
+            "def probe(stack):\n"
+            "    sock = stack.udp_socket()\n"
+            "    gen = finish(sock)\n"
+            "    sock.sendto('x', 9, payload=b'x')\n"))
+        assert codes(report) == []
+
+    def test_unresolvable_call_escapes(self, tmp_path):
+        report = analyze(tmp_path, mod=(
+            "def probe(stack, registry):\n"
+            "    sock = stack.udp_socket()\n"
+            "    registry.adopt(sock)\n"
+            "    sock.close()\n"
+            "    sock.close()\n"))
+        assert codes(report) == []
+
+
+class TestEscapes:
+    def test_container_store_ends_tracking(self, tmp_path):
+        report = analyze(tmp_path, mod=(
+            "def probe(stack, pool):\n"
+            "    sock = stack.udp_socket()\n"
+            "    pool.append([sock])\n"
+            "    sock.close()\n"
+            "    sock.close()\n"))
+        assert codes(report) == []
+
+    def test_exits_before_escape_still_witness_leaks(self, tmp_path):
+        """Escape later in the function does not launder a leak on an
+        exception path recorded before it — at that exit nothing else
+        owned the handle yet."""
+        report = analyze(tmp_path, mod=(
+            "def fetch(stack, pool):\n"
+            "    sock = stack.udp_socket()\n"
+            "    try:\n"
+            "        reply = yield sock.recv()\n"
+            "    except Interrupt:\n"
+            "        return None\n"
+            "    sock.close()\n"
+            "    pool.append(sock)\n"
+            "    return reply\n"))
+        assert codes(report) == ["REPRO602"]
+
+
+class TestDeterminism:
+    def test_report_is_stable_across_runs(self, tmp_path):
+        source = (
+            "def a(stack):\n"
+            "    sock = stack.udp_socket()\n"
+            "    sock.close()\n"
+            "    sock.close()\n"
+            "def b(stack):\n"
+            "    conn = stack.tcp.connect('h', 9)\n"
+            "    conn.send(b'x', 8)\n")
+        (tmp_path / "mod.py").write_text(source, encoding="utf-8")
+        first = run_typestate([tmp_path])
+        second = run_typestate([tmp_path])
+        render = lambda r: [(u.posix, d.render(u.posix))  # noqa: E731
+                            for u, d in r.findings]
+        assert render(first) == render(second)
+        assert codes(first) == ["REPRO600", "REPRO601"]
+
+    def test_cli_double_run_is_byte_identical(self, capsys):
+        code_a = check_main(["--proto", str(SRC)])
+        out_a = capsys.readouterr().out
+        code_b = check_main(["--proto", str(SRC)])
+        out_b = capsys.readouterr().out
+        assert (code_a, out_a) == (code_b, out_b)
+        assert code_a == 0
+
+
+class TestDrift:
+    def test_unknown_machine_declaration_is_flagged(self, tmp_path):
+        report = analyze(tmp_path, mod=(
+            "CARRIER_PIGEON_MACHINE = {\n"
+            "    'name': 'CarrierPigeon',\n"
+            "    'initial': 'perched',\n"
+            "    'states': ('perched', 'flying'),\n"
+            "    'final': (),\n"
+            "    'transitions': {'perched.launch': 'flying'},\n"
+            "}\n"))
+        assert codes(report) == ["REPRO606"]
+        assert "unknown to the analyzer registry" in \
+            report.findings[0][1].message
+
+    def test_exchange_vs_registry_reply_drift_is_flagged(self, tmp_path):
+        report = analyze(tmp_path, mod=(
+            "MSG_PING = 1\n"
+            "REPLY_OK = 0\n"
+            "REPLY_RETRY = 9\n"
+            "WIRE_TAG_HANDLERS = {\n"
+            "    'MSG_PING': ('mod.handle',),\n"
+            "    'REPLY_OK': ('mod.handle',),\n"
+            "    'REPLY_RETRY': ('mod.handle',),\n"
+            "}\n"
+            "def handle(msg):\n"
+            "    return msg\n"))
+        assert codes(report) == ["REPRO606"]
+        assert "drifted apart" in report.findings[0][1].message
