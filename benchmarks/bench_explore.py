@@ -1,0 +1,105 @@
+"""Chaos-explorer benchmark: search throughput, shrink quality, replay
+stability.
+
+Three measurements:
+
+* ``search``      — a healthy-build sweep (no mutant) over the matmul
+  and massd scenarios: trials/minute of the single-worker engine, and
+  the kind x phase coverage those trials bought.  A healthy build must
+  come back violation-free.
+* ``mutant_hunt`` — the seeded ``drop-checkpoint`` mutant: how fast the
+  search trips an invariant, and how far ddmin + value shrinking get
+  the triggering plan (the acceptance bar is <= 25% of the original
+  events).
+* ``replay``      — every committed corpus counterexample replayed
+  twice with tracing: the dual runs must hash byte-identically and the
+  recorded invariant must trip again.
+
+Wall-clock figures (``wall_s``, ``trials_per_min``) vary with the
+machine; everything else in the artefact is pure simulation output and
+deterministic.  The criterion gates only the deterministic metrics.
+
+Run with ``PYTHONPATH=src python benchmarks/bench_explore.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from compare import report_drift
+
+from repro.faults.explore import explore, load_corpus, replay_counterexample
+
+RESULTS = Path(__file__).parent / "results" / "BENCH_explore.json"
+CORPUS = Path(__file__).parent.parent / "tests" / "faults" / "corpus"
+
+HEALTHY_BUDGET = 40
+MUTANT_BUDGET = 10
+
+
+def main() -> dict:
+    t0 = time.perf_counter()
+    healthy = explore(budget=HEALTHY_BUDGET, seed=0,
+                      scenarios=["matmul", "massd"])
+    sweep_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    hunt = explore(budget=MUTANT_BUDGET, seed=0, scenarios=["matmul"],
+                   mutant="drop-checkpoint")
+    hunt_s = time.perf_counter() - t0
+    shrink = hunt.shrink or {}
+    ratio = (shrink["shrunk_events"] / shrink["original_events"]
+             if shrink.get("original_events") else 1.0)
+
+    replays = [replay_counterexample(ce) for _, ce in load_corpus(CORPUS)]
+
+    report = {
+        "scenario": "property-based fault-space search + corpus replay",
+        "search": {
+            "budget": HEALTHY_BUDGET,
+            "trials_run": healthy.trials_run,
+            "violations": len(healthy.violations),
+            "wall_s": round(sweep_s, 1),
+            "trials_per_min": round(healthy.trials_run / (sweep_s / 60.0), 1),
+            "coverage_cells": {
+                name: f"{cov['cells']}/{cov['total']}"
+                for name, cov in healthy.coverage.items()
+            },
+        },
+        "mutant_hunt": {
+            "mutant": "drop-checkpoint",
+            "found": hunt.found,
+            "trial": hunt.counterexample.trial if hunt.counterexample else None,
+            "invariant": (hunt.counterexample.invariant
+                          if hunt.counterexample else None),
+            "wall_s": round(hunt_s, 1),
+            "shrink": shrink,
+            "shrink_ratio": round(ratio, 3),
+        },
+        "replay": {
+            "corpus_size": len(replays),
+            "all_stable": all(r["stable"] for r in replays),
+            "all_reproduced": all(r["reproduced"] for r in replays),
+        },
+        "criterion": ("healthy sweep violation-free; mutant found and "
+                      "shrunk to <= 25% of original events; every corpus "
+                      "CE replays byte-stably and reproduces"),
+        "criterion_met": (
+            not healthy.found
+            and hunt.found
+            and ratio <= 0.25
+            and bool(replays)
+            and all(r["stable"] and r["reproduced"] for r in replays)
+        ),
+    }
+    RESULTS.parent.mkdir(exist_ok=True)
+    report_drift(report, RESULTS)
+    RESULTS.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    return report
+
+
+if __name__ == "__main__":
+    main()

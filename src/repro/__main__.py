@@ -25,10 +25,18 @@ Usage::
     python -m repro profile matmul --json p.json     # ... keep the JSON
     python -m repro profile scenario.py              # ... on a run(sim) file
 
+    python -m repro explore                          # chaos search, all scenarios
+    python -m repro explore --budget 50 --seed 7 --scenario matmul
+    python -m repro explore --mutant drop-checkpoint # prove the search finds a seeded bug
+    python -m repro explore --replay tests/faults/corpus/CE-matmul-cdf344a542.json
+    python -m repro explore --corpus tests/faults/corpus   # CI corpus gate
+
 Lint/check exit codes: 0 clean (warnings allowed), 1 diagnostics at
 error severity (or any finding with ``--strict``; for ``--sanitize``,
 any detected race), 2 usage/IO problems.  ``profile`` exits 0 on a
-completed run, 2 on usage/IO problems.
+completed run, 2 on usage/IO problems.  ``explore`` exits 0 on a clean
+search (or a fully-passing replay/corpus check), 1 when a violation was
+found (or a replay failed), 2 on usage/IO problems.
 """
 
 from __future__ import annotations
@@ -272,6 +280,124 @@ def profile_cli(argv: list[str] | None = None) -> int:
     return profile_main(args.scenario, json_path=args.json)
 
 
+def explore_cli(argv: list[str] | None = None) -> int:
+    """``python -m repro explore`` — the chaos explorer front end."""
+    import json as _json
+
+    from .faults.explore import (
+        corpus_check,
+        explore,
+        load_corpus,
+        replay_counterexample,
+        write_counterexample,
+        Counterexample,
+    )
+    from .faults.scenarios import MUTANTS, SCENARIOS
+
+    parser = argparse.ArgumentParser(
+        prog="repro-explore",
+        description="Property-based fault-space search: generate random "
+                    "fault plans against the scenario matrix, check "
+                    "invariant oracles (bit-exact results, block "
+                    "accounting, lease ownership, telemetry consistency, "
+                    "liveness deadlines), shrink any violation to a "
+                    "minimal replayable counterexample.",
+        epilog="examples:\n"
+               "  repro explore --budget 200 --seed 0\n"
+               "  repro explore --scenario matmul --scenario ha --budget 50\n"
+               "  repro explore --mutant drop-checkpoint --out tests/faults/corpus\n"
+               "  repro explore --replay tests/faults/corpus/CE-matmul-cdf344a542.json\n"
+               "  repro explore --corpus tests/faults/corpus\n",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--budget", type=int, default=200,
+                        help="max trials to run (default 200)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="search seed; every trial plan derives from it")
+    parser.add_argument("--scenario", action="append", default=None,
+                        choices=sorted(SCENARIOS),
+                        help="restrict to a scenario (repeatable; "
+                             "default: all, interleaved)")
+    parser.add_argument("--mutant", default="",
+                        choices=sorted(MUTANTS),
+                        help="run against a seeded known-bug build")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="parallel trial processes (default 1; the "
+                             "found counterexample is identical either way)")
+    parser.add_argument("--world-seed", type=int, default=0,
+                        help="world/topology seed (default 0)")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="emit the raw violating plan without ddmin")
+    parser.add_argument("--out", metavar="DIR",
+                        help="write the counterexample JSON into DIR")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the full search report as JSON")
+    parser.add_argument("--replay", metavar="CE.json",
+                        help="replay one counterexample twice, assert "
+                             "byte-stable trace + verdicts")
+    parser.add_argument("--corpus", metavar="DIR", nargs="?",
+                        const="tests/faults/corpus",
+                        help="replay every CE-*.json in DIR (default "
+                             "tests/faults/corpus): each must reproduce "
+                             "under its recorded mutant and pass clean "
+                             "on the healthy build")
+    args = parser.parse_args(argv)
+
+    if args.replay:
+        try:
+            with open(args.replay) as fh:
+                ce = Counterexample.from_dict(_json.load(fh))
+        except (OSError, ValueError, TypeError) as exc:
+            print(f"repro-explore: cannot load {args.replay}: {exc}",
+                  file=sys.stderr)
+            return 2
+        rep = replay_counterexample(ce)
+        verdicts = rep["runs"][0]["verdicts"]
+        print(f"{ce.name}: mutant={ce.mutant or '(none)'} "
+              f"stable={rep['stable']} reproduced={rep['reproduced']}")
+        print(f"  trace={rep['runs'][0]['trace']} "
+              f"verdicts={verdicts if verdicts else '(clean)'}")
+        return 0 if (rep["stable"] and rep["reproduced"]) else 1
+
+    if args.corpus:
+        entries = corpus_check(args.corpus, progress=print)
+        if not entries:
+            if not load_corpus(args.corpus):
+                print(f"repro-explore: no CE-*.json under {args.corpus}",
+                      file=sys.stderr)
+                return 2
+        bad = [e for e in entries if not e["ok"]]
+        print(f"corpus: {len(entries) - len(bad)}/{len(entries)} ok")
+        return 1 if bad else 0
+
+    report = explore(
+        budget=args.budget, seed=args.seed, scenarios=args.scenario,
+        mutant=args.mutant, world_seed=args.world_seed,
+        workers=max(1, args.workers), shrink=not args.no_shrink,
+        progress=print,
+    )
+    for name in report.scenarios:
+        cov = report.coverage[name]
+        print(f"coverage[{name}]: {cov['cells']}/{cov['total']} "
+              "kind x phase cells")
+    if args.json:
+        with open(args.json, "w") as fh:
+            _json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if not report.found:
+        print(f"clean: {report.trials_run} trials, no invariant violation")
+        return 0
+    ce = report.counterexample
+    print(f"FOUND {ce.fingerprint} (scenario {ce.scenario}, trial {ce.trial})")
+    print(f"  {ce.detail}")
+    print(f"  plan: {len(ce.plan['events'])} event(s) after shrinking "
+          f"({report.shrink['original_events']} found)")
+    if args.out:
+        path = write_counterexample(ce, args.out)
+        print(f"  wrote {path}")
+    return 1
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -282,6 +408,8 @@ def main(argv: list[str] | None = None) -> int:
         return check_main(argv[1:])
     if argv and argv[0] == "profile":
         return profile_cli(argv[1:])
+    if argv and argv[0] == "explore":
+        return explore_cli(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate tables/figures of 'A Smart TCP Socket for "
@@ -292,14 +420,16 @@ def main(argv: list[str] | None = None) -> int:
                     "concurrency violations ('--sanitize' runs the dynamic "
                     "race detector, '--perf' the hot-path analyzer, "
                     "'--proto' the typestate/protocol analyzer, "
-                    "'--all' every static gate), and 'python -m repro "
+                    "'--all' every static gate), 'python -m repro "
                     "profile <scenario>' to measure event attribution "
-                    "under the deterministic profiler.",
+                    "under the deterministic profiler, and 'python -m "
+                    "repro explore' to search the fault-plan space for "
+                    "invariant violations.",
     )
     parser.add_argument("experiment",
                         help="experiment id (see 'list'), 'list'/'all', "
-                             "'lint <file|->', 'check <paths>', or "
-                             "'profile <scenario>'")
+                             "'lint <file|->', 'check <paths>', "
+                             "'profile <scenario>', or 'explore [...]'")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":

@@ -145,6 +145,24 @@ class MassdResult:
     def throughput_mbps(self) -> float:
         return self.total_bytes * 8 / 1e6 / self.elapsed if self.elapsed > 0 else 0.0
 
+    @property
+    def total_blocks(self) -> int:
+        n_blocks, rem = divmod(self.data_kb, self.blk_kb)
+        return n_blocks + (1 if rem else 0)
+
+    def fingerprint(self) -> str:
+        """Canonical result digest for the chaos explorer's oracle: the
+        download's block accounting (every block fetched exactly once),
+        independent of which servers served it."""
+        import hashlib
+
+        done = sum(self.blocks_per_server.values())
+        digest = hashlib.sha256(
+            f"massd:{self.data_kb}:{self.blk_kb}:"
+            f"blocks:{done}/{self.total_blocks}".encode()
+        )
+        return digest.hexdigest()[:16]
+
 
 class MassdClient:
     """The downloader (runs on the client host)."""
@@ -152,6 +170,13 @@ class MassdClient:
     def __init__(self, host: SmartHost):
         self.host = host
         self.sim = host.sim
+
+    def _checkpoint(self, tasks: list, task, stats: dict) -> None:
+        """Requeue the in-flight block after its connection died — the
+        whole checkpoint (see :meth:`MatMulMaster._checkpoint`; the chaos
+        explorer's seeded mutants override this)."""
+        tasks.append(task)
+        stats["requeued"] += 1
 
     def run(self, conns, data_kb: int, blk_kb: int):
         """Process generator -> :class:`MassdResult`.
@@ -187,8 +212,7 @@ class MassdClient:
                         msg, got = yield conn.recv()
                     except ConnectionClosed:
                         # checkpoint: only the lost shard goes back
-                        tasks.append(task)
-                        stats["requeued"] += 1
+                        self._checkpoint(tasks, task, stats)
                         if session is None:
                             break  # plain socket: retire, peers absorb
                         conn = yield from session.failover()

@@ -192,6 +192,26 @@ class MatMulResult:
     def total_flops(self) -> float:
         return flops_for(self.n, self.n, self.n)
 
+    @property
+    def total_blocks(self) -> int:
+        return len(block_grid(self.n, self.blk))
+
+    def fingerprint(self) -> str:
+        """Canonical result digest for the chaos explorer's bit-exactness
+        oracle: with real matrices it hashes the product bytes (a lost or
+        corrupted block changes it); without, the block-accounting totals.
+        Two runs that computed the same answer — regardless of which
+        servers did the work — share a fingerprint."""
+        import hashlib
+
+        digest = hashlib.sha256(f"matmul:{self.n}:{self.blk}:".encode())
+        if self.product is not None:
+            digest.update(np.ascontiguousarray(self.product).tobytes())
+        else:
+            done = sum(self.blocks_per_server.values())
+            digest.update(f"blocks:{done}/{self.total_blocks}".encode())
+        return digest.hexdigest()[:16]
+
 
 class MatMulMaster:
     """The master program (runs on the client host).
@@ -205,6 +225,14 @@ class MatMulMaster:
     def __init__(self, host: SmartHost):
         self.host = host
         self.sim: Simulator = host.sim
+
+    def _checkpoint(self, tasks: list, task, stats: dict) -> None:
+        """Requeue the in-flight block after its connection died — this
+        *is* the whole checkpoint.  Kept as a hook so the chaos explorer
+        can substitute a seeded-bug mutant (``repro explore --mutant``)
+        and prove the fault-space search finds real checkpoint defects."""
+        tasks.append(task)
+        stats["requeued"] += 1
 
     def run(self, conns, n: int, blk: int,
             a: Optional[np.ndarray] = None, b: Optional[np.ndarray] = None):
@@ -249,8 +277,7 @@ class MatMulMaster:
                         msg, _ = yield conn.recv()
                     except ConnectionClosed:
                         # checkpoint: only the lost shard goes back
-                        tasks.append(task)
-                        stats["requeued"] += 1
+                        self._checkpoint(tasks, task, stats)
                         if session is None:
                             break  # plain socket: retire, peers absorb
                         conn = yield from session.failover()

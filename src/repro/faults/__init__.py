@@ -20,10 +20,16 @@ Quick use::
     chaos.start()
     cluster.run(until=90.0)
     chaos.log      # [(sim_time, "crash-host dione"), ...]
+
+The chaos *explorer* (``repro explore``) builds on this: random plans
+over a scenario matrix, invariant oracles, counterexample shrinking —
+see :mod:`repro.faults.explore`.
 """
 
 from .controller import ChaosController
+from .invariants import INVARIANTS, TrialOutcome, Violation, check_all
 from .plan import DAEMON_ROLES, FAULT_KINDS, GRAY_KINDS, FaultEvent, FaultPlan
+from .scenarios import MUTANTS, SCENARIOS, run_trial
 
 __all__ = [
     "ChaosController",
@@ -32,4 +38,11 @@ __all__ = [
     "FAULT_KINDS",
     "GRAY_KINDS",
     "DAEMON_ROLES",
+    "INVARIANTS",
+    "TrialOutcome",
+    "Violation",
+    "check_all",
+    "MUTANTS",
+    "SCENARIOS",
+    "run_trial",
 ]

@@ -70,10 +70,23 @@ class ChaosController:
         return reg
 
     def _daemon(self, host: str, role: str):
+        """The daemon of ``role`` on ``host``, or ``None`` when the
+        deployment never wired one there.  Fault generators explore
+        adversarial plans, so a miss must be a logged no-op — never a
+        crash that takes the whole simulation down."""
         for r, d in self._daemons.get(host, ()):
             if r == role:
                 return d
-        raise KeyError(f"no {role!r} daemon deployed on host {host!r}")
+        return None
+
+    def _host(self, name: str):
+        """The host named ``name``, or ``None`` (with a logged note) when
+        the cluster has no such host — same no-op contract as
+        :meth:`_daemon` for plans drawn over a stale fault surface."""
+        host = self.cluster.hosts.get(name)
+        if host is None:
+            self._note(f"fault on {name} (no such host)")
+        return host
 
     def register_daemon(self, host_name: str, role: str, daemon) -> None:
         """Add an application-plane daemon (``worker``, ``fileserver``,
@@ -133,7 +146,9 @@ class ChaosController:
         if host_name in self.down_hosts:
             self._note(f"crash-host {host_name} (already down)")
             return
-        host = self.cluster.host(host_name)
+        host = self._host(host_name)
+        if host is None:
+            return
         # no FIN for anyone: peers learn from RSTs against the emptied
         # connection table when their next segment arrives
         for conn in list(host.stack.tcp.conns.values()):
@@ -174,6 +189,9 @@ class ChaosController:
     # -- daemon faults ------------------------------------------------------
     def _kill_daemon(self, host_name: str, role: str):
         daemon = self._daemon(host_name, role)
+        if daemon is None:
+            self._note(f"kill-daemon {role}@{host_name} (no such daemon)")
+            return
         key = (host_name, role)
         if host_name in self.down_hosts or key in self.down_daemons:
             self._note(f"kill-daemon {role}@{host_name} (already down)")
@@ -187,6 +205,9 @@ class ChaosController:
 
     def _restart_daemon(self, host_name: str, role: str) -> None:
         daemon = self._daemon(host_name, role)
+        if daemon is None:
+            self._note(f"restart-daemon {role}@{host_name} (no such daemon)")
+            return
         key = (host_name, role)
         if host_name in self.down_hosts or key not in self.down_daemons:
             self._note(f"restart-daemon {role}@{host_name} (not restartable)")
@@ -197,23 +218,29 @@ class ChaosController:
 
     # -- link faults -------------------------------------------------------
     def _links_between(self, a: str, b: str) -> list[Link]:
+        """Every link joining ``a`` and ``b`` — empty when no such link
+        exists (same no-crash contract as :meth:`_daemon`)."""
         names = {a, b}
-        found = [
+        return [
             link for link in self.cluster.network.links
             if {link.a.name, link.b.name} == names
         ]
-        if not found:
-            raise KeyError(f"no link between {a!r} and {b!r}")
-        return found
 
     def _set_links(self, a: str, b: str, up: bool) -> None:
-        for link in self._links_between(a, b):
+        kind = "link-up" if up else "link-down"
+        links = self._links_between(a, b)
+        if not links:
+            self._note(f"{kind} {a}<->{b} (no such link)")
+            return
+        for link in links:
             link.set_up(up)
-        self._note(f"{'link-up' if up else 'link-down'} {a}<->{b}")
+        self._note(f"{kind} {a}<->{b}")
 
     # -- loss bursts --------------------------------------------------------
     def _start_burst(self, event: FaultEvent) -> None:
-        host = self.cluster.host(event.target)
+        host = self._host(event.target)
+        if host is None:
+            return
         proc = self.sim.process(
             self._burst(host, event), name=f"chaos-burst-{event.target}"
         )
@@ -254,7 +281,9 @@ class ChaosController:
 
     # -- gray failures ------------------------------------------------------
     def _start_slow(self, event: FaultEvent) -> None:
-        host = self.cluster.host(event.target)
+        host = self._host(event.target)
+        if host is None:
+            return
         proc = self.sim.process(
             self._slow(host, event), name=f"chaos-slow-{event.target}"
         )
@@ -291,6 +320,9 @@ class ChaosController:
         return channels
 
     def _start_degrade(self, event: FaultEvent) -> None:
+        if not self._links_between(event.target, event.peer):
+            self._note(f"{event.describe()} (no such link)")
+            return
         proc = self.sim.process(
             self._degrade(event),
             name=f"chaos-degrade-{event.target}-{event.peer}",
@@ -346,7 +378,10 @@ class ChaosController:
     def _apply_skew(self, event: FaultEvent) -> None:
         """Program the target's wall clock; a bounded skew is stepped back
         (NTP-style correction) by a restore process."""
-        clock = self.cluster.host(event.target).clock
+        host = self._host(event.target)
+        if host is None:
+            return
+        clock = host.clock
         previous = (clock.offset, clock.drift)
         clock.set_skew(event.value, event.param("drift"))
         self._note(event.describe())

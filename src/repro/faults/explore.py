@@ -1,0 +1,588 @@
+"""The chaos explorer: seeded, budgeted search of the fault-plan space.
+
+``repro explore`` stops hand-writing fault schedules: it *generates*
+them.  Each trial draws a random :class:`~repro.faults.plan.FaultPlan`
+from a per-trial named RNG stream (pure function of the seed — the
+whole search replays bit-identically), executes it against one of the
+:data:`~repro.faults.scenarios.SCENARIOS` worlds, and judges the
+outcome with the :mod:`~repro.faults.invariants` oracles.
+
+On the first violation the search switches to *minimization*: a
+delta-debugging shrinker (ddmin over the plan's events, then per-field
+value shrinking) cuts the plan down while preserving the failure
+fingerprint (invariant id + failure site), re-verifies the minimal plan
+:data:`RE_VERIFY` times, and emits a replayable counterexample JSON
+into the corpus (``tests/faults/corpus/CE-*.json``).  A committed
+counterexample is a frozen bug report: ``repro explore --replay`` runs
+it twice and asserts byte-stable traces and identical verdicts.
+
+Coverage accounting tallies which (fault kind × scenario phase) cells
+the executed trials exercised, so a green search that only ever crashed
+hosts before the request is visibly shallow.
+
+Parallel trials (``--workers N``) derive per-trial seeds up front and
+key results by trial index, so the *found* counterexample — the lowest
+violating index — is identical whatever the worker count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace as _replace
+
+from ..sim.rand import RandomStreams
+from .invariants import Violation, check_all
+from .plan import FaultPlan
+from .scenarios import MUTANTS, SCENARIOS, fault_surface, run_trial, trial_deadline
+
+__all__ = [
+    "ExploreReport",
+    "Counterexample",
+    "explore",
+    "generate_plan",
+    "shrink_plan",
+    "ddmin",
+    "replay_counterexample",
+    "corpus_check",
+    "load_corpus",
+    "CORPUS_VERSION",
+    "RE_VERIFY",
+]
+
+CORPUS_VERSION = 1
+#: times a minimized plan must reproduce its fingerprint before it is
+#: believed (and written to the corpus)
+RE_VERIFY = 3
+#: cap on predicate evaluations during one shrink
+SHRINK_BUDGET = 160
+
+#: coverage phases: a fault lands before the request, during the job
+#: stream, or after the healthy job would already be done
+PHASES = ("setup", "stream", "tail")
+
+
+# ---------------------------------------------------------------------------
+# plan generation
+# ---------------------------------------------------------------------------
+
+def generate_plan(rng, spec, surface) -> FaultPlan:
+    """One random plan for one trial.  Mostly
+    :meth:`FaultPlan.random_plan`; a slice of the draws stacks a
+    compound builder on top (flaps, partitions, wizard blackouts, gray
+    storms) so the search also walks the correlated-fault corners the
+    hand-written suites care about."""
+    plan = FaultPlan.random_plan(
+        rng, horizon=spec.horizon, hosts=surface["hosts"],
+        links=surface["links"], daemons=surface["daemons"],
+        n_events=spec.n_events, mean_outage=spec.mean_outage,
+        gray=spec.gray,
+    )
+    draw = rng.random()
+    if draw < 0.12:
+        a, b = rng.choice(surface["links"])
+        plan.flap_link(rng.uniform(1.0, spec.request_at + 4.0), a, b,
+                       period=rng.uniform(0.6, 2.0),
+                       count=rng.randint(2, 4))
+    elif draw < 0.24:
+        a, b = rng.choice(surface["links"])
+        plan.partition(rng.uniform(1.0, 0.6 * spec.horizon), a, b,
+                       duration=rng.uniform(1.0, 6.0))
+    elif draw < 0.36 and spec.control_plane:
+        plan.kill_wizard_during_request(
+            spec.request_at - 0.2, rng.choice(["wiz", "wiz2"]),
+            restart_after=rng.uniform(3.0, 8.0))
+    elif draw < 0.36 and spec.gray:
+        servers = [h for h in surface["hosts"] if h.startswith("s")]
+        plan.gray_failure_storm(
+            rng.uniform(spec.request_at, spec.request_at + 3.0),
+            duration=rng.uniform(2.0, 8.0),
+            slow_host=rng.choice(servers),
+            slow_factor=rng.uniform(4.0, 10.0),
+            skew_host=rng.choice(servers),
+            skew_offset=rng.uniform(-40.0, 40.0),
+        )
+    return plan
+
+
+def plan_coverage(plan: FaultPlan, spec, oracle_elapsed: float) -> set[tuple[str, str]]:
+    """The (kind, phase) cells one plan touches."""
+    stream_end = spec.request_at + max(oracle_elapsed, 0.0) + 1.0
+    cells = set()
+    for event in plan.events():
+        if event.at < spec.request_at:
+            phase = "setup"
+        elif event.at <= stream_end:
+            phase = "stream"
+        else:
+            phase = "tail"
+        cells.add((event.kind, phase))
+    return cells
+
+
+# ---------------------------------------------------------------------------
+# one trial
+# ---------------------------------------------------------------------------
+
+def _trial_job(payload: dict) -> dict:
+    """Run one trial from plain data to plain data (module-level so a
+    ProcessPoolExecutor can ship it to a worker)."""
+    outcome = run_trial(
+        payload["scenario"], payload["plan"],
+        world_seed=payload["world_seed"], mutant=payload["mutant"],
+        deadline=payload["deadline"],
+        oracle_fingerprint=payload["oracle_fingerprint"],
+    )
+    violations = check_all(outcome)
+    return {
+        "index": payload["index"],
+        "outcome": outcome.to_dict(),
+        "violations": [v.to_dict() for v in violations],
+    }
+
+
+# ---------------------------------------------------------------------------
+# shrinking
+# ---------------------------------------------------------------------------
+
+def ddmin(items: list, predicate) -> list:
+    """Classic delta debugging: the smallest sublist (under chunk
+    removal) for which ``predicate`` still holds.  ``predicate(items)``
+    must be True on entry."""
+    n = 2
+    while len(items) >= 2:
+        chunk = max(1, len(items) // n)
+        reduced = False
+        for start in range(0, len(items), chunk):
+            candidate = items[:start] + items[start + chunk:]
+            if candidate and predicate(candidate):
+                items = candidate
+                n = max(n - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if n >= len(items):
+                break
+            n = min(len(items), n * 2)
+    return items
+
+
+def _value_candidates(event) -> list:
+    """Simpler versions of one event, most aggressive first: rounder
+    times, shorter durations, rounder severities, no extra params."""
+    out = []
+
+    def push(**kw):
+        try:
+            out.append(_replace(event, **kw))
+        except ValueError:
+            pass  # simplification broke the event's own validation
+
+    if event.duration > 1.0:
+        push(duration=1.0)
+    if event.at != round(event.at, 1):
+        push(at=round(event.at, 1))
+    if event.duration and event.duration != round(event.duration, 1):
+        push(duration=round(event.duration, 1))
+    if event.value and event.value != round(event.value, 2):
+        push(value=round(event.value, 2))
+    if event.params:
+        push(params=())
+    return out
+
+
+def shrink_plan(plan: FaultPlan, predicate, budget: int = SHRINK_BUDGET):
+    """Minimize ``plan`` while ``predicate(FaultPlan)`` stays True.
+
+    Phase 1 is :func:`ddmin` over the time-ordered event list; phase 2
+    simplifies the surviving events field by field.  Returns
+    ``(minimized_plan, predicate_runs)``; the predicate is never called
+    more than ``budget`` times — on exhaustion the best plan so far is
+    returned (still a verified failing plan, just maybe not minimal).
+    """
+    runs = {"n": 0}
+
+    def pred_events(events) -> bool:
+        if runs["n"] >= budget:
+            return False
+        runs["n"] += 1
+        return predicate(FaultPlan(events))
+
+    events = ddmin(plan.events(), pred_events)
+    for i in range(len(events)):
+        for candidate in _value_candidates(events[i]):
+            trial = events[:i] + [candidate] + events[i + 1:]
+            if pred_events(trial):
+                events = trial
+                break
+    return FaultPlan(events), runs["n"]
+
+
+# ---------------------------------------------------------------------------
+# the search
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Counterexample:
+    """One minimized, re-verified failing plan — the corpus artifact."""
+
+    scenario: str
+    world_seed: int
+    mutant: str
+    seed: int
+    trial: int
+    invariant: str
+    site: str
+    detail: str
+    fingerprint: str
+    deadline: float
+    oracle_fingerprint: str
+    plan: dict
+    search: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "version": CORPUS_VERSION,
+            "scenario": self.scenario,
+            "world_seed": self.world_seed,
+            "mutant": self.mutant,
+            "seed": self.seed,
+            "trial": self.trial,
+            "invariant": self.invariant,
+            "site": self.site,
+            "detail": self.detail,
+            "fingerprint": self.fingerprint,
+            "deadline": self.deadline,
+            "oracle_fingerprint": self.oracle_fingerprint,
+            "plan": self.plan,
+            "search": self.search,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Counterexample":
+        if data.get("version") != CORPUS_VERSION:
+            raise ValueError(
+                f"unsupported counterexample version {data.get('version')!r}")
+        fields = {k: v for k, v in data.items() if k != "version"}
+        return cls(**fields)
+
+    @property
+    def name(self) -> str:
+        """Stable corpus file name: scenario + content digest."""
+        text = json.dumps(self.plan, sort_keys=True, separators=(",", ":"))
+        digest = hashlib.sha256(
+            f"{self.scenario}:{self.mutant}:{self.fingerprint}:{text}".encode()
+        ).hexdigest()[:10]
+        return f"CE-{self.scenario}-{digest}"
+
+
+@dataclass
+class ExploreReport:
+    """What one ``repro explore`` run did and found."""
+
+    seed: int
+    budget: int
+    scenarios: list[str]
+    mutant: str
+    workers: int
+    trials_run: int = 0
+    #: all violating trials, in index order: {trial, scenario, fingerprints}
+    violations: list[dict] = field(default_factory=list)
+    counterexample: Counterexample | None = None
+    #: scenario -> {"covered": ["kind/phase", ...], "cells": n, "total": n}
+    coverage: dict = field(default_factory=dict)
+    shrink: dict = field(default_factory=dict)
+
+    @property
+    def found(self) -> bool:
+        return bool(self.violations)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "budget": self.budget,
+            "scenarios": self.scenarios,
+            "mutant": self.mutant,
+            "workers": self.workers,
+            "trials_run": self.trials_run,
+            "violations": self.violations,
+            "counterexample": (self.counterexample.to_dict()
+                               if self.counterexample else None),
+            "coverage": self.coverage,
+            "shrink": self.shrink,
+        }
+
+
+def _oracle_for(scenario: str, world_seed: int, cache: dict) -> tuple[str, float]:
+    """(fingerprint, elapsed) of the fault-free run, computed once."""
+    key = (scenario, world_seed)
+    if key not in cache:
+        outcome = run_trial(scenario, {}, world_seed=world_seed)
+        if not outcome.completed:
+            raise RuntimeError(
+                f"oracle run of scenario {scenario!r} did not complete: "
+                f"{outcome.exception or 'deadline'}")
+        cache[key] = (outcome.fingerprint, outcome.elapsed)
+    return cache[key]
+
+
+def _make_payload(index: int, scenario: str, seed: int, world_seed: int,
+                  mutant: str, oracle: tuple[str, float],
+                  counters: dict) -> dict:
+    """Build trial ``index``'s payload; the per-scenario trial counter
+    names the RNG stream, so a scenario's i-th plan is the same whatever
+    the scenario mix of the run."""
+    spec = SCENARIOS[scenario]
+    surface = fault_surface(spec)
+    per_scenario = counters.get(scenario, 0)
+    counters[scenario] = per_scenario + 1
+    rng = RandomStreams(seed).stream(f"explore-{scenario}-{per_scenario}")
+    plan = generate_plan(rng, spec, surface)
+    oracle_fp, oracle_elapsed = oracle
+    return {
+        "index": index,
+        "scenario": scenario,
+        "plan": plan.to_json(),
+        "world_seed": world_seed,
+        "mutant": mutant,
+        "deadline": trial_deadline(spec, oracle_elapsed, plan.horizon),
+        "oracle_fingerprint": oracle_fp,
+        "oracle_elapsed": oracle_elapsed,
+    }
+
+
+def explore(
+    budget: int = 200,
+    seed: int = 0,
+    scenarios: list[str] | None = None,
+    mutant: str = "",
+    world_seed: int = 0,
+    workers: int = 1,
+    shrink: bool = True,
+    stop_on_first: bool = True,
+    progress=None,
+) -> ExploreReport:
+    """Search ``budget`` random fault plans for invariant violations.
+
+    Scenarios interleave round-robin.  The search stops at the first
+    violating trial (by index — deterministic across worker counts),
+    shrinks its plan to a :class:`Counterexample`, and reports coverage
+    over the executed trials.  ``progress(msg)`` gets occasional status
+    lines.
+    """
+    if scenarios is None or not scenarios:
+        scenarios = list(SCENARIOS)
+    for name in scenarios:
+        if name not in SCENARIOS:
+            raise ValueError(f"unknown scenario {name!r}")
+    if mutant not in MUTANTS:
+        raise ValueError(f"unknown mutant {mutant!r}")
+    say = progress or (lambda msg: None)
+    report = ExploreReport(seed=seed, budget=budget, scenarios=list(scenarios),
+                           mutant=mutant, workers=workers)
+    oracle_cache: dict = {}
+    oracles = {name: _oracle_for(name, world_seed, oracle_cache)
+               for name in scenarios}
+    say(f"oracles ready: " + ", ".join(
+        f"{n}={oracles[n][0]} ({oracles[n][1]:.2f}s)" for n in scenarios))
+
+    counters: dict[str, int] = {}
+    payloads = [
+        _make_payload(i, scenarios[i % len(scenarios)], seed, world_seed,
+                      mutant, oracles[scenarios[i % len(scenarios)]], counters)
+        for i in range(budget)
+    ]
+
+    covered: dict[str, set] = {name: set() for name in scenarios}
+    first_hit: dict | None = None
+
+    def absorb(result: dict) -> None:
+        payload = payloads[result["index"]]
+        spec = SCENARIOS[payload["scenario"]]
+        plan = FaultPlan.from_json(payload["plan"])
+        covered[payload["scenario"]].update(
+            plan_coverage(plan, spec, payload["oracle_elapsed"]))
+        report.trials_run += 1
+        if result["violations"]:
+            report.violations.append({
+                "trial": result["index"],
+                "scenario": payload["scenario"],
+                "fingerprints": [v["fingerprint"] for v in result["violations"]],
+            })
+
+    if workers <= 1:
+        for payload in payloads:
+            result = _trial_job(payload)
+            absorb(result)
+            if result["violations"] and first_hit is None:
+                first_hit = result
+                if stop_on_first:
+                    break
+            if payload["index"] % 25 == 24:
+                say(f"{payload['index'] + 1}/{budget} trials, no violation yet")
+    else:
+        chunk = max(workers * 2, 8)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for start in range(0, budget, chunk):
+                batch = payloads[start:start + chunk]
+                for result in pool.map(_trial_job, batch):
+                    absorb(result)
+                    if result["violations"] and first_hit is None:
+                        first_hit = result
+                if first_hit is not None and stop_on_first:
+                    break
+                say(f"{min(start + chunk, budget)}/{budget} trials, "
+                    "no violation yet")
+    report.violations.sort(key=lambda v: v["trial"])
+
+    # coverage summary (kinds that can appear x phases)
+    for name in scenarios:
+        spec = SCENARIOS[name]
+        surface = fault_surface(spec)
+        kinds = {"crash-host", "restart-host", "loss-burst"}
+        if surface["links"]:
+            kinds.update({"link-down", "link-up"})
+        if surface["daemons"]:
+            kinds.update({"kill-daemon", "restart-daemon"})
+        if spec.gray:
+            kinds.update({"slow-host", "skew-clock", "degrade-link"})
+        report.coverage[name] = {
+            "covered": sorted(f"{k}/{p}" for k, p in covered[name]),
+            "cells": len(covered[name]),
+            "total": len(kinds) * len(PHASES),
+        }
+
+    if first_hit is None:
+        return report
+
+    # -- minimize the first (lowest-index) violating trial ------------------
+    hit = (first_hit if stop_on_first or not report.violations else None)
+    if hit is None or hit["index"] != report.violations[0]["trial"]:
+        hit = _trial_job(payloads[report.violations[0]["trial"]])
+    payload = payloads[hit["index"]]
+    target = hit["violations"][0]["fingerprint"]
+    say(f"violation {target} at trial {hit['index']} "
+        f"({payload['scenario']}); shrinking")
+    original = FaultPlan.from_json(payload["plan"])
+
+    def still_fails(candidate: FaultPlan) -> bool:
+        outcome = run_trial(
+            payload["scenario"], candidate.to_json(),
+            world_seed=world_seed, mutant=mutant,
+            deadline=payload["deadline"],
+            oracle_fingerprint=payload["oracle_fingerprint"],
+        )
+        return any(v.fingerprint == target for v in check_all(outcome))
+
+    minimized, predicate_runs = ((original, 0) if not shrink
+                                 else shrink_plan(original, still_fails))
+    verified = sum(1 for _ in range(RE_VERIFY) if still_fails(minimized))
+    report.shrink = {
+        "original_events": len(original),
+        "shrunk_events": len(minimized),
+        "predicate_runs": predicate_runs,
+        "reverified": verified,
+        "of": RE_VERIFY,
+    }
+    say(f"shrunk {len(original)} -> {len(minimized)} events "
+        f"in {predicate_runs} runs; re-verified {verified}/{RE_VERIFY}")
+    if verified != RE_VERIFY:
+        raise RuntimeError(
+            f"minimized plan reproduced only {verified}/{RE_VERIFY} times — "
+            "determinism broken, refusing to emit a counterexample")
+    violation = hit["violations"][0]
+    report.counterexample = Counterexample(
+        scenario=payload["scenario"], world_seed=world_seed, mutant=mutant,
+        seed=seed, trial=hit["index"],
+        invariant=violation["invariant"], site=violation["site"],
+        detail=violation["detail"], fingerprint=target,
+        deadline=payload["deadline"],
+        oracle_fingerprint=payload["oracle_fingerprint"],
+        plan=minimized.to_json(),
+        # trials_run is deliberately absent: it varies with the worker
+        # count (a parallel batch finishes its stragglers), and the CE
+        # must be byte-identical whatever the parallelism
+        search={"budget": budget, **report.shrink},
+    )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# corpus: replay + gates
+# ---------------------------------------------------------------------------
+
+def write_counterexample(ce: Counterexample, corpus_dir: str) -> str:
+    os.makedirs(corpus_dir, exist_ok=True)
+    path = os.path.join(corpus_dir, ce.name + ".json")
+    with open(path, "w") as fh:
+        json.dump(ce.to_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_corpus(corpus_dir: str) -> list[tuple[str, Counterexample]]:
+    """Every ``CE-*.json`` under the corpus dir, name-sorted."""
+    if not os.path.isdir(corpus_dir):
+        return []
+    out = []
+    for fname in sorted(os.listdir(corpus_dir)):
+        if not (fname.startswith("CE-") and fname.endswith(".json")):
+            continue
+        with open(os.path.join(corpus_dir, fname)) as fh:
+            out.append((fname, Counterexample.from_dict(json.load(fh))))
+    return out
+
+
+def replay_counterexample(ce: Counterexample, mutant: str | None = None,
+                          runs: int = 2) -> dict:
+    """Replay one counterexample ``runs`` times with event tracing.
+
+    Byte-stability means every run produces the same kernel trace hash
+    and the same verdict list; ``reproduced`` means the recorded failure
+    fingerprint is among the verdicts.  ``mutant`` overrides the
+    recorded mutant (pass ``""`` to replay against the healthy build).
+    """
+    use_mutant = ce.mutant if mutant is None else mutant
+    observed = []
+    for _ in range(runs):
+        outcome = run_trial(
+            ce.scenario, ce.plan, world_seed=ce.world_seed,
+            mutant=use_mutant, deadline=ce.deadline,
+            oracle_fingerprint=ce.oracle_fingerprint, trace=True,
+        )
+        verdicts = [v.fingerprint for v in check_all(outcome)]
+        observed.append({"trace": outcome.trace_hash, "verdicts": verdicts})
+    stable = all(run == observed[0] for run in observed[1:])
+    return {
+        "name": ce.name,
+        "mutant": use_mutant,
+        "stable": stable,
+        "reproduced": ce.fingerprint in observed[0]["verdicts"],
+        "clean": not observed[0]["verdicts"],
+        "runs": observed,
+    }
+
+
+def corpus_check(corpus_dir: str, progress=None) -> list[dict]:
+    """The CI corpus gate: every committed counterexample must (a)
+    replay byte-stably, (b) still reproduce its recorded failure under
+    its recorded mutant, and (c) — when the bug was a seeded mutant —
+    pass clean on the healthy build (HEAD fixed it or never had it)."""
+    say = progress or (lambda msg: None)
+    results = []
+    for fname, ce in load_corpus(corpus_dir):
+        entry = {"file": fname, "scenario": ce.scenario, "mutant": ce.mutant}
+        rep = replay_counterexample(ce)
+        entry["stable"] = rep["stable"]
+        entry["reproduced"] = rep["reproduced"]
+        entry["ok"] = rep["stable"] and rep["reproduced"]
+        if ce.mutant:
+            healthy = replay_counterexample(ce, mutant="", runs=1)
+            entry["healthy_clean"] = healthy["clean"]
+            entry["ok"] = entry["ok"] and healthy["clean"]
+        say(f"{fname}: stable={entry['stable']} "
+            f"reproduced={entry['reproduced']} ok={entry['ok']}")
+        results.append(entry)
+    return results

@@ -39,6 +39,8 @@ Gray failures (ISSUE 6): faults that *degrade* instead of kill —
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
 from typing import Iterable, Optional, TYPE_CHECKING
 
@@ -46,7 +48,10 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     import random
 
 __all__ = ["FaultEvent", "FaultPlan", "FAULT_KINDS", "GRAY_KINDS",
-           "DAEMON_ROLES"]
+           "DAEMON_ROLES", "PLAN_SCHEMA_VERSION"]
+
+#: schema version stamped into :meth:`FaultPlan.to_json` artifacts
+PLAN_SCHEMA_VERSION = 1
 
 FAULT_KINDS: frozenset[str] = frozenset({
     "crash-host",
@@ -147,6 +152,44 @@ class FaultEvent:
     def param(self, key: str, default: float = 0.0) -> float:
         return dict(self.params).get(key, default)
 
+    # -- serialization ----------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data form (for :meth:`FaultPlan.to_json`).  Default-valued
+        fields are elided so the canonical form is minimal and stable."""
+        out: dict = {"at": self.at, "kind": self.kind, "target": self.target}
+        if self.peer:
+            out["peer"] = self.peer
+        if self.value:
+            out["value"] = self.value
+        if self.duration:
+            out["duration"] = self.duration
+        if self.direction:
+            out["direction"] = self.direction
+        if self.params:
+            out["params"] = {k: v for k, v in self.params}
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultEvent":
+        """Inverse of :meth:`to_dict`; re-runs full validation."""
+        unknown = set(data) - {"at", "kind", "target", "peer", "value",
+                               "duration", "direction", "params"}
+        if unknown:
+            raise ValueError(f"unknown event fields {sorted(unknown)}")
+        params = data.get("params", {})
+        if not isinstance(params, dict):
+            raise ValueError(f"params must be a mapping, got {params!r}")
+        return cls(
+            at=float(data["at"]),
+            kind=str(data["kind"]),
+            target=str(data["target"]),
+            peer=str(data.get("peer", "")),
+            value=float(data.get("value", 0.0)),
+            duration=float(data.get("duration", 0.0)),
+            direction=str(data.get("direction", "")),
+            params=tuple(sorted((str(k), float(v)) for k, v in params.items())),
+        )
+
     def describe(self) -> str:
         if self.kind in ("link-down", "link-up"):
             return f"{self.kind} {self.target}<->{self.peer}"
@@ -189,6 +232,16 @@ class FaultPlan:
 
     def __init__(self, events: Iterable[FaultEvent] = ()):
         self._events: list[FaultEvent] = list(events)
+        #: compound-builder call records ``{"builder": name, "args": {...}}``
+        #: — provenance metadata for corpus artifacts; the events list is
+        #: always the executable truth
+        self._provenance: list[dict] = []
+
+    def _record(self, builder: str, **args) -> None:
+        self._provenance.append({
+            "builder": builder,
+            "args": {k: v for k, v in sorted(args.items()) if v is not None},
+        })
 
     # -- builders ---------------------------------------------------------
     def add(self, event: FaultEvent) -> "FaultPlan":
@@ -210,6 +263,7 @@ class FaultPlan:
     def partition(self, at: float, a: str, b: str,
                   duration: Optional[float] = None) -> "FaultPlan":
         """Down the a<->b link; heal it ``duration`` seconds later."""
+        self._record("partition", at=at, a=a, b=b, duration=duration)
         self.link_down(at, a, b)
         if duration is not None:
             if duration <= 0:
@@ -223,6 +277,7 @@ class FaultPlan:
         later, repeating every ``period`` seconds."""
         if period <= 0 or count <= 0:
             raise ValueError("flap needs period > 0 and count > 0")
+        self._record("flap_link", at=at, a=a, b=b, period=period, count=count)
         for i in range(count):
             self.link_down(at + i * period, a, b)
             self.link_up(at + i * period + period / 2.0, a, b)
@@ -300,6 +355,8 @@ class FaultPlan:
         to the surviving replicas.  With ``restart_after`` the replica
         comes back that many seconds later — quarantine decay should then
         let clients re-adopt it."""
+        self._record("kill_wizard_during_request", at=at,
+                     wizard_host=wizard_host, restart_after=restart_after)
         self.kill_daemon(at, wizard_host, "wizard")
         self.kill_daemon(at, wizard_host, "receiver")
         if restart_after is not None:
@@ -320,6 +377,8 @@ class FaultPlan:
         a reset (or a health-lease expiry) and the self-healing session
         must requeue the in-flight shard and fail over to a replacement
         server.  With ``restart_after`` the host restarts later."""
+        self._record("kill_server_mid_stream", at=at,
+                     server_host=server_host, restart_after=restart_after)
         self.crash_host(at, server_host)
         if restart_after is not None:
             if restart_after <= 0:
@@ -345,6 +404,11 @@ class FaultPlan:
         must be given."""
         if not (slow_host or link or skew_host):
             raise ValueError("gray_failure_storm needs at least one victim")
+        self._record("gray_failure_storm", at=at, duration=duration,
+                     slow_host=slow_host or None, slow_factor=slow_factor,
+                     link=list(link) if link is not None else None,
+                     latency=latency, loss=loss, skew_host=skew_host or None,
+                     skew_offset=skew_offset, drift=drift)
         if slow_host:
             self.slow_host(at, slow_host, slow_factor, duration)
         if link is not None:
@@ -374,6 +438,51 @@ class FaultPlan:
         if not self._events:
             return 0.0
         return max(e.at + e.duration for e in self._events)
+
+    @property
+    def provenance(self) -> list[dict]:
+        """Compound-builder call records, in call order (metadata only)."""
+        return list(self._provenance)
+
+    # -- serialization ------------------------------------------------------
+    def to_json(self) -> dict:
+        """Plain-data form of the plan: the full event list (insertion
+        order, so same-time ties replay identically) plus the
+        compound-builder provenance.  ``from_json(to_json(p))`` is the
+        identity on events and provenance — the backbone of replayable
+        corpus artifacts (``tests/faults/corpus/CE-*.json``)."""
+        return {
+            "version": PLAN_SCHEMA_VERSION,
+            "events": [e.to_dict() for e in self._events],
+            "provenance": [dict(p) for p in self._provenance],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_json` output.  Every event is
+        re-validated through :class:`FaultEvent`, so a corrupt artifact
+        fails loudly instead of replaying something else."""
+        version = data.get("version", PLAN_SCHEMA_VERSION)
+        if version != PLAN_SCHEMA_VERSION:
+            raise ValueError(f"unsupported plan schema version {version!r}")
+        plan = cls(FaultEvent.from_dict(e) for e in data.get("events", ()))
+        plan._provenance = [dict(p) for p in data.get("provenance", ())]
+        return plan
+
+    def canonical_text(self) -> str:
+        """Canonical JSON of the executable part of the plan (events only,
+        sorted keys, no whitespace) — the input to :meth:`fingerprint`."""
+        return json.dumps(
+            [e.to_dict() for e in self._events],
+            sort_keys=True, separators=(",", ":"),
+        )
+
+    def fingerprint(self) -> str:
+        """Hex digest identifying this exact event schedule.  Two plans
+        with the same fingerprint replay identically (provenance is
+        metadata and deliberately excluded)."""
+        digest = hashlib.sha256(self.canonical_text().encode())
+        return digest.hexdigest()[:16]
 
     # -- randomised plans ---------------------------------------------------
     @classmethod
@@ -408,6 +517,8 @@ class FaultPlan:
         if not hosts:
             raise ValueError("random_plan needs at least one host")
         plan = cls()
+        plan._record("random_plan", horizon=horizon, n_events=n_events,
+                     mean_outage=mean_outage, gray=gray or None)
         menu = ["crash-host", "loss-burst"]
         if links:
             menu.append("link-down")

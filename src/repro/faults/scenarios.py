@@ -1,0 +1,412 @@
+"""Scenario matrix for the chaos explorer.
+
+Each :class:`Scenario` is a complete, deterministic world the explorer
+can throw random :class:`~repro.faults.plan.FaultPlan`\\ s at: the HA
+star of the failover experiments (two wizard replicas, two monitored
+3-server groups, slow matmul CPUs) carrying one of the thesis
+applications end-to-end.  :func:`run_trial` executes one plan against
+one scenario and reduces the run to a plain
+:class:`~repro.faults.invariants.TrialOutcome` for the invariant
+oracles — no simulator objects escape, so trials parallelise across
+processes and serialise into corpus artifacts.
+
+The matrix:
+
+``matmul``
+    Self-healing matrix multiply, 2 sessions over 6 workers, faults on
+    the server plane (hosts, access links, worker/lease daemons).
+``massd``
+    Massive download, 1 session over 6 shaped file servers — the single
+    slot makes every checkpoint/failover land on the critical path.
+``ha``
+    The matmul job with the *control plane* in the fault surface too:
+    wizard replicas, monitors, trunk links — request-path robustness.
+``grayfail``
+    The matmul job with watchdog-armed sessions and ``gray=True``
+    plans: fail-slow hosts, sick links, clock skew.
+
+A :data:`MUTANTS` registry supplies seeded known-bugs (e.g.
+``drop-checkpoint``) so the explorer can prove, in CI, that the search
+actually finds real defects within budget.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import traceback
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..apps import (
+    FileServer,
+    MassdClient,
+    MatMulMaster,
+    MatMulWorker,
+    shape_host_egress,
+)
+from ..cluster import Cluster, Deployment
+from ..core import Config, LeaseResponder, smart_sessions
+from .controller import ChaosController
+from .invariants import TrialOutcome
+from .plan import FaultPlan
+
+__all__ = [
+    "Scenario",
+    "SCENARIOS",
+    "MUTANTS",
+    "fault_surface",
+    "run_trial",
+    "trial_deadline",
+    "LIVENESS_SLACK",
+    "SERVICE_PORT",
+]
+
+SERVICE_PORT = 9000
+BULK_MSS = 8192
+
+#: liveness-deadline slack beyond the fault horizon.  Sized for the worst
+#: *correct* stall the net model can produce: a loss burst can back a
+#: connection's retransmit timer off to the 60 s RTO cap, and the binary
+#: lease detector (no watchdog) rides it out — two chained backoffs plus
+#: the healed job still fit.  Anything slower is a wedged recovery path.
+LIVENESS_SLACK = 150.0
+
+#: egress cap of every massd file server (8 Mbit/s ~ 1 MB/s)
+MASSD_SHAPE_MBPS = 8.0
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One explorable world + job, and the knobs the plan generator uses."""
+
+    name: str
+    app: str                    # "matmul" | "massd"
+    sessions: int
+    requirement: str
+    gray: bool = False          # random plans may draw gray kinds
+    watchdog: bool = False      # sessions run the phi-accrual watchdog
+    control_plane: bool = False  # wizards/monitors/trunks join the surface
+    n: int = 160                # matmul: matrix size
+    blk: int = 80               # matmul: block size (160/80 -> 2x2 grid)
+    data_kb: int = 1200         # massd: file size
+    blk_kb: int = 100           # massd: block size (-> 12 blocks)
+    request_at: float = 6.0     # when the client asks the wizard
+    horizon: float = 20.0       # random-plan time horizon
+    n_events: int = 8           # faults per random plan (pre-pairing)
+    mean_outage: float = 4.0
+
+
+_STALENESS = "host_cpu_free > 0.1\nhost_status_age < 10"
+
+SCENARIOS: dict[str, Scenario] = {
+    "matmul": Scenario(
+        name="matmul", app="matmul", sessions=2, requirement=_STALENESS,
+    ),
+    "massd": Scenario(
+        name="massd", app="massd", sessions=1, requirement=_STALENESS,
+    ),
+    "ha": Scenario(
+        name="ha", app="matmul", sessions=2, requirement=_STALENESS,
+        control_plane=True,
+    ),
+    "grayfail": Scenario(
+        # no staleness clause: a skewed clock ages reports, and starving
+        # the wizard of candidates is not the bug this scenario hunts
+        name="grayfail", app="matmul", sessions=2,
+        requirement="host_cpu_free > 0.05",
+        gray=True, watchdog=True,
+    ),
+}
+
+#: seeded known-bugs the explorer must be able to find (CI gate).
+#: ``""`` is the healthy build.
+MUTANTS: dict[str, str] = {
+    "": "healthy build (no seeded bug)",
+    "drop-checkpoint": (
+        "the failover checkpoint counts the in-flight block as requeued "
+        "but silently drops it — any mid-stream connection death loses a "
+        "shard"
+    ),
+}
+
+
+class _DropCheckpointMaster(MatMulMaster):
+    def _checkpoint(self, tasks, task, stats) -> None:
+        stats["requeued"] += 1  # the in-flight block is silently dropped
+
+
+class _DropCheckpointMassd(MassdClient):
+    def _checkpoint(self, tasks, task, stats) -> None:
+        stats["requeued"] += 1  # the in-flight block is silently dropped
+
+
+_APP_CLASSES = {
+    ("matmul", ""): MatMulMaster,
+    ("matmul", "drop-checkpoint"): _DropCheckpointMaster,
+    ("massd", ""): MassdClient,
+    ("massd", "drop-checkpoint"): _DropCheckpointMassd,
+}
+
+
+def fault_surface(spec: Scenario) -> dict:
+    """What the plan generator may break: sorted host names, link
+    endpoint pairs and (host, role) daemons of the scenario."""
+    hosts = [f"s{i}" for i in range(6)]
+    links = [(f"s{i}", "sw-g1" if i < 3 else "sw-g2") for i in range(6)]
+    role = "worker" if spec.app == "matmul" else "fileserver"
+    daemons = [(f"s{i}", role) for i in range(6)]
+    daemons += [(f"s{i}", "lease") for i in range(6)]
+    daemons += [(f"s{i}", "probe") for i in range(6)]
+    if spec.control_plane:
+        hosts += ["wiz", "wiz2", "mon1", "mon2"]
+        links += [("sw-g1", "core"), ("sw-g2", "core"),
+                  ("wiz", "core"), ("wiz2", "core"),
+                  ("mon1", "sw-g1"), ("mon2", "sw-g2")]
+        daemons += [("wiz", "wizard"), ("wiz2", "wizard"),
+                    ("mon1", "sysmon"), ("mon1", "transmitter"),
+                    ("mon2", "sysmon"), ("mon2", "transmitter")]
+    return {
+        "hosts": sorted(hosts),
+        "links": sorted(links),
+        "daemons": sorted(daemons),
+    }
+
+
+def trial_deadline(spec: Scenario, oracle_elapsed: float,
+                   plan_horizon: float) -> float:
+    """The liveness budget of one trial: every fault heals by the plan
+    horizon, the healthy job takes ``oracle_elapsed``, and
+    :data:`LIVENESS_SLACK` absorbs the slowest correct recovery."""
+    return (spec.request_at + 3.0 * max(oracle_elapsed, 0.0)
+            + plan_horizon + LIVENESS_SLACK)
+
+
+def _matrices(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Small deterministic integer matrices: products are exact in
+    float64, so the result fingerprint is bit-stable by construction."""
+    idx = np.arange(n * n, dtype=np.int64)
+    a = ((idx % 7) - 3).astype(float).reshape(n, n)
+    b = ((idx % 5) - 2).astype(float).reshape(n, n)
+    return a, b
+
+
+def _reset_world_counters() -> None:
+    """Fresh global id counters before each trial world.
+
+    Connection/session/packet/allocation ids come from module-level
+    ``itertools.count`` streams, and some leak into kernel process names
+    (``lease-3-…``, ``tcp-send-17``) that the canonical event trace
+    records.  Trials are isolated worlds, so resetting gives every trial
+    the ids a fresh process would — the byte-stability contract (same
+    trace hash on every replay, any worker count) depends on it."""
+    from ..core import rsocket as _rsocket
+    from ..core import session as _session
+    from ..host import memory as _memory
+    from ..net import packet as _packet
+    from ..net import tcp as _tcp
+
+    _tcp._conn_ids = itertools.count(1)
+    _packet._ids = itertools.count(1)
+    _memory._alloc_ids = itertools.count(1)
+    _rsocket._session_ids = itertools.count(1)
+    _session._session_ids = itertools.count(1)
+
+
+def _build_world(spec: Scenario, seed: int, trace: bool):
+    """The HA star of ``_failover_world`` (bench/experiments.py), carrying
+    the scenario's application on every server."""
+    extra = {}
+    if spec.watchdog:
+        extra = dict(session_watchdog_interval=0.5,
+                     session_watchdog_min_samples=3,
+                     session_watchdog_phi=2.5)
+    config = Config(
+        probe_interval=1.0, probe_miss_limit=3, transmit_interval=1.0,
+        netmon_interval=1.0, client_timeout=1.0, client_retries=2,
+        client_backoff_base=0.1, client_backoff_cap=1.0,
+        transmit_backoff_cap=2.0, transmit_stall_limit=3.0,
+        quarantine_period=5.0, wizard_staleness_limit=4.0,
+        wizard_quarantine_period=5.0, lease_interval=0.5,
+        lease_timeout=2.0, session_retries=3, **extra,
+    )
+    cluster = Cluster(seed=seed, trace_events=trace)
+    wiz = cluster.add_host("wiz")
+    wiz2 = cluster.add_host("wiz2")
+    cli = cluster.add_host("cli")
+    mon1 = cluster.add_host("mon1")
+    mon2 = cluster.add_host("mon2")
+    core = cluster.add_switch("core")
+    sw1 = cluster.add_switch("sw-g1")
+    sw2 = cluster.add_switch("sw-g2")
+    cluster.link(wiz, core, subnet="10.0.0")
+    cluster.link(wiz2, core, subnet="10.0.4")
+    cluster.link(cli, core, subnet="10.0.3")
+    cluster.link(mon1, sw1, subnet="10.0.1")
+    cluster.link(sw1, core, subnet="10.0.1")
+    cluster.link(mon2, sw2, subnet="10.0.2")
+    cluster.link(sw2, core, subnet="10.0.2")
+    servers = []
+    for i in range(6):
+        s = cluster.add_host(f"s{i}", speeds={"matmul": 1.5e6})
+        cluster.link(s, sw1 if i < 3 else sw2,
+                     subnet="10.0.1" if i < 3 else "10.0.2")
+        servers.append(s)
+    cluster.finalize()
+    dep = Deployment(cluster, config=config, wizard_hosts=[wiz, wiz2])
+    dep.add_group("g1", mon1, servers[:3])
+    dep.add_group("g2", mon2, servers[3:])
+    dep.start()
+    services, responders = {}, {}
+    for s in servers:
+        if spec.app == "matmul":
+            service = MatMulWorker(s, port=SERVICE_PORT, mss=BULK_MSS)
+        else:
+            shape_host_egress(s, MASSD_SHAPE_MBPS)
+            service = FileServer(s, port=SERVICE_PORT, mss=BULK_MSS)
+        service.start()
+        services[s.name] = service
+        responder = LeaseResponder(s, config)
+        responder.start()
+        responders[s.name] = responder
+    return cluster, dep, cli, servers, services, responders
+
+
+#: exception messages of the *documented* loud-failure path — the plan
+#: killed every server the job had; not an invariant breach
+_ALL_DEAD_MARKERS = (
+    "every server slot died",
+    "no worker connections supplied",
+    "no server connections supplied",
+)
+
+
+def _exc_site(exc: BaseException) -> str:
+    """Coarse, shrink-stable crash site: the deepest repro frame as
+    ``module.function`` (no line numbers — those move as plans shrink)."""
+    site = ""
+    for frame in traceback.extract_tb(exc.__traceback__):
+        fname = frame.filename.replace("\\", "/")
+        if "/repro/" in fname:
+            mod = fname.rsplit("/repro/", 1)[1]
+            mod = mod.rsplit(".py", 1)[0].replace("/", ".")
+            site = f"{mod}.{frame.name}"
+    return site or type(exc).__name__
+
+
+def run_trial(
+    scenario: str,
+    plan_json: dict,
+    *,
+    world_seed: int = 0,
+    mutant: str = "",
+    deadline: float = 0.0,
+    oracle_fingerprint: str = "",
+    trace: bool = False,
+) -> TrialOutcome:
+    """Execute one fault plan against one scenario, deterministically.
+
+    ``deadline`` is in sim seconds; ``0`` means a generous default
+    (request + plan horizon + 120 s).  The run never raises on
+    application or daemon failure — everything lands in the outcome for
+    the invariant oracles to judge.
+    """
+    spec = SCENARIOS[scenario]
+    plan = FaultPlan.from_json(plan_json) if plan_json else FaultPlan()
+    if mutant not in MUTANTS:
+        raise ValueError(f"unknown mutant {mutant!r}")
+    if not deadline:
+        deadline = trial_deadline(spec, 0.0, plan.horizon) + 60.0
+    _reset_world_counters()
+    cluster, dep, cli, servers, services, responders = _build_world(
+        spec, world_seed, trace)
+    sim = cluster.sim
+    name_of = {s.addr: s.name for s in servers}
+    chaos = ChaosController(dep, plan)
+    role = "worker" if spec.app == "matmul" else "fileserver"
+    for sname in sorted(services):
+        chaos.register_daemon(sname, role, services[sname])
+    for sname in sorted(responders):
+        chaos.register_daemon(sname, "lease", responders[sname])
+    chaos.start()
+    out: dict = {}
+
+    def driver():
+        yield sim.timeout(spec.request_at)
+        client = dep.client_for(cli)
+        sessions = yield from smart_sessions(
+            client, spec.requirement, spec.sessions,
+            service_port=SERVICE_PORT, mss=BULK_MSS)
+        out["sessions"] = sessions
+        prog = _APP_CLASSES[(spec.app, mutant)](cli)
+        if spec.app == "matmul":
+            a, b = _matrices(spec.n)
+            result = yield from prog.run(sessions, n=spec.n, blk=spec.blk,
+                                         a=a, b=b)
+        else:
+            result = yield from prog.run(sessions, data_kb=spec.data_kb,
+                                         blk_kb=spec.blk_kb)
+        out["result"] = result
+
+    proc = sim.process(driver(), name="explore-driver")
+    exc: BaseException | None = None
+    while not proc.processed:
+        nxt = sim.peek()
+        if nxt == float("inf") or nxt > deadline:
+            break
+        try:
+            sim.step()
+        except Exception as e:  # the oracle records it; never propagate
+            exc = e
+            break
+    chaos.stop()
+    sessions = out.get("sessions", [])
+    for session in sessions:
+        try:
+            session.close()
+        except Exception:
+            pass  # a half-dead slot may refuse an orderly close
+    result = out.get("result")
+
+    outcome = TrialOutcome(
+        scenario=scenario, world_seed=world_seed, mutant=mutant,
+        plan=plan.to_json(), deadline=deadline, end_time=sim.now,
+        oracle_fingerprint=oracle_fingerprint,
+        chaos_applied=len(chaos.log),
+    )
+    if exc is not None:
+        if any(marker in str(exc) for marker in _ALL_DEAD_MARKERS):
+            outcome.all_slots_dead = True
+        else:
+            outcome.exception = f"{type(exc).__name__}: {exc}"
+            outcome.exc_site = _exc_site(exc)
+    if result is not None:
+        outcome.completed = True
+        outcome.elapsed = result.elapsed
+        outcome.fingerprint = result.fingerprint()
+        outcome.blocks_done = sum(result.blocks_per_server.values())
+        outcome.blocks_total = result.total_blocks
+        outcome.requeued = result.requeued_blocks
+        outcome.failovers = result.failovers
+    if sessions:
+        outcome.session_failovers = sum(s.failovers for s in sessions)
+        outcome.lease_expiries = sum(s.lease_expiries for s in sessions)
+        outcome.slow_migrations = sum(s.slow_migrations for s in sessions)
+        outcome.dead_sessions = sum(1 for s in sessions if s.dead)
+        outcome.live_on_excluded = sorted(
+            name_of.get(s.addr, s.addr) for s in sessions
+            if not s.dead and s.addr in s.excluded
+        )
+        rehired = []
+        for s in sessions:
+            seen = set()
+            for addr in s.history:
+                if addr in seen:
+                    rehired.append(name_of.get(addr, addr))
+                seen.add(addr)
+        outcome.rehired_corpses = sorted(set(rehired))
+    if trace and cluster.event_trace is not None:
+        text = "\n".join(cluster.event_trace.canonical_lines())
+        outcome.trace_hash = hashlib.sha256(text.encode()).hexdigest()[:16]
+    return outcome

@@ -217,3 +217,37 @@ class TestRandomPlanGray:
         p1 = FaultPlan.random_plan(random.Random(9), gray=True, **self.KWARGS)
         p2 = FaultPlan.random_plan(random.Random(9), gray=True, **self.KWARGS)
         assert p1.events() == p2.events()
+
+
+class TestRandomPlanProperties:
+    """Property sweep over the generator: whatever it emits must
+    validate, survive a JSON round-trip, and describe byte-identically
+    across dual runs — the explorer's replay guarantee in miniature."""
+
+    KWARGS = dict(
+        horizon=30.0,
+        hosts=[f"s{i}" for i in range(6)],
+        links=[("s0", "sw-g1"), ("s3", "sw-g2"), ("sw-g1", "core")],
+        daemons=[("s0", "worker"), ("s1", "lease"), ("s2", "probe")],
+        n_events=8,
+    )
+
+    def _plan(self, seed: int, gray: bool) -> FaultPlan:
+        return FaultPlan.random_plan(
+            random.Random(seed), gray=gray, **self.KWARGS)
+
+    @pytest.mark.parametrize("gray", [False, True])
+    def test_generated_plans_validate_and_round_trip(self, gray):
+        for seed in range(25):
+            plan = self._plan(seed, gray)
+            # from_json revalidates every event through FaultEvent
+            clone = FaultPlan.from_json(plan.to_json())
+            assert clone.events() == plan.events()
+            assert clone.fingerprint() == plan.fingerprint()
+
+    @pytest.mark.parametrize("gray", [False, True])
+    def test_describe_is_byte_stable_across_dual_runs(self, gray):
+        for seed in range(25):
+            first = "\n".join(e.describe() for e in self._plan(seed, gray))
+            second = "\n".join(e.describe() for e in self._plan(seed, gray))
+            assert first == second

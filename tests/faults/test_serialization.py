@@ -1,0 +1,103 @@
+"""FaultPlan JSON round-trip + golden fingerprints (corpus backbone)."""
+
+import pytest
+
+from repro.faults.plan import (
+    FAULT_KINDS,
+    PLAN_SCHEMA_VERSION,
+    FaultEvent,
+    FaultPlan,
+)
+
+
+def _kitchen_sink() -> FaultPlan:
+    """Every event kind + params + three compound builders."""
+    return (FaultPlan()
+            .crash_host(5.0, "dione")
+            .restart_host(40.0, "dione")
+            .partition(12.0, "dalmatian", "sw-lab", duration=30.0)
+            .kill_daemon(20.0, "mimas", "transmitter")
+            .restart_daemon(25.0, "mimas", "transmitter")
+            .loss_burst(8.0, "titan-x", 0.25, 4.0, direction="tx")
+            .slow_host(9.0, "lhost", 6.0, 5.0)
+            .skew_clock(10.0, "helene", 30.0, drift=0.01, duration=6.0)
+            .degrade_link(11.0, "s0", "sw-g1", duration=3.0, direction="fwd",
+                          latency=0.2, loss=0.02, jitter=0.01)
+            .flap_link(14.0, "s1", "sw-g1", period=1.0, count=2)
+            .gray_failure_storm(16.0, duration=2.0, slow_host="s2",
+                                link=("s3", "sw-g2"), skew_host="s4"))
+
+
+class TestRoundTrip:
+    def test_identity_for_every_kind(self):
+        plan = _kitchen_sink()
+        assert {e.kind for e in plan} == FAULT_KINDS  # nothing untested
+        clone = FaultPlan.from_json(plan.to_json())
+        assert clone.events() == plan.events()
+        assert clone.fingerprint() == plan.fingerprint()
+
+    def test_provenance_survives(self):
+        plan = _kitchen_sink()
+        clone = FaultPlan.from_json(plan.to_json())
+        assert clone.provenance == plan.provenance
+        builders = [p["builder"] for p in plan.provenance]
+        assert builders == ["partition", "flap_link", "gray_failure_storm"]
+
+    def test_params_round_trip_exactly(self):
+        plan = FaultPlan().degrade_link(
+            1.0, "a", "b", duration=2.0, latency=0.123456789, jitter=0.01)
+        (event,) = FaultPlan.from_json(plan.to_json()).events()
+        assert event.param("latency") == 0.123456789
+        assert event.param("jitter") == 0.01
+
+    def test_json_is_pure_data(self):
+        import json
+
+        text = json.dumps(_kitchen_sink().to_json(), sort_keys=True)
+        assert FaultPlan.from_json(json.loads(text)).events() == \
+            _kitchen_sink().events()
+
+    def test_event_dict_elides_defaults(self):
+        data = FaultEvent(1.0, "crash-host", "a").to_dict()
+        assert data == {"at": 1.0, "kind": "crash-host", "target": "a"}
+
+
+class TestValidation:
+    def test_version_checked(self):
+        data = _kitchen_sink().to_json()
+        data["version"] = PLAN_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="version"):
+            FaultPlan.from_json(data)
+
+    def test_unknown_event_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            FaultEvent.from_dict(
+                {"at": 1.0, "kind": "crash-host", "target": "a", "boom": 1})
+
+    def test_events_revalidated_on_load(self):
+        data = _kitchen_sink().to_json()
+        data["events"][0]["kind"] = "explode-host"
+        with pytest.raises(ValueError):
+            FaultPlan.from_json(data)
+
+
+class TestGoldenFingerprint:
+    """Pinned digests: serialization format changes must be deliberate
+    (a changed golden breaks every committed corpus artifact)."""
+
+    def test_kitchen_sink_fingerprint(self):
+        assert _kitchen_sink().fingerprint() == "295c7a947e4d5e62"
+
+    def test_fingerprint_ignores_provenance(self):
+        with_prov = FaultPlan().partition(1.0, "a", "b", duration=2.0)
+        bare = FaultPlan([
+            FaultEvent(1.0, "link-down", "a", peer="b"),
+            FaultEvent(3.0, "link-up", "a", peer="b"),
+        ])
+        assert with_prov.provenance and not bare.provenance
+        assert with_prov.fingerprint() == bare.fingerprint()
+
+    def test_fingerprint_sensitive_to_values(self):
+        a = FaultPlan().crash_host(1.0, "x")
+        b = FaultPlan().crash_host(1.000001, "x")
+        assert a.fingerprint() != b.fingerprint()
